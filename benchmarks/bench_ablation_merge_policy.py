@@ -1,0 +1,49 @@
+"""Ablation A3: the hybrid merge policy's K knob (paper section 5.3).
+
+"Umzi employs a hybrid merge policy ... to easily trade-off write
+amplification and query performance."  Sweeping K (max runs per level)
+should show the trade-off: small K merges eagerly (more bytes rewritten,
+fewer runs, faster queries); large K defers merging (fewer bytes, more
+runs, slower queries).
+"""
+
+from repro.bench.ablations import ablation_merge_policy
+from repro.bench.fixtures import build_index_with_runs
+from repro.core.definition import i1_definition
+from repro.workloads.generator import KeyMapper, KeyMode
+from repro.workloads.queries import QueryBatchGenerator
+
+
+def test_ablation_merge_policy(benchmark, reporter):
+    result = ablation_merge_policy(
+        k_values=(1, 2, 4, 8),
+        size_ratio=4,
+        runs_to_ingest=16,
+        entries_per_run=2_000,
+        batch_size=200,
+    )
+    reporter(result)
+
+    wa = result.series_by_label("write amplification (bytes ratio)").ys()
+    runs = result.series_by_label("final run count").ys()
+
+    # Shape: write amplification decreases (weakly) as K grows ...
+    assert wa[0] >= wa[-1], (
+        f"K=1 must rewrite at least as much as K=8: {wa[0]:.2f} vs {wa[-1]:.2f}"
+    )
+    # ... while the number of live runs grows (weakly).
+    assert runs[-1] >= runs[0], (
+        f"K=8 must retain at least as many runs as K=1: {runs[-1]} vs {runs[0]}"
+    )
+
+    # Benchmark the primitive: maintenance on a merge-heavy index (K=2).
+    definition = i1_definition()
+    mapper = KeyMapper(definition)
+
+    def ingest_and_merge():
+        index = build_index_with_runs(
+            definition, 8, 500, KeyMode.SEQUENTIAL, mapper
+        )
+        index.run_maintenance()
+
+    benchmark.pedantic(ingest_and_merge, rounds=5, iterations=1)

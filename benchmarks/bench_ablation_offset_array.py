@@ -1,0 +1,37 @@
+"""Ablation A2: the hash offset array (paper section 4.2).
+
+"When processing index queries, the offset array can be used to provide a
+more compact start and end offset for binary search."  This ablation
+quantifies that: random lookups with the offset array enabled vs plain
+binary search over the whole run.
+"""
+
+from repro.bench.ablations import ablation_offset_array
+from repro.bench.fixtures import build_single_run
+from repro.core.definition import i1_definition
+from repro.core.query import QueryExecutor
+from repro.workloads.generator import KeyMapper
+from repro.workloads.queries import QueryBatchGenerator
+
+
+def test_ablation_offset_array(benchmark, reporter):
+    result = ablation_offset_array(
+        run_sizes=(1_000, 10_000, 50_000), batch_size=300, repeat=2
+    )
+    reporter(result)
+
+    with_oa = result.series_by_label("offset array").ys()
+    without = result.series_by_label("binary search only").ys()
+    # The offset array should never lose, and should win clearly on the
+    # largest runs where it skips the most probe levels.
+    assert with_oa[-1] < without[-1], (
+        "offset array must beat plain binary search on large runs"
+    )
+
+    # Benchmark the primitive: offset-array lookups on the largest run.
+    definition = i1_definition()
+    mapper = KeyMapper(definition)
+    run, _ = build_single_run(definition, 50_000, mapper)
+    executor = QueryExecutor(definition, lambda: [run])
+    batch = QueryBatchGenerator(mapper, 50_000, seed=67).random_batch(300)
+    benchmark(lambda: executor.batch_lookup(batch))

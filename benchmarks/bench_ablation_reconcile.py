@@ -1,0 +1,43 @@
+"""Ablation A1: set vs priority-queue reconciliation (paper section 7.1.2).
+
+The paper describes both but does not compare them.  Expectations: both
+return identical results (tested in tests/core/test_query.py); the set
+approach must materialize intermediate results, so the priority-queue
+approach stays competitive as ranges grow.
+"""
+
+from repro.bench.ablations import ablation_reconcile_strategies
+from repro.bench.fixtures import build_index_with_runs
+from repro.core.definition import i1_definition
+from repro.core.query import ReconcileStrategy
+from repro.workloads.generator import KeyMapper, KeyMode
+from repro.workloads.queries import QueryBatchGenerator
+
+
+def test_ablation_reconcile(benchmark, reporter):
+    result = ablation_reconcile_strategies(
+        scan_ranges=(10, 100, 1_000, 10_000),
+        num_runs=10,
+        entries_per_run=3_000,
+        repeat=1,
+    )
+    reporter(result)
+
+    set_ys = result.series_by_label("set").ys()
+    pq_ys = result.series_by_label("priority_queue").ys()
+    # Both must scale with range; neither pathologically worse.
+    for s, p in zip(set_ys, pq_ys):
+        ratio = max(s, p) / max(min(s, p), 1e-12)
+        assert ratio < 6.0, f"strategies diverged {ratio:.1f}x"
+
+    # Benchmark the primitive: a large PQ scan.
+    definition = i1_definition()
+    total = 10 * 3_000
+    mapper = KeyMapper(definition, spread=total)
+    index = build_index_with_runs(
+        definition, 10, 3_000, KeyMode.RANDOM, mapper
+    )
+    scan = QueryBatchGenerator(mapper, total, seed=61).sequential_scan(5_000)
+    benchmark(
+        lambda: index.range_scan(scan, ReconcileStrategy.PRIORITY_QUEUE)
+    )

@@ -1,0 +1,44 @@
+"""Figure 8: index building performance.
+
+Paper: build time scales ~linearly with entries; I3 (one fewer key column)
+is fastest; the number of indexed columns matters far less than sort cost.
+"""
+
+from repro.bench.experiments import fig08_build
+from repro.bench.fixtures import entries_for_keys
+from repro.bench.harness import assert_roughly_linear
+from repro.core.builder import RunBuilder
+from repro.core.definition import i1_definition
+from repro.core.entry import Zone
+from repro.storage.hierarchy import StorageHierarchy
+
+SIZES = (1_000, 5_000, 20_000)
+
+
+def test_fig08_build(benchmark, reporter):
+    result = fig08_build(sizes=SIZES, repeat=1)
+    reporter(result)
+
+    # Shape: near-linear build time for every definition.
+    for label in ("I1", "I2", "I3"):
+        series = result.series_by_label(label)
+        assert_roughly_linear(
+            [x for x, _ in series.points], series.ys(),
+            tolerance=3.0, label=f"fig8 {label}",
+        )
+    # Shape: I3 never meaningfully slower than I1 (one fewer key column).
+    i1 = result.series_by_label("I1").ys()
+    i3 = result.series_by_label("I3").ys()
+    for a, b in zip(i3, i1):
+        assert a <= b * 1.3, f"I3 should not be slower than I1: {a} vs {b}"
+
+    # Benchmark the primitive: building one run of the middle size.
+    definition = i1_definition()
+    entries = entries_for_keys(definition, list(range(SIZES[1])))
+
+    def build_run():
+        RunBuilder(definition, StorageHierarchy()).build(
+            "bench", entries, Zone.GROOMED, 0, 0, 0
+        )
+
+    benchmark(build_run)

@@ -1,0 +1,41 @@
+"""Figure 9: single-run query performance (sequential and random batches).
+
+Paper: lookup time grows mildly with run size (offset array + binary
+search); I2 is slower (two equality columns make the offset array less
+effective at narrowing the initial range); I1 ~ I3.
+"""
+
+from repro.bench.experiments import fig09_single_run
+from repro.bench.fixtures import build_single_run
+from repro.bench.harness import assert_monotone_increase
+from repro.core.definition import i1_definition
+from repro.core.query import QueryExecutor
+from repro.workloads.generator import KeyMapper
+from repro.workloads.queries import QueryBatchGenerator
+
+SIZES = (1_000, 5_000, 20_000)
+BATCH = 300
+
+
+def test_fig09_single_run(benchmark, reporter):
+    results = fig09_single_run(sizes=SIZES, batch_size=BATCH, repeat=1)
+    for result in results:
+        reporter(result)
+
+    for result in results:
+        for label in ("I1", "I2", "I3"):
+            ys = result.series_by_label(label).ys()
+            # Shape: sublinear growth -- a 20x larger run must cost far
+            # less than 20x (the offset array bounds the search).
+            assert ys[-1] <= ys[0] * 8, (
+                f"{result.figure} {label}: growth {ys[-1] / ys[0]:.1f}x "
+                "exceeds the sublinear bound"
+            )
+
+    # Benchmark the primitive: one random batch against the largest run.
+    definition = i1_definition()
+    mapper = KeyMapper(definition)
+    run, _ = build_single_run(definition, SIZES[-1], mapper)
+    executor = QueryExecutor(definition, lambda: [run])
+    batch = QueryBatchGenerator(mapper, SIZES[-1], seed=13).random_batch(BATCH)
+    benchmark(lambda: executor.batch_lookup(batch))

@@ -1,0 +1,56 @@
+"""Figure 12: concurrent readers vs lookup performance.
+
+Paper: "more concurrent readers have small impact on the query
+performance, which demonstrates the advantages of Umzi's lock-free design
+for the readers."
+
+Measured as per-lookup *thread CPU time* (CPython's GIL serializes wall
+time across threads no matter how an index locks, so wall latency would
+measure the interpreter, not Umzi; CPU per lookup is precisely what
+lock-free readers keep flat -- see repro/bench/endtoend.py).
+"""
+
+import statistics
+
+from repro.bench.endtoend import fig12_concurrent_readers, make_iot_shard
+from repro.bench.harness import assert_flat_within
+
+READERS = (1, 2, 4)
+
+
+def test_fig12_concurrent_readers(benchmark, reporter):
+    result = fig12_concurrent_readers(
+        reader_counts=READERS,
+        warmup_cycles=20,
+        records_per_cycle=200,
+        batches_per_reader=8,
+        batch_size=50,
+    )
+    reporter(result)
+
+    # Shape: mean per-lookup CPU cost stays within a small factor across
+    # reader counts (lock-free readers do not interfere with each other).
+    means = []
+    for readers in READERS:
+        ys = result.series_by_label(f"{readers} readers").ys()
+        means.append(statistics.mean(ys))
+    assert_flat_within(means, factor=3.0, label="fig12 reader scaling")
+
+    # Benchmark the primitive: one lookup batch against a warm shard with
+    # background daemons running.
+    shard = make_iot_shard(post_groom_every=10)
+    from repro.bench.endtoend import _iot_rows, _lookup_batch_for
+    from repro.workloads.generator import IoTUpdateWorkload
+
+    workload = IoTUpdateWorkload(200, update_percent=10, seed=5)
+    for _ in range(20):
+        shard.ingest(_iot_rows(workload.next_cycle()))
+        shard.tick()
+    import random
+
+    rng = random.Random(3)
+    population = workload.keys_ingested
+    batch = _lookup_batch_for(
+        shard, [rng.randrange(population) for _ in range(100)]
+    )
+    benchmark(lambda: shard.index_batch_lookup(batch))

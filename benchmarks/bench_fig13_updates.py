@@ -1,0 +1,48 @@
+"""Figure 13: update-heavy workloads vs lookup performance.
+
+Paper: "updates have limited impact on the average query performance";
+a slight latency increase over time comes from the growing run chain.
+"""
+
+import statistics
+
+from repro.bench.endtoend import fig13_update_rates, make_iot_shard
+from repro.bench.harness import assert_flat_within
+
+PERCENTS = (0, 40, 100)
+
+
+def test_fig13_update_rates(benchmark, reporter):
+    result = fig13_update_rates(
+        update_percents=PERCENTS,
+        cycles=30,
+        records_per_cycle=200,
+        batch_size=100,
+        sample_every=5,
+    )
+    reporter(result)
+
+    # Shape: the mean lookup cost across update rates stays within a small
+    # factor -- updates do not degrade queries.
+    means = [
+        statistics.mean(result.series_by_label(f"{p}%").ys()) for p in PERCENTS
+    ]
+    assert_flat_within(means, factor=3.0, label="fig13 update impact")
+
+    # Benchmark the primitive: a lookup batch against a 100%-updates shard.
+    from repro.bench.endtoend import _iot_rows, _lookup_batch_for
+    from repro.workloads.generator import IoTUpdateWorkload
+
+    shard = make_iot_shard(post_groom_every=10)
+    workload = IoTUpdateWorkload(200, update_percent=100, seed=5)
+    for _ in range(20):
+        shard.ingest(_iot_rows(workload.next_cycle()))
+        shard.tick()
+    import random
+
+    rng = random.Random(7)
+    population = workload.keys_ingested
+    batch = _lookup_batch_for(
+        shard, [rng.randrange(population) for _ in range(100)]
+    )
+    benchmark(lambda: shard.index_batch_lookup(batch))

@@ -1,0 +1,62 @@
+"""Figure 14: cached vs purged runs.
+
+Paper: "the latency of the lookup queries is much lower when all the index
+runs are cached (none) compared to the cases where the half or all of the
+runs are purged"; purged runs cause latency spikes on first access because
+data blocks stream back from shared storage.
+
+y is deterministic simulated tier latency (the SSD/shared-storage gap is
+the entire subject of this figure; see repro/bench/endtoend.py).
+"""
+
+import statistics
+
+from repro.bench.endtoend import fig14_purge_levels, make_iot_shard
+from repro.bench.harness import assert_dominates
+
+
+def test_fig14_purge_levels(benchmark, reporter):
+    # 35 cycles with post-groom every 10: the last 5 cycles are still in
+    # the groomed zone, so "half" (groomed cached, post-groomed purged) is
+    # genuinely cheaper than "all".
+    result = fig14_purge_levels(
+        purge_modes=("none", "half", "all"),
+        cycles=35,
+        records_per_cycle=200,
+        batch_size=50,
+        sample_every=5,
+    )
+    reporter(result)
+
+    none_mean = statistics.mean(result.series_by_label("none").ys())
+    half_mean = statistics.mean(result.series_by_label("half").ys())
+    all_mean = statistics.mean(result.series_by_label("all").ys())
+
+    # Shape: fully cached is far cheaper than purged; more purging is worse.
+    assert all_mean > none_mean * 3, (
+        f"purged lookups must be much slower: all={all_mean:.1f} vs "
+        f"none={none_mean:.1f}"
+    )
+    assert all_mean > half_mean  # recent (groomed) data still cached
+    assert half_mean > none_mean * 2
+
+    # Benchmark the primitive: a batch against the fully-purged shard
+    # (dominated by simulated shared-storage transfers; wall time measures
+    # the Python transfer path).
+    from repro.bench.endtoend import _iot_rows, _lookup_batch_for
+    from repro.workloads.generator import IoTUpdateWorkload
+
+    shard = make_iot_shard(post_groom_every=10)
+    workload = IoTUpdateWorkload(200, update_percent=10, seed=5)
+    for _ in range(20):
+        shard.ingest(_iot_rows(workload.next_cycle()))
+        shard.tick()
+    shard.index.cache.set_cache_level(-1)
+    import random
+
+    rng = random.Random(11)
+    population = workload.keys_ingested
+    batch = _lookup_batch_for(
+        shard, [rng.randrange(population) for _ in range(50)]
+    )
+    benchmark(lambda: shard.index_batch_lookup(batch))

@@ -1,0 +1,64 @@
+"""Figure 15: impact of index evolve operations.
+
+Paper: "the index evolve operation has certain overhead over the query
+performance ... However, the overhead again is limited, since in the
+meanwhile the index evolve operation reduces the total number of runs,
+which in turn improves the query performance."
+"""
+
+import statistics
+
+from repro.bench.endtoend import fig15_evolve_impact, make_iot_shard
+from repro.bench.harness import assert_flat_within
+
+
+def test_fig15_evolve_impact(benchmark, reporter):
+    result = fig15_evolve_impact(
+        cycles=40,
+        records_per_cycle=200,
+        post_groom_every=10,
+        batch_size=100,
+        sample_every=5,
+    )
+    reporter(result)
+
+    on = result.series_by_label("post-groom").ys()
+    off = result.series_by_label("no post-groom").ys()
+
+    # Shape: evolve overhead is bounded -- the two configurations stay
+    # within a small factor of each other on average.
+    on_mean = statistics.mean(on)
+    off_mean = statistics.mean(off)
+    assert_flat_within([on_mean, off_mean], factor=3.0, label="fig15 means")
+
+    # Shape: evolve keeps the run count down; without post-groom the
+    # groomed zone accumulates strictly more runs.
+    shard_on = make_iot_shard(post_groom_every=10)
+    shard_off = make_iot_shard(post_groom_every=10)
+    from repro.bench.endtoend import _iot_rows
+    from repro.workloads.generator import IoTUpdateWorkload
+
+    for shard, evolve in ((shard_on, True), (shard_off, False)):
+        workload = IoTUpdateWorkload(200, update_percent=10, seed=5)
+        for _ in range(30):
+            shard.ingest(_iot_rows(workload.next_cycle()))
+            if evolve:
+                shard.tick()
+            else:
+                shard.groomer.groom()
+                shard.maintenance.step()
+    assert (
+        shard_on.index.stats().total_runs <= shard_off.index.stats().total_runs
+    ), "evolve should keep the total run count at or below the no-evolve case"
+
+    # Benchmark the primitive: one full evolve cycle (post-groom + indexer).
+    shard = make_iot_shard(post_groom_every=1)
+    workload = IoTUpdateWorkload(200, update_percent=10, seed=5)
+
+    def evolve_cycle():
+        shard.ingest(_iot_rows(workload.next_cycle()))
+        shard.groomer.groom()
+        shard.post_groomer.post_groom()
+        shard.indexer.drain()
+
+    benchmark.pedantic(evolve_cycle, rounds=10, iterations=1)

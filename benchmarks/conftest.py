@@ -1,0 +1,29 @@
+"""Shared reporting helpers for the benchmark suite.
+
+Each ``bench_figXX`` module regenerates one figure of the paper: it runs
+the parameter sweep, prints and saves the normalized series (the same
+normalization the figure uses), asserts the *shape* claims the paper makes,
+and registers a pytest-benchmark timing for the figure's core operation.
+
+Figure tables land in ``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(result) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    table = result.format_table()
+    print("\n" + table)
+    slug = result.figure.lower().replace(" ", "_")
+    result.save(os.path.join(RESULTS_DIR, f"{slug}.txt"))
+
+
+@pytest.fixture
+def reporter():
+    return report

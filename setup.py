@@ -1,0 +1,9 @@
+"""Legacy entry point for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e .`` via the setuptools legacy editable path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Experiment harness regenerating every figure of the paper's section 8.
+
+:mod:`repro.bench.harness` provides the sweep/normalize/print machinery;
+:mod:`repro.bench.experiments` implements one function per paper figure
+(8 through 15) plus the design-choice ablations called out in DESIGN.md.
+
+Absolute numbers are meaningless here (pure Python vs the paper's C++ on a
+28-core Xeon) -- and the paper itself only publishes normalized numbers.
+Every experiment therefore reports series normalized exactly the way the
+corresponding figure is, and asserts the *shape* claims the paper makes
+(who wins, what grows linearly, where behaviour is flat).
+"""
+
+from repro.bench.harness import ExperimentResult, Series, measure_wall_s
+from repro.bench import experiments
+
+__all__ = ["ExperimentResult", "Series", "experiments", "measure_wall_s"]

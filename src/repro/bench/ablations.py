@@ -1,0 +1,307 @@
+"""Design-choice ablations beyond the paper's figures (DESIGN.md section 3).
+
+* set vs priority-queue reconciliation across scan ranges (section 7.1.2
+  describes both; the paper does not benchmark them against each other);
+* offset array on/off (section 4.2 motivates it; quantified here);
+* merge-policy K/T sweep: write amplification vs query cost (section 5.3's
+  "easily trade-off write amplification and query performance");
+* Umzi vs the divided-view and fixed-RID baselines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.baselines.lsm import ClassicLSMIndex
+from repro.baselines.separate import SeparateZoneIndexes
+from repro.bench.fixtures import build_index_with_runs, entries_for_keys
+from repro.bench.harness import ExperimentResult, Series, measure_wall_s
+from repro.core.definition import i1_definition
+from repro.core.entry import RID, Zone
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.levels import LevelConfig
+from repro.core.query import PointLookup, ReconcileStrategy
+from repro.storage.hierarchy import StorageHierarchy
+from repro.workloads.generator import KeyMapper, KeyMode
+from repro.workloads.queries import QueryBatchGenerator
+
+
+def ablation_reconcile_strategies(
+    scan_ranges: Sequence[int] = (10, 100, 1_000, 10_000),
+    num_runs: int = 10,
+    entries_per_run: int = 5_000,
+    repeat: int = 3,
+) -> ExperimentResult:
+    """Set vs priority-queue reconciliation across scan ranges."""
+    definition = i1_definition()
+    total = num_runs * entries_per_run
+    mapper = KeyMapper(definition, spread=total)
+    index = build_index_with_runs(
+        definition, num_runs, entries_per_run, KeyMode.RANDOM, mapper
+    )
+    series: List[Series] = []
+    base: Optional[float] = None
+    for strategy in (ReconcileStrategy.SET, ReconcileStrategy.PRIORITY_QUEUE):
+        line = Series(strategy.value)
+        for scan_range in scan_ranges:
+            qgen = QueryBatchGenerator(mapper, total, seed=61)
+            scan = qgen.sequential_scan(scan_range)
+            elapsed = measure_wall_s(
+                lambda: index.range_scan(scan, strategy), repeat
+            )
+            if base is None:
+                base = elapsed
+            line.add(scan_range, elapsed)
+        series.append(line)
+    return ExperimentResult(
+        figure="Ablation A1",
+        title="Set vs priority-queue reconciliation",
+        x_label="scan range size",
+        y_label="scan time",
+        series=series,
+        notes="normalized to set approach at the smallest range",
+    ).normalize_all(base if base else 1.0)
+
+
+def ablation_offset_array(
+    run_sizes: Sequence[int] = (1_000, 10_000, 50_000),
+    batch_size: int = 500,
+    repeat: int = 3,
+) -> ExperimentResult:
+    """Lookup cost with and without the hash offset array."""
+    from repro.bench.fixtures import build_single_run
+    from repro.core.query import QueryExecutor
+
+    definition = i1_definition()
+    mapper = KeyMapper(definition)
+    series: List[Series] = []
+    base: Optional[float] = None
+    for enabled in (True, False):
+        line = Series("offset array" if enabled else "binary search only")
+        for n in run_sizes:
+            run, _ = build_single_run(definition, n, mapper)
+            executor = QueryExecutor(
+                definition, lambda run=run: [run], use_offset_array=enabled
+            )
+            qgen = QueryBatchGenerator(mapper, n, seed=67)
+            batch = qgen.random_batch(batch_size)
+            elapsed = measure_wall_s(lambda: executor.batch_lookup(batch), repeat)
+            if base is None:
+                base = elapsed
+            line.add(n, elapsed)
+        series.append(line)
+    return ExperimentResult(
+        figure="Ablation A2",
+        title="Offset array benefit",
+        x_label="entries in run",
+        y_label="batch lookup time",
+        series=series,
+        notes="normalized to offset array at the smallest run",
+    ).normalize_all(base if base else 1.0)
+
+
+def ablation_merge_policy(
+    k_values: Sequence[int] = (1, 2, 4, 8),
+    size_ratio: int = 4,
+    runs_to_ingest: int = 16,
+    entries_per_run: int = 2_000,
+    batch_size: int = 300,
+) -> ExperimentResult:
+    """K sweep: shared-storage write amplification vs lookup cost.
+
+    Larger K defers merging (less write amplification, more runs to
+    search); K=1 is leveling-like (max merging, fewest runs).
+    """
+    definition = i1_definition()
+    mapper = KeyMapper(definition)
+    wa_series = Series("write amplification (bytes ratio)")
+    query_series = Series("lookup time (normalized)")
+    runs_series = Series("final run count")
+    base_query: Optional[float] = None
+    for k in k_values:
+        levels = LevelConfig(
+            groomed_levels=4, post_groomed_levels=2,
+            max_runs_per_level=k, size_ratio=size_ratio,
+        )
+        index = UmziIndex(
+            definition, config=UmziConfig(name=f"abl-k{k}", levels=levels)
+        )
+        ts = 1
+        for gid in range(runs_to_ingest):
+            keys = list(range(gid * entries_per_run, (gid + 1) * entries_per_run))
+            index.add_groomed_run(
+                entries_for_keys(definition, keys, mapper, ts_start=ts,
+                                 block_id=gid),
+                gid, gid,
+            )
+            index.run_maintenance()
+            ts += entries_per_run
+        ingested_bytes = sum(
+            run.size_bytes for run in index.all_runs()
+        )
+        wa = index.hierarchy.shared.write_amplification_bytes / max(
+            ingested_bytes, 1
+        )
+        population = runs_to_ingest * entries_per_run
+        qgen = QueryBatchGenerator(mapper, population, seed=71)
+        batch = qgen.random_batch(batch_size)
+        elapsed = measure_wall_s(lambda: index.batch_lookup(batch), 3)
+        if base_query is None:
+            base_query = elapsed
+        wa_series.add(k, wa)
+        query_series.add(k, elapsed / base_query)
+        runs_series.add(k, index.stats().total_runs)
+    return ExperimentResult(
+        figure="Ablation A3",
+        title="Merge policy K sweep: write amplification vs query cost",
+        x_label="K (max runs per level)",
+        y_label="see series labels",
+        series=[wa_series, query_series, runs_series],
+        notes=f"T={size_ratio}; write amplification = shared bytes written / "
+              "live index bytes",
+    )
+
+
+def ablation_unified_vs_divided(
+    num_keys: int = 20_000,
+    batch_size: int = 500,
+    repeat: int = 3,
+) -> ExperimentResult:
+    """Unified view vs separate per-zone indexes, same in-memory substrate.
+
+    Half the keys have evolved to the post-groomed zone, half are still
+    groomed -- the steady state a real HTAP shard lives in.  Both sides use
+    the sorted-array substrate so the measurement isolates the *structural*
+    cost of the divided view: every lookup must probe both indexes and
+    reconcile client-side (the anomalies it additionally risks are
+    demonstrated in tests/baselines/test_separate.py).
+    """
+    from repro.baselines.btree import SortedArrayIndex
+
+    definition = i1_definition()
+    mapper = KeyMapper(definition)
+    half = num_keys // 2
+
+    old_pg = entries_for_keys(
+        definition, list(range(half)), mapper, ts_start=1,
+        zone=Zone.POST_GROOMED, block_id=100,
+    )
+    new_groomed = entries_for_keys(
+        definition, list(range(half, num_keys)), mapper, ts_start=half + 1,
+        block_id=1,
+    )
+
+    unified = SortedArrayIndex(definition)
+    unified.insert_many(old_pg)
+    unified.insert_many(new_groomed)
+
+    divided = SeparateZoneIndexes(definition)
+    divided.add_groomed(new_groomed)
+    divided.evolve([], old_pg)
+
+    qgen = QueryBatchGenerator(mapper, num_keys, seed=73)
+    batch = qgen.random_batch(batch_size)
+    probe_keys = [
+        entries_for_keys(
+            definition, [lookup.sort_values[0] if lookup.sort_values else 0],
+            mapper,
+        )[0].key_bytes(definition)
+        for lookup in batch
+    ]
+
+    def unified_batch() -> None:
+        for key, lookup in zip(probe_keys, batch):
+            unified.lookup(key, lookup.query_ts)
+
+    def divided_batch() -> None:
+        for key, lookup in zip(probe_keys, batch):
+            divided.lookup(key, lookup.query_ts)
+
+    unified_time = measure_wall_s(unified_batch, repeat)
+    divided_time = measure_wall_s(divided_batch, repeat)
+    series = [
+        Series("unified view", [("batch", 1.0)]),
+        Series("divided view", [("batch", divided_time / unified_time)]),
+    ]
+    return ExperimentResult(
+        figure="Ablation A4",
+        title="Unified index vs separate per-zone indexes",
+        x_label="workload",
+        y_label="batch lookup time (normalized to unified)",
+        series=series,
+        notes=f"{num_keys} keys, half evolved; batch of {batch_size} random "
+              "lookups; identical in-memory substrate on both sides",
+    )
+
+
+def ablation_evolve_vs_rebuild(
+    num_keys: int = 10_000,
+    evolve_fraction: float = 0.25,
+) -> ExperimentResult:
+    """Umzi's incremental evolve vs the classic LSM full rebuild when RIDs
+    change for a fraction of the data."""
+    definition = i1_definition()
+    mapper = KeyMapper(definition)
+    moved = int(num_keys * evolve_fraction)
+
+    # Umzi side: two groomed runs; evolve only the older one.
+    levels = LevelConfig(groomed_levels=3, post_groomed_levels=2,
+                         max_runs_per_level=8, size_ratio=4)
+    umzi = UmziIndex(definition, config=UmziConfig(name="abl-ev", levels=levels))
+    umzi.add_groomed_run(
+        entries_for_keys(definition, list(range(moved)), mapper, ts_start=1),
+        0, 0,
+    )
+    umzi.add_groomed_run(
+        entries_for_keys(definition, list(range(moved, num_keys)), mapper,
+                         ts_start=moved + 1, block_id=1),
+        1, 1,
+    )
+    pg_entries = entries_for_keys(
+        definition, list(range(moved)), mapper, ts_start=1,
+        zone=Zone.POST_GROOMED, block_id=100,
+    )
+    start = time.perf_counter()
+    umzi.evolve(1, pg_entries, 0, 0)
+    evolve_time = time.perf_counter() - start
+
+    classic = ClassicLSMIndex(definition, memtable_limit=4_096)
+    classic.insert_many(
+        entries_for_keys(definition, list(range(num_keys)), mapper, ts_start=1)
+    )
+    classic.flush()
+
+    def remap(entry):
+        if entry.begin_ts <= moved:  # the 'older' data moved zones
+            return RID(Zone.POST_GROOMED, 100, entry.rid.offset)
+        return None
+
+    start = time.perf_counter()
+    classic.rebuild_with_rids(remap)
+    rebuild_time = time.perf_counter() - start
+
+    series = [
+        Series("umzi evolve", [(f"{evolve_fraction:.0%} moved", 1.0)]),
+        Series(
+            "classic LSM rebuild",
+            [(f"{evolve_fraction:.0%} moved", rebuild_time / max(evolve_time, 1e-9))],
+        ),
+    ]
+    return ExperimentResult(
+        figure="Ablation A5",
+        title="Incremental evolve vs full rebuild on RID change",
+        x_label="fraction of data migrated",
+        y_label="time (normalized to Umzi evolve)",
+        series=series,
+        notes=f"{num_keys} keys; the classic index must rewrite everything",
+    )
+
+
+__all__ = [
+    "ablation_evolve_vs_rebuild",
+    "ablation_merge_policy",
+    "ablation_offset_array",
+    "ablation_reconcile_strategies",
+    "ablation_unified_vs_divided",
+]

@@ -1,0 +1,359 @@
+"""End-to-end experiments: Figures 12-15 (paper section 8.4).
+
+The paper's setup: ~100K random records ingested per second, groomer every
+second, post-groomer every 20 seconds, continuous batches of 1000 random
+lookups, 100-second runs, on a 28-core Xeon.  The scaled-down equivalents
+here keep the cadence *ratios* (grooms per post-groom), the IoT update
+model, and the concurrency structure, at laptop-Python volumes.
+
+Measurement substitutions (documented in DESIGN.md):
+
+* Figure 12 measures per-lookup *thread CPU time*: CPython's GIL serializes
+  wall time across reader threads regardless of locking, so wall latency
+  would measure the GIL, not Umzi.  Per-lookup CPU time is exactly what
+  lock-freedom keeps flat -- a lock-based reader would burn extra CPU (or
+  block) as readers multiply.
+* Figure 14 reports deterministic *simulated* latency (the tier cost
+  model): the SSD-vs-shared-storage gap is the figure's entire subject, and
+  the in-process simulation makes that gap visible only through the cost
+  model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import ExperimentResult, Series
+from repro.core.definition import ColumnSpec
+from repro.core.query import PointLookup
+from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.ssd import SSDTier
+from repro.wildfire.engine import ShardConfig, WildfireShard
+from repro.wildfire.schema import IndexSpec, TableSchema
+from repro.workloads.generator import IoTUpdateWorkload, KeyMapper
+from repro.workloads.queries import QueryBatchGenerator
+
+DEFAULT_READER_COUNTS = (1, 2, 4, 8)
+DEFAULT_UPDATE_PERCENTS = (0, 20, 40, 60, 80, 100)
+DEFAULT_PURGE_MODES = ("none", "half", "all")
+
+
+def make_iot_shard(
+    post_groom_every: int = 10,
+    ssd_capacity: Optional[int] = None,
+) -> WildfireShard:
+    schema = TableSchema(
+        name="e2e",
+        columns=(ColumnSpec("device"), ColumnSpec("msg"), ColumnSpec("reading")),
+        primary_key=("device", "msg"),
+        sharding_key=("device",),
+        partition_key=("msg",),
+    )
+    spec = IndexSpec(("device",), ("msg",), ("reading",))
+    hierarchy = StorageHierarchy(ssd=SSDTier(capacity_bytes=ssd_capacity))
+    return WildfireShard(
+        schema, spec, hierarchy=hierarchy,
+        config=ShardConfig(post_groom_every=post_groom_every),
+    )
+
+
+def _iot_rows(keys: Sequence[int], devices: int = 64) -> List[Tuple[int, int, int]]:
+    """Map abstract workload keys onto (device, msg, reading) rows."""
+    return [(k % devices, k // devices, k) for k in keys]
+
+
+def _lookup_batch_for(
+    shard: WildfireShard, keys: Sequence[int], devices: int = 64
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    return [((k % devices, ), (k // devices, )) for k in keys]
+
+
+def _seed_shard(
+    shard: WildfireShard,
+    workload: IoTUpdateWorkload,
+    cycles: int,
+) -> None:
+    for _ in range(cycles):
+        shard.ingest(_iot_rows(workload.next_cycle()))
+        shard.tick()
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 -- concurrent readers
+# ---------------------------------------------------------------------------
+
+
+def fig12_concurrent_readers(
+    reader_counts: Sequence[int] = DEFAULT_READER_COUNTS,
+    warmup_cycles: int = 30,
+    records_per_cycle: int = 300,
+    batches_per_reader: int = 12,
+    batch_size: int = 100,
+) -> ExperimentResult:
+    """Per-lookup CPU time vs number of concurrent readers.
+
+    Paper claim: "more concurrent readers have small impact on the query
+    performance, which demonstrates the advantages of Umzi's lock-free
+    design" -- here, per-lookup CPU cost stays flat as reader count grows
+    while ingest + maintenance run concurrently.
+    """
+    series_by_count: List[Series] = []
+    base: Optional[float] = None
+    for readers in reader_counts:
+        shard = make_iot_shard(post_groom_every=10)
+        workload = IoTUpdateWorkload(records_per_cycle, update_percent=10, seed=5)
+        _seed_shard(shard, workload, warmup_cycles)
+        population = workload.keys_ingested
+        qgen_seed = 41
+
+        shard.start_daemons(groom_interval_s=0.01)
+        samples: Dict[int, List[float]] = {i: [] for i in range(batches_per_reader)}
+        lock = threading.Lock()
+        errors: List[str] = []
+
+        def reader(reader_id: int) -> None:
+            import random as _random
+
+            rng = _random.Random(qgen_seed + reader_id)
+            for batch_no in range(batches_per_reader):
+                keys = [rng.randrange(population) for _ in range(batch_size)]
+                batch = _lookup_batch_for(shard, keys)
+                start = time.thread_time()
+                results = shard.index_batch_lookup(batch)
+                cpu = time.thread_time() - start
+                if all(r is None for r in results):
+                    errors.append("reader found nothing at all")
+                with lock:
+                    samples[batch_no].append(cpu / batch_size)
+
+        ingest_stop = threading.Event()
+
+        def ingester() -> None:
+            while not ingest_stop.is_set():
+                shard.ingest(_iot_rows(workload.next_cycle()))
+                time.sleep(0.01)
+
+        ingest_thread = threading.Thread(target=ingester, daemon=True)
+        ingest_thread.start()
+        threads = [
+            threading.Thread(target=reader, args=(i,)) for i in range(readers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ingest_stop.set()
+        ingest_thread.join()
+        shard.stop_daemons()
+        if errors:
+            raise AssertionError(errors[0])
+
+        line = Series(f"{readers} readers")
+        for batch_no in range(batches_per_reader):
+            values = samples[batch_no]
+            if not values:
+                continue
+            mean = sum(values) / len(values)
+            if base is None:
+                base = mean
+            line.add(batch_no, mean)
+        series_by_count.append(line)
+    return ExperimentResult(
+        figure="Figure 12",
+        title="Lookup cost with concurrent readers",
+        x_label="batch number (time)",
+        y_label="CPU time per lookup",
+        series=series_by_count,
+        notes="normalized to the first 1-reader sample; CPU time per lookup "
+              "(see module docstring for the GIL substitution)",
+    ).normalize_all(base if base else 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 -- update rates
+# ---------------------------------------------------------------------------
+
+
+def fig13_update_rates(
+    update_percents: Sequence[int] = DEFAULT_UPDATE_PERCENTS,
+    cycles: int = 40,
+    records_per_cycle: int = 300,
+    batch_size: int = 200,
+    sample_every: int = 4,
+) -> ExperimentResult:
+    """Lookup latency over time for p% update workloads (deterministic).
+
+    Paper claim: updates have limited impact on average query performance;
+    latency creeps up slowly over time as the run chain grows.
+    """
+    series: List[Series] = []
+    base: Optional[float] = None
+    for p in update_percents:
+        shard = make_iot_shard(post_groom_every=10)
+        workload = IoTUpdateWorkload(records_per_cycle, update_percent=p, seed=5)
+        line = Series(f"{p}%")
+        import random as _random
+
+        rng = _random.Random(43)
+        for cycle in range(1, cycles + 1):
+            shard.ingest(_iot_rows(workload.next_cycle()))
+            shard.tick()
+            if cycle % sample_every != 0:
+                continue
+            population = workload.keys_ingested
+            keys = [rng.randrange(population) for _ in range(batch_size)]
+            batch = _lookup_batch_for(shard, keys)
+            start = time.perf_counter()
+            shard.index_batch_lookup(batch)
+            elapsed = (time.perf_counter() - start) / batch_size
+            if base is None:
+                base = elapsed
+            line.add(cycle, elapsed)
+        series.append(line)
+    return ExperimentResult(
+        figure="Figure 13",
+        title="Lookup latency vs update percentage",
+        x_label="groom cycle",
+        y_label="time per lookup",
+        series=series,
+        notes="normalized to the first 0% sample",
+    ).normalize_all(base if base else 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 -- purged runs
+# ---------------------------------------------------------------------------
+
+
+def fig14_purge_levels(
+    purge_modes: Sequence[str] = DEFAULT_PURGE_MODES,
+    cycles: int = 40,
+    records_per_cycle: int = 300,
+    batch_size: int = 100,
+    sample_every: int = 4,
+) -> ExperimentResult:
+    """Lookup cost with none / half / all of the index runs purged.
+
+    Paper claim: cached runs are far cheaper; purged runs spike when first
+    accessed because data blocks stream back from shared storage block by
+    block.  y is deterministic simulated latency (tier cost model).
+    """
+    series: List[Series] = []
+    base: Optional[float] = None
+    for mode in purge_modes:
+        shard = make_iot_shard(post_groom_every=10)
+        workload = IoTUpdateWorkload(records_per_cycle, update_percent=10, seed=5)
+        _seed_shard(shard, workload, cycles)
+        total_levels = shard.index.config.levels.total_levels
+        if mode == "none":
+            level = total_levels - 1
+        elif mode == "half":
+            # Keep the groomed zone (recent data) cached; purge the
+            # post-groomed zone (old data) -- the paper purges old runs
+            # first, so 'half' means the historical half.
+            level = shard.index.config.levels.groomed_levels - 1
+        elif mode == "all":
+            level = -1
+        else:
+            raise ValueError(f"unknown purge mode {mode!r}")
+        shard.index.cache.set_cache_level(level)
+
+        import random as _random
+
+        rng = _random.Random(47)
+        population = workload.keys_ingested
+        line = Series(mode)
+        for sample in range(cycles // sample_every):
+            keys = [rng.randrange(population) for _ in range(batch_size)]
+            batch = _lookup_batch_for(shard, keys)
+            # Every sample pays its own (deterministic) block reads: cached
+            # runs cost SSD reads, purged runs cost shared-storage fetches.
+            for run in shard.index.all_runs():
+                run.drop_decode_cache()
+            before = shard.hierarchy.stats.total_sim_ns
+            shard.index_batch_lookup(batch)
+            cost = (shard.hierarchy.stats.total_sim_ns - before) / batch_size
+            if mode == "none" and base is None:
+                base = cost
+            line.add(sample, cost)
+        series.append(line)
+    return ExperimentResult(
+        figure="Figure 14",
+        title="Lookup cost vs purge level",
+        x_label="sample number (time)",
+        y_label="simulated time per lookup",
+        series=series,
+        notes="normalized to the first no-purge sample; simulated tier "
+              "latency (deterministic)",
+    ).normalize_all(base if base else 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Figure 15 -- index evolve on/off
+# ---------------------------------------------------------------------------
+
+
+def fig15_evolve_impact(
+    cycles: int = 60,
+    records_per_cycle: int = 300,
+    post_groom_every: int = 10,
+    batch_size: int = 200,
+    sample_every: int = 5,
+) -> ExperimentResult:
+    """Lookup latency with the post-groomer (and index evolution) on/off.
+
+    Paper claim: evolve adds bounded overhead (cache misses after runs
+    move) but also reduces the total number of runs, keeping queries
+    healthy; disabling post-groom lets groomed runs accumulate.
+    """
+    series: List[Series] = []
+    base: Optional[float] = None
+    for mode in ("post-groom", "no post-groom"):
+        shard = make_iot_shard(post_groom_every=post_groom_every)
+        workload = IoTUpdateWorkload(records_per_cycle, update_percent=10, seed=5)
+        import random as _random
+
+        rng = _random.Random(53)
+        line = Series(mode)
+        for cycle in range(1, cycles + 1):
+            shard.ingest(_iot_rows(workload.next_cycle()))
+            if mode == "post-groom":
+                shard.tick()
+            else:
+                # groom + merge only; no post-groom, no evolve.
+                shard.groomer.groom()
+                shard.maintenance.step()
+            if cycle % sample_every != 0:
+                continue
+            population = workload.keys_ingested
+            keys = [rng.randrange(population) for _ in range(batch_size)]
+            batch = _lookup_batch_for(shard, keys)
+            start = time.perf_counter()
+            shard.index_batch_lookup(batch)
+            elapsed = (time.perf_counter() - start) / batch_size
+            if base is None:
+                base = elapsed  # first post-groom sample
+            line.add(cycle, elapsed)
+        series.append(line)
+    return ExperimentResult(
+        figure="Figure 15",
+        title="Impact of index evolve operations",
+        x_label="groom cycle",
+        y_label="time per lookup",
+        series=series,
+        notes="normalized to the first post-groom-enabled sample",
+    ).normalize_all(base if base else 1.0)
+
+
+__all__ = [
+    "DEFAULT_PURGE_MODES",
+    "DEFAULT_READER_COUNTS",
+    "DEFAULT_UPDATE_PERCENTS",
+    "fig12_concurrent_readers",
+    "fig13_update_rates",
+    "fig14_purge_levels",
+    "fig15_evolve_impact",
+    "make_iot_shard",
+]

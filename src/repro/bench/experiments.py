@@ -1,0 +1,356 @@
+"""Microbenchmark experiments: Figures 8, 9, 10, 11 of the paper.
+
+Scales are reduced from the paper's 1K-100M entries to laptop-Python
+ranges; the *shapes* under test are scale-free (linearity of build time,
+flatness of synopsis-pruned lookups, linear growth of unpruned ones).
+Every function returns an :class:`ExperimentResult` whose series carry the
+same normalization as the corresponding figure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.bench.fixtures import (
+    DEFINITIONS,
+    build_index_with_runs,
+    build_single_run,
+    entries_for_keys,
+)
+from repro.bench.harness import ExperimentResult, Series, measure_wall_s
+from repro.core.builder import RunBuilder
+from repro.core.entry import Zone
+from repro.core.query import ReconcileStrategy
+from repro.storage.hierarchy import StorageHierarchy
+from repro.workloads.generator import KeyMapper, KeyMode
+from repro.workloads.queries import QueryBatchGenerator
+
+DEFAULT_BUILD_SIZES = (1_000, 5_000, 20_000, 50_000)
+DEFAULT_RUN_SIZES = (1_000, 5_000, 20_000, 50_000)
+DEFAULT_BATCH_SIZES = (1, 10, 100, 1_000)
+DEFAULT_RUN_COUNTS = (1, 5, 10, 20)
+DEFAULT_SCAN_RANGES = (1, 10, 100, 1_000, 10_000)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 -- index building performance
+# ---------------------------------------------------------------------------
+
+
+def fig08_build(
+    sizes: Sequence[int] = DEFAULT_BUILD_SIZES, repeat: int = 3
+) -> ExperimentResult:
+    """Run-build time vs entry count for I1/I2/I3, normalized to (I1, min).
+
+    Paper claims: near-linear scaling; I3 fastest (one fewer key column);
+    column-count impact small next to sort cost.
+    """
+    series: List[Series] = []
+    base: Optional[float] = None
+    for label, make_def in DEFINITIONS:
+        definition = make_def()
+        mapper = KeyMapper(definition)
+        line = Series(label)
+        for n in sizes:
+            entries = entries_for_keys(definition, list(range(n)), mapper)
+
+            def build() -> None:
+                builder = RunBuilder(definition, StorageHierarchy())
+                builder.build("b", entries, Zone.GROOMED, 0, 0, 0)
+
+            elapsed = measure_wall_s(build, repeat)
+            if base is None:
+                base = elapsed  # (I1, smallest size)
+            line.add(n, elapsed)
+        series.append(line)
+    result = ExperimentResult(
+        figure="Figure 8",
+        title="Index building performance",
+        x_label="entries per run",
+        y_label="build time",
+        series=series,
+        notes="normalized to I1 at the smallest run size",
+    )
+    return result.normalize_all(base if base else 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 -- single-run query performance
+# ---------------------------------------------------------------------------
+
+
+def fig09_single_run(
+    sizes: Sequence[int] = DEFAULT_RUN_SIZES,
+    batch_size: int = 500,
+    repeat: int = 3,
+) -> List[ExperimentResult]:
+    """Batched lookups against one run, sequential (9a) and random (9b).
+
+    Paper claims: mild growth with run size (offset array + binary search
+    bound the work); I2 slower than I1/I3 (two equality columns make the
+    hash offset array less selective per column).
+    """
+    results = []
+    base: Optional[float] = None
+    for query_kind in ("sequential", "random"):
+        series: List[Series] = []
+        for label, make_def in DEFINITIONS:
+            definition = make_def()
+            mapper = KeyMapper(definition)
+            line = Series(label)
+            for n in sizes:
+                run, _ = build_single_run(definition, n, mapper)
+                from repro.core.query import QueryExecutor
+
+                executor = QueryExecutor(definition, lambda run=run: [run])
+                qgen = QueryBatchGenerator(mapper, key_population=n, seed=13)
+                make_batch = (
+                    qgen.sequential_batch
+                    if query_kind == "sequential"
+                    else qgen.random_batch
+                )
+                batch = make_batch(min(batch_size, n))
+
+                elapsed = measure_wall_s(
+                    lambda: executor.batch_lookup(batch), repeat
+                )
+                if base is None:
+                    base = elapsed  # (I1, smallest, sequential)
+                line.add(n, elapsed)
+            series.append(line)
+        results.append(
+            ExperimentResult(
+                figure=f"Figure 9{'a' if query_kind == 'sequential' else 'b'}",
+                title=f"Single-run lookups, {query_kind} query batch",
+                x_label="entries in run",
+                y_label="batch lookup time",
+                series=series,
+                notes="normalized to (I1, smallest run, sequential)",
+            ).normalize_all(base if base else 1.0)
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figures 10 and 11 -- multi-run query performance
+# ---------------------------------------------------------------------------
+
+
+def _multi_run_batch_sweep(
+    key_mode: KeyMode,
+    figure: str,
+    batch_sizes: Sequence[int],
+    num_runs: int,
+    entries_per_run: int,
+    repeat: int,
+) -> ExperimentResult:
+    definition = DEFINITIONS[0][1]()  # I1 is the paper's default
+    mapper = KeyMapper(definition)
+    index = build_index_with_runs(
+        definition, num_runs, entries_per_run, key_mode, mapper
+    )
+    population = num_runs * entries_per_run
+    series = []
+    base: Optional[float] = None
+    for query_kind in ("sequential", "random"):
+        line = Series(f"{query_kind} query")
+        for batch_size in batch_sizes:
+            qgen = QueryBatchGenerator(mapper, population, seed=29)
+            make_batch = (
+                qgen.sequential_batch
+                if query_kind == "sequential"
+                else qgen.random_batch
+            )
+            batch = make_batch(batch_size)
+
+            def op(batch=batch):
+                # Cold decode caches per measurement: both query kinds pay
+                # their own block fetches (warm caches would bill all I/O
+                # to whichever series is measured first).
+                for run in index.all_runs():
+                    run.drop_decode_cache()
+                index.batch_lookup(batch)
+
+            per_key = measure_wall_s(op, repeat) / batch_size
+            if base is None:
+                base = per_key  # sequential, batch size 1
+            line.add(batch_size, per_key)
+        series.append(line)
+    return ExperimentResult(
+        figure=figure,
+        title=f"Per-key lookup time vs batch size ({key_mode.value} ingest)",
+        x_label="lookup batch size",
+        y_label="time per key",
+        series=series,
+        notes="normalized to the sequential query at batch size 1",
+    ).normalize_all(base if base else 1.0)
+
+
+def _multi_run_runcount_sweep(
+    key_mode: KeyMode,
+    figure: str,
+    run_counts: Sequence[int],
+    entries_per_run: int,
+    batch_size: int,
+    repeat: int,
+) -> ExperimentResult:
+    definition = DEFINITIONS[0][1]()
+    mapper = KeyMapper(definition)
+    series = []
+    base: Optional[float] = None
+    for query_kind in ("sequential", "random"):
+        line = Series(f"{query_kind} query")
+        for num_runs in run_counts:
+            index = build_index_with_runs(
+                definition, num_runs, entries_per_run, key_mode, mapper
+            )
+            population = num_runs * entries_per_run
+            qgen = QueryBatchGenerator(mapper, population, seed=31)
+            make_batch = (
+                qgen.sequential_batch
+                if query_kind == "sequential"
+                else qgen.random_batch
+            )
+            batch = make_batch(batch_size)
+
+            def op(index=index, batch=batch):
+                for run in index.all_runs():
+                    run.drop_decode_cache()
+                index.batch_lookup(batch)
+
+            elapsed = measure_wall_s(op, repeat)
+            if base is None:
+                base = elapsed  # sequential at one run
+            line.add(num_runs, elapsed)
+        series.append(line)
+    return ExperimentResult(
+        figure=figure,
+        title=f"Lookup time vs number of runs ({key_mode.value} ingest)",
+        x_label="# index runs",
+        y_label="batch lookup time",
+        series=series,
+        notes="normalized to the sequential query against one run",
+    ).normalize_all(base if base else 1.0)
+
+
+def _multi_run_scan_sweep(
+    key_mode: KeyMode,
+    figure: str,
+    scan_ranges: Sequence[int],
+    num_runs: int,
+    entries_per_run: int,
+    repeat: int,
+) -> ExperimentResult:
+    definition = DEFINITIONS[0][1]()
+    total = num_runs * entries_per_run
+    # spread = whole population: one device, sort column spans all keys, so
+    # scan ranges up to max(scan_ranges) have matching keys.
+    mapper = KeyMapper(definition, spread=total)
+    index = build_index_with_runs(
+        definition, num_runs, entries_per_run, key_mode, mapper
+    )
+    series = []
+    base: Optional[float] = None
+    for query_kind in ("sequential", "random"):
+        line = Series(f"{query_kind} query")
+        for scan_range in scan_ranges:
+            qgen = QueryBatchGenerator(mapper, total, seed=37)
+            make_scan = (
+                qgen.sequential_scan
+                if query_kind == "sequential"
+                else qgen.random_scan
+            )
+            scan = make_scan(scan_range)
+
+            def op(scan=scan):
+                for run in index.all_runs():
+                    run.drop_decode_cache()
+                index.range_scan(scan, ReconcileStrategy.PRIORITY_QUEUE)
+
+            elapsed = measure_wall_s(op, repeat)
+            if base is None:
+                base = elapsed  # sequential at range 1
+            line.add(scan_range, elapsed)
+        series.append(line)
+    return ExperimentResult(
+        figure=figure,
+        title=f"Range-scan time vs range ({key_mode.value} ingest, priority queue)",
+        x_label="scan range size",
+        y_label="scan time",
+        series=series,
+        notes="normalized to the sequential query at range 1",
+    ).normalize_all(base if base else 1.0)
+
+
+def fig10_sequential_ingest(
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    run_counts: Sequence[int] = DEFAULT_RUN_COUNTS,
+    scan_ranges: Sequence[int] = DEFAULT_SCAN_RANGES,
+    num_runs: int = 20,
+    entries_per_run: int = 5_000,
+    repeat: int = 3,
+) -> List[ExperimentResult]:
+    """Figure 10: multi-run queries over sequentially ingested keys.
+
+    Paper claims: (a) sequential batches beat random ones (synopsis prunes
+    runs) and batching amortizes block fetches; (b) run count barely moves
+    sequential queries but grows random ones ~linearly; (c) scan time grows
+    linearly with range, sequential ~ random.
+    """
+    return [
+        _multi_run_batch_sweep(
+            KeyMode.SEQUENTIAL, "Figure 10a", batch_sizes, num_runs,
+            entries_per_run, repeat,
+        ),
+        _multi_run_runcount_sweep(
+            KeyMode.SEQUENTIAL, "Figure 10b", run_counts, entries_per_run,
+            500, repeat,
+        ),
+        _multi_run_scan_sweep(
+            KeyMode.SEQUENTIAL, "Figure 10c", scan_ranges, num_runs,
+            entries_per_run, repeat,
+        ),
+    ]
+
+
+def fig11_random_ingest(
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    run_counts: Sequence[int] = DEFAULT_RUN_COUNTS,
+    scan_ranges: Sequence[int] = DEFAULT_SCAN_RANGES,
+    num_runs: int = 20,
+    entries_per_run: int = 5_000,
+    repeat: int = 3,
+) -> List[ExperimentResult]:
+    """Figure 11: same sweeps over randomly ingested keys.
+
+    Paper claims: random ingest defeats the synopsis, so sequential queries
+    lose their advantage and behave like random ones.
+    """
+    return [
+        _multi_run_batch_sweep(
+            KeyMode.RANDOM, "Figure 11a", batch_sizes, num_runs,
+            entries_per_run, repeat,
+        ),
+        _multi_run_runcount_sweep(
+            KeyMode.RANDOM, "Figure 11b", run_counts, entries_per_run,
+            500, repeat,
+        ),
+        _multi_run_scan_sweep(
+            KeyMode.RANDOM, "Figure 11c", scan_ranges, num_runs,
+            entries_per_run, repeat,
+        ),
+    ]
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZES",
+    "DEFAULT_BUILD_SIZES",
+    "DEFAULT_RUN_COUNTS",
+    "DEFAULT_RUN_SIZES",
+    "DEFAULT_SCAN_RANGES",
+    "fig08_build",
+    "fig09_single_run",
+    "fig10_sequential_ingest",
+    "fig11_random_ingest",
+]

@@ -1,0 +1,114 @@
+"""Shared builders for benchmark experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.builder import RunBuilder
+from repro.core.definition import (
+    IndexDefinition,
+    i1_definition,
+    i2_definition,
+    i3_definition,
+)
+from repro.core.entry import IndexEntry, RID, Zone
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.levels import LevelConfig
+from repro.core.run import IndexRun
+from repro.storage.hierarchy import StorageHierarchy
+from repro.workloads.generator import KeyGenerator, KeyMapper, KeyMode
+
+DEFINITIONS: List[Tuple[str, Callable[[], IndexDefinition]]] = [
+    ("I1", i1_definition),
+    ("I2", i2_definition),
+    ("I3", i3_definition),
+]
+
+
+def entries_for_keys(
+    definition: IndexDefinition,
+    keys: List[int],
+    mapper: Optional[KeyMapper] = None,
+    ts_start: int = 1,
+    zone: Zone = Zone.GROOMED,
+    block_id: int = 0,
+) -> List[IndexEntry]:
+    """Index entries for abstract keys, beginTS following ingest order."""
+    mapper = mapper if mapper is not None else KeyMapper(definition)
+    entries = []
+    for i, k in enumerate(keys):
+        eq = mapper.equality_values(k)
+        sort = mapper.sort_values(k)
+        incl = mapper.include_values(k)
+        entries.append(
+            IndexEntry.create(
+                definition, eq, sort, incl, ts_start + i, RID(zone, block_id, i)
+            )
+        )
+    return entries
+
+
+def build_single_run(
+    definition: IndexDefinition,
+    n: int,
+    mapper: Optional[KeyMapper] = None,
+    data_block_bytes: int = 32 * 1024,
+) -> Tuple[IndexRun, StorageHierarchy]:
+    """One run of ``n`` sequentially-keyed entries."""
+    hierarchy = StorageHierarchy()
+    builder = RunBuilder(definition, hierarchy, data_block_bytes)
+    entries = entries_for_keys(definition, list(range(n)), mapper)
+    run = builder.build("bench-run", entries, Zone.GROOMED, 0, 0, 0)
+    return run, hierarchy
+
+
+def build_index_with_runs(
+    definition: IndexDefinition,
+    num_runs: int,
+    entries_per_run: int,
+    key_mode: KeyMode = KeyMode.SEQUENTIAL,
+    mapper: Optional[KeyMapper] = None,
+    seed: int = 7,
+    merge: bool = False,
+) -> UmziIndex:
+    """An index holding ``num_runs`` level-0 runs (paper section 8.3 setup:
+    'an index contains 20 runs, where each index run has 100000 entries').
+
+    Sequential mode gives each run a disjoint key range (time-correlated
+    ingest); random mode samples every run's keys uniformly from the whole
+    key space, so run synopses stop pruning.
+    """
+    total = num_runs * entries_per_run
+    levels = LevelConfig(
+        groomed_levels=4, post_groomed_levels=3,
+        max_runs_per_level=max(num_runs + 1, 4), size_ratio=4,
+    )
+    index = UmziIndex(
+        definition,
+        config=UmziConfig(name=f"bench-{key_mode.value}", levels=levels),
+    )
+    mapper = mapper if mapper is not None else KeyMapper(definition)
+    generator = KeyGenerator(key_mode, seed=seed, key_space=total)
+    ts = 1
+    for gid in range(num_runs):
+        if key_mode is KeyMode.SEQUENTIAL:
+            keys = list(range(gid * entries_per_run, (gid + 1) * entries_per_run))
+        else:
+            keys = generator.next_batch(entries_per_run)
+        index.add_groomed_run(
+            entries_for_keys(definition, keys, mapper, ts_start=ts, block_id=gid),
+            gid, gid,
+        )
+        ts += entries_per_run
+    if merge:
+        index.run_maintenance()
+    return index
+
+
+__all__ = [
+    "DEFINITIONS",
+    "build_index_with_runs",
+    "build_single_run",
+    "entries_for_keys",
+]

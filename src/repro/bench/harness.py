@@ -1,0 +1,169 @@
+"""Sweep, normalization, and reporting machinery for the experiments."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def measure_wall_s(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeat`` invocations."""
+    times = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+@dataclass
+class Series:
+    """One line of a figure: label plus (x, y) points."""
+
+    label: str
+    points: List[Tuple[object, float]] = field(default_factory=list)
+
+    def add(self, x: object, y: float) -> None:
+        self.points.append((x, y))
+
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+    def normalized(self, base: float) -> "Series":
+        if base <= 0:
+            raise ValueError(f"normalization base must be positive, got {base}")
+        return Series(
+            self.label, [(x, y / base) for x, y in self.points]
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """A figure-shaped result: several series over a shared x-axis."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series]
+    notes: str = ""
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in {self.figure}")
+
+    def normalize_all(self, base: float) -> "ExperimentResult":
+        return ExperimentResult(
+            figure=self.figure,
+            title=self.title,
+            x_label=self.x_label,
+            y_label=f"{self.y_label} (normalized)",
+            series=[s.normalized(base) for s in self.series],
+            notes=self.notes,
+        )
+
+    # -- reporting -----------------------------------------------------------------
+
+    def format_table(self) -> str:
+        """A figure-shaped text table: one row per x, one column per series."""
+        xs: List[object] = []
+        for s in self.series:
+            for x, _ in s.points:
+                if x not in xs:
+                    xs.append(x)
+        lines = [
+            f"== {self.figure}: {self.title} ==",
+            f"   y = {self.y_label}",
+        ]
+        if self.notes:
+            lines.append(f"   {self.notes}")
+        header = f"{self.x_label:>16} | " + " | ".join(
+            f"{s.label:>14}" for s in self.series
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        lookup = {
+            (s.label, x): y for s in self.series for x, y in s.points
+        }
+        for x in xs:
+            cells = []
+            for s in self.series:
+                y = lookup.get((s.label, x))
+                cells.append(f"{y:>14.4f}" if y is not None else " " * 14)
+            lines.append(f"{str(x):>16} | " + " | ".join(cells))
+        return "\n".join(lines)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.format_table() + "\n")
+
+
+# ---------------------------------------------------------------------------
+# shape assertions -- the reproduction's notion of "matching the paper"
+# ---------------------------------------------------------------------------
+
+
+def assert_monotone_increase(
+    values: Sequence[float], slack: float = 1.10, label: str = ""
+) -> None:
+    """Each value may dip at most ``slack``-fold below the running max."""
+    running = 0.0
+    for value in values:
+        assert value >= running / slack, (
+            f"{label}: expected (noisily) increasing series, got {list(values)}"
+        )
+        running = max(running, value)
+
+
+def assert_roughly_linear(
+    xs: Sequence[float], ys: Sequence[float], tolerance: float = 4.0,
+    label: str = "",
+) -> None:
+    """y grows within ``tolerance`` of proportionally to x (log-log slope
+    sanity, endpoints only -- robust to interpreter noise)."""
+    assert len(xs) == len(ys) and len(xs) >= 2
+    x_ratio = xs[-1] / xs[0]
+    y_ratio = ys[-1] / max(ys[0], 1e-12)
+    assert x_ratio / tolerance <= y_ratio <= x_ratio * tolerance, (
+        f"{label}: expected ~linear growth; x grew {x_ratio:.1f}x, "
+        f"y grew {y_ratio:.1f}x"
+    )
+
+
+def assert_flat_within(
+    values: Sequence[float], factor: float, label: str = ""
+) -> None:
+    """max/min stays under ``factor`` -- the paper's 'limited impact'."""
+    low, high = min(values), max(values)
+    assert high <= low * factor, (
+        f"{label}: expected flat within {factor}x, got spread "
+        f"{high / max(low, 1e-12):.2f}x ({list(values)})"
+    )
+
+
+def assert_dominates(
+    slower: Sequence[float], faster: Sequence[float], min_ratio: float = 1.0,
+    label: str = "",
+) -> None:
+    """Pointwise: ``slower`` >= ``faster`` * min_ratio (who-wins claims)."""
+    assert len(slower) == len(faster)
+    for s, f in zip(slower, faster):
+        assert s >= f * min_ratio, (
+            f"{label}: expected first series slower by >= {min_ratio}x "
+            f"everywhere; got {s:.4g} vs {f:.4g}"
+        )
+
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "assert_dominates",
+    "assert_flat_within",
+    "assert_monotone_increase",
+    "assert_roughly_linear",
+    "measure_wall_s",
+]

@@ -1,0 +1,168 @@
+"""Command-line experiment runner.
+
+Regenerates every paper figure (and optionally the ablations) without
+pytest, writing the normalized tables to a results directory:
+
+    python -m repro.bench.run --out results/ --quick
+    python -m repro.bench.run --figures 8 9 14 --ablations
+
+``--quick`` shrinks the sweeps (~1 minute total); the default scales match
+the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.bench import ablations, endtoend, experiments
+from repro.bench.harness import ExperimentResult
+
+
+def _flatten(result) -> List[ExperimentResult]:
+    if isinstance(result, ExperimentResult):
+        return [result]
+    return list(result)
+
+
+def _figure_runners(quick: bool) -> Dict[str, Callable[[], List[ExperimentResult]]]:
+    scale = 0.2 if quick else 1.0
+
+    def sizes(values):
+        return tuple(max(200, int(v * scale)) for v in values)
+
+    return {
+        "8": lambda: _flatten(
+            experiments.fig08_build(sizes=sizes((1_000, 5_000, 20_000)), repeat=1)
+        ),
+        "9": lambda: _flatten(
+            experiments.fig09_single_run(
+                sizes=sizes((1_000, 5_000, 20_000)),
+                batch_size=200 if quick else 500, repeat=1,
+            )
+        ),
+        "10": lambda: _flatten(
+            experiments.fig10_sequential_ingest(
+                num_runs=10 if quick else 20,
+                entries_per_run=1_000 if quick else 3_000,
+                repeat=1,
+            )
+        ),
+        "11": lambda: _flatten(
+            experiments.fig11_random_ingest(
+                num_runs=10 if quick else 20,
+                entries_per_run=1_000 if quick else 3_000,
+                repeat=1,
+            )
+        ),
+        "12": lambda: _flatten(
+            endtoend.fig12_concurrent_readers(
+                reader_counts=(1, 2) if quick else (1, 2, 4),
+                warmup_cycles=10 if quick else 30,
+                records_per_cycle=150 if quick else 300,
+                batches_per_reader=5 if quick else 12,
+                batch_size=50,
+            )
+        ),
+        "13": lambda: _flatten(
+            endtoend.fig13_update_rates(
+                update_percents=(0, 100) if quick else (0, 20, 40, 60, 80, 100),
+                cycles=20 if quick else 40,
+                records_per_cycle=150 if quick else 300,
+            )
+        ),
+        "14": lambda: _flatten(
+            endtoend.fig14_purge_levels(
+                cycles=25 if quick else 35,
+                records_per_cycle=150 if quick else 300,
+            )
+        ),
+        "15": lambda: _flatten(
+            endtoend.fig15_evolve_impact(
+                cycles=30 if quick else 60,
+                records_per_cycle=150 if quick else 300,
+            )
+        ),
+    }
+
+
+def _ablation_runners(quick: bool) -> Dict[str, Callable[[], List[ExperimentResult]]]:
+    return {
+        "A1": lambda: _flatten(
+            ablations.ablation_reconcile_strategies(
+                num_runs=6 if quick else 10,
+                entries_per_run=1_000 if quick else 5_000, repeat=1,
+            )
+        ),
+        "A2": lambda: _flatten(
+            ablations.ablation_offset_array(
+                run_sizes=(1_000, 10_000) if quick else (1_000, 10_000, 50_000),
+                repeat=1,
+            )
+        ),
+        "A3": lambda: _flatten(
+            ablations.ablation_merge_policy(
+                runs_to_ingest=8 if quick else 16,
+                entries_per_run=1_000 if quick else 2_000,
+            )
+        ),
+        "A4": lambda: _flatten(
+            ablations.ablation_unified_vs_divided(
+                num_keys=4_000 if quick else 20_000, repeat=1
+            )
+        ),
+        "A5": lambda: _flatten(
+            ablations.ablation_evolve_vs_rebuild(
+                num_keys=4_000 if quick else 10_000
+            )
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the Umzi paper's evaluation figures."
+    )
+    parser.add_argument(
+        "--figures", nargs="*", default=None,
+        help="figure numbers to run (default: all of 8..15)",
+    )
+    parser.add_argument(
+        "--ablations", action="store_true", help="also run ablations A1-A5"
+    )
+    parser.add_argument("--out", default="benchmarks/results")
+    parser.add_argument(
+        "--quick", action="store_true", help="small sweeps (~1 minute total)"
+    )
+    args = parser.parse_args(argv)
+
+    runners = _figure_runners(args.quick)
+    wanted = args.figures if args.figures else sorted(runners, key=int)
+    jobs: List = []
+    for figure in wanted:
+        if figure not in runners:
+            parser.error(f"unknown figure {figure!r}; choose from {sorted(runners)}")
+        jobs.append((f"Figure {figure}", runners[figure]))
+    if args.ablations:
+        for name, runner in _ablation_runners(args.quick).items():
+            jobs.append((name, runner))
+
+    os.makedirs(args.out, exist_ok=True)
+    for label, runner in jobs:
+        start = time.perf_counter()
+        print(f"[{label}] running ...", flush=True)
+        for result in runner():
+            print(result.format_table())
+            print()
+            slug = result.figure.lower().replace(" ", "_")
+            result.save(os.path.join(args.out, f"{slug}.txt"))
+        print(f"[{label}] done in {time.perf_counter() - start:.1f}s\n")
+    print(f"tables written to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

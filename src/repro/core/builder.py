@@ -1,0 +1,213 @@
+"""Building index runs (paper section 5.2).
+
+Index build "is done by simply scanning the data block and sorting index
+entries" in run order, writing fixed-size data blocks and computing the
+offset array on the fly.  The builder is the single primitive shared by
+index build (after a groom), merge, and evolve -- they differ only in where
+the input entries come from and which level/zone the run lands in.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.definition import IndexDefinition
+from repro.core.entry import IndexEntry, Zone
+from repro.core.run import (
+    DataBlockMeta,
+    IndexRun,
+    RunHeader,
+    Synopsis,
+    encode_data_block,
+)
+from repro.core.encoding import high_bits
+from repro.storage.block import Block, BlockId
+from repro.storage.hierarchy import StorageHierarchy
+
+DEFAULT_DATA_BLOCK_BYTES = 32 * 1024
+
+
+class RunBuilder:
+    """Builds one immutable run from a bag of entries.
+
+    Parameters
+    ----------
+    definition:
+        Index shape; controls entry order, offset array and synopsis.
+    hierarchy:
+        Storage to write blocks into.
+    data_block_bytes:
+        Target data-block size.  Shared storage prefers few large blocks;
+        benchmarks default to 32 KiB scaled-down blocks.
+    """
+
+    def __init__(
+        self,
+        definition: IndexDefinition,
+        hierarchy: StorageHierarchy,
+        data_block_bytes: int = DEFAULT_DATA_BLOCK_BYTES,
+        bloom_fpr: Optional[float] = None,
+    ) -> None:
+        if data_block_bytes <= 0:
+            raise ValueError("data_block_bytes must be positive")
+        self.definition = definition
+        self.hierarchy = hierarchy
+        self.data_block_bytes = data_block_bytes
+        # When set, every built run carries a Bloom filter over its
+        # distinct key bytes with this false-positive rate (extension).
+        self.bloom_fpr = bloom_fpr
+
+    # -- entry ordering -----------------------------------------------------------
+
+    def sort_entries(self, entries: Iterable[IndexEntry]) -> List[IndexEntry]:
+        """Sort into run order: hash | eq cols | sort cols | beginTS desc."""
+        definition = self.definition
+        return sorted(entries, key=lambda e: e.sort_key(definition))
+
+    # -- offset array ----------------------------------------------------------------
+
+    def compute_offset_array(self, sorted_entries: Sequence[IndexEntry]) -> Tuple[int, ...]:
+        """``offset[b]`` = ordinal of the first entry with hash high-bits >= b.
+
+        Matches the paper's Figure 2b; ``offset_array_size`` buckets, and a
+        query for bucket ``i`` searches ``[offset[i], offset[i+1])`` (with
+        the entry count as the implicit final fence).
+        """
+        definition = self.definition
+        size = definition.offset_array_size
+        if size == 0:
+            return ()
+        nbits = definition.hash_bits
+        counts = [0] * size
+        for entry in sorted_entries:
+            counts[high_bits(entry.hash_value, nbits)] += 1
+        offsets: List[int] = []
+        running = 0
+        for bucket in range(size):
+            offsets.append(running)
+            running += counts[bucket]
+        return tuple(offsets)
+
+    # -- build -------------------------------------------------------------------------
+
+    def build(
+        self,
+        run_id: str,
+        entries: Iterable[IndexEntry],
+        zone: Zone,
+        level: int,
+        min_groomed_id: int,
+        max_groomed_id: int,
+        persisted: bool = True,
+        write_through_ssd: bool = True,
+        spill_to_ssd: bool = False,
+        ancestor_run_ids: Sequence[str] = (),
+        presorted: bool = False,
+    ) -> IndexRun:
+        """Sort, slice into data blocks, write, and return the run handle.
+
+        ``persisted`` selects the durable path (shared storage +
+        write-through SSD); non-persisted runs go to memory only (section
+        6.1), optionally spilling to SSD.
+        """
+        definition = self.definition
+        ordered = list(entries) if presorted else self.sort_entries(entries)
+        offset_array = self.compute_offset_array(ordered)
+        synopsis = Synopsis.from_entries(definition, ordered)
+
+        # Slice into data blocks of ~data_block_bytes each.
+        block_metas: List[DataBlockMeta] = []
+        block_payloads: List[bytes] = []
+        current: List[IndexEntry] = []
+        current_bytes = 0
+        for entry in ordered:
+            encoded_len = len(entry.to_bytes(definition))
+            if current and current_bytes + encoded_len > self.data_block_bytes:
+                self._seal_block(current, block_metas, block_payloads)
+                current = []
+                current_bytes = 0
+            current.append(entry)
+            current_bytes += encoded_len
+        if current:
+            self._seal_block(current, block_metas, block_payloads)
+
+        if ordered:
+            min_ts = min(e.begin_ts for e in ordered)
+            max_ts = max(e.begin_ts for e in ordered)
+        else:
+            min_ts = max_ts = 0
+
+        bloom_blob = None
+        if self.bloom_fpr is not None and ordered:
+            from repro.core.bloom import BloomFilter
+
+            distinct = {e.key_bytes(definition) for e in ordered}
+            bloom = BloomFilter.for_capacity(len(distinct), self.bloom_fpr)
+            bloom.add_all(distinct)
+            bloom_blob = bloom.to_bytes()
+
+        header = RunHeader(
+            run_id=run_id,
+            zone=zone,
+            level=level,
+            min_groomed_id=min_groomed_id,
+            max_groomed_id=max_groomed_id,
+            entry_count=len(ordered),
+            synopsis=synopsis,
+            offset_array=offset_array,
+            block_meta=tuple(block_metas),
+            min_begin_ts=min_ts,
+            max_begin_ts=max_ts,
+            persisted=persisted,
+            ancestor_run_ids=tuple(ancestor_run_ids),
+            bloom_blob=bloom_blob,
+        )
+
+        self._write_blocks(header, block_payloads, write_through_ssd, spill_to_ssd)
+        return IndexRun(definition, header, self.hierarchy)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _seal_block(
+        self,
+        entries: List[IndexEntry],
+        metas: List[DataBlockMeta],
+        payloads: List[bytes],
+    ) -> None:
+        payload = encode_data_block(self.definition, entries)
+        metas.append(
+            DataBlockMeta(
+                entry_count=len(entries),
+                first_sort_key=entries[0].sort_key(self.definition),
+                size_bytes=len(payload),
+            )
+        )
+        payloads.append(payload)
+
+    def _write_blocks(
+        self,
+        header: RunHeader,
+        payloads: List[bytes],
+        write_through_ssd: bool,
+        spill_to_ssd: bool,
+    ) -> None:
+        header_block = Block(
+            BlockId(header.run_id, 0), header.to_bytes(self.definition)
+        )
+        data_blocks = [
+            Block(BlockId(header.run_id, i + 1), payload)
+            for i, payload in enumerate(payloads)
+        ]
+        if header.persisted:
+            # Header goes first so a crash mid-write leaves a detectably
+            # incomplete run (recovery checks data blocks against the header).
+            self.hierarchy.write_persisted(header_block, write_through_ssd)
+            for block in data_blocks:
+                self.hierarchy.write_persisted(block, write_through_ssd)
+        else:
+            self.hierarchy.write_cached_only(header_block, spill_to_ssd)
+            for block in data_blocks:
+                self.hierarchy.write_cached_only(block, spill_to_ssd)
+
+
+__all__ = ["RunBuilder", "DEFAULT_DATA_BLOCK_BYTES"]

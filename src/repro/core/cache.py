@@ -1,0 +1,226 @@
+"""SSD cache management (paper section 6.2).
+
+Umzi "aggressively caches index runs using local memory and SSD, even
+without ongoing queries", assuming recent data is accessed more often.  The
+cache manager tracks the **current cached level**: runs at levels at or
+below it are cached on SSD; runs above it are *purged* -- their data blocks
+are dropped from the local tiers "while only [keeping] the header block for
+queries to locate data blocks".
+
+* When the SSD nears capacity, runs are purged starting from the current
+  cached level (old data first), and the level is decremented once all its
+  runs are purged.
+* When the SSD has room, runs are loaded back in the reverse direction and
+  the level is incremented once a level is fully cached.
+* New runs created by merge or evolve are written through to the SSD cache
+  iff their level is below (i.e. more recent than) the current cached level.
+* A query that had to touch a purged run releases those transient blocks
+  when it finishes.
+
+``set_cache_level`` provides the manual override the paper uses for the
+purge experiment (Figure 14).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.entry import Zone
+from repro.core.levels import LevelConfig
+from repro.core.run import IndexRun
+from repro.core.runlist import RunList
+from repro.storage.hierarchy import StorageHierarchy
+
+
+class CacheManager:
+    """Level-based purge/load policy over the storage hierarchy."""
+
+    def __init__(
+        self,
+        config: LevelConfig,
+        hierarchy: StorageHierarchy,
+        run_lists: Dict[Zone, RunList],
+        high_watermark: float = 0.85,
+        low_watermark: float = 0.60,
+    ) -> None:
+        if not 0.0 < low_watermark <= high_watermark <= 1.0:
+            raise ValueError("need 0 < low_watermark <= high_watermark <= 1")
+        self.config = config
+        self.hierarchy = hierarchy
+        self.run_lists = run_lists
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        # Everything cached initially; levels above this are purged.
+        self._current_cached_level = config.total_levels - 1
+        self._manual = False
+        self._lock = threading.Lock()
+
+    # -- state inspection ---------------------------------------------------------
+
+    @property
+    def current_cached_level(self) -> int:
+        return self._current_cached_level
+
+    def write_through(self, level: int) -> bool:
+        """Should a new run at ``level`` be written through to the SSD?"""
+        return level <= self._current_cached_level
+
+    def is_purged_level(self, level: int) -> bool:
+        return level > self._current_cached_level
+
+    def is_run_cached(self, run: IndexRun) -> bool:
+        """All data blocks locally present?"""
+        return all(
+            self.hierarchy.is_cached(run.data_block_id(i))
+            for i in range(run.header.num_data_blocks)
+        )
+
+    # -- run-granularity primitives --------------------------------------------------
+
+    def purge_run(self, run: IndexRun) -> int:
+        """Drop a run's data blocks from the local tiers; keep the header.
+
+        Non-persisted runs cannot be purged (the local copy is the only
+        copy); they return 0.
+        """
+        if not run.header.persisted:
+            return 0
+        dropped = 0
+        for i in range(run.header.num_data_blocks):
+            if self.hierarchy.drop_from_cache(run.data_block_id(i)):
+                dropped += 1
+        run.drop_decode_cache()
+        # Keep (or restore) the header block locally so queries can plan.
+        header_id = run.header_block_id()
+        if not self.hierarchy.is_cached(header_id):
+            self.hierarchy.load_into_cache(header_id)
+        return dropped
+
+    def load_run(self, run: IndexRun) -> bool:
+        """Fetch a run's data blocks from shared storage into the SSD."""
+        if not run.header.persisted:
+            return True  # already local by definition
+        total_needed = sum(
+            meta.size_bytes
+            for i, meta in enumerate(run.header.block_meta)
+            if not self.hierarchy.is_cached(run.data_block_id(i))
+        )
+        if not self.hierarchy.ssd.would_fit(total_needed):
+            return False
+        for i in range(run.header.num_data_blocks):
+            block_id = run.data_block_id(i)
+            if not self.hierarchy.is_cached(block_id):
+                self.hierarchy.load_into_cache(block_id)
+        return True
+
+    def release_after_query(self, touched_purged_runs: Iterable[IndexRun]) -> None:
+        """Drop transient blocks a query pulled in from purged runs."""
+        for run in touched_purged_runs:
+            if self.is_purged_level(run.level):
+                for i in range(run.header.num_data_blocks):
+                    self.hierarchy.drop_from_cache(run.data_block_id(i))
+                run.drop_decode_cache()
+
+    # -- the dynamic policy --------------------------------------------------------------
+
+    def maintain(self) -> None:
+        """One maintenance pass: purge under pressure, load when spacious.
+
+        No-op when the SSD is unbounded or a manual cache level is pinned
+        (Figure 14 mode).
+        """
+        if self._manual or self.hierarchy.ssd.capacity_bytes is None:
+            return
+        with self._lock:
+            if self.hierarchy.ssd.utilization() >= self.high_watermark:
+                self._purge_pass()
+            elif self.hierarchy.ssd.utilization() < self.low_watermark:
+                self._load_pass()
+
+    def _runs_at_level(self, level: int) -> List[IndexRun]:
+        zone = self.config.zone_of(level)
+        return [
+            run for run in self.run_lists[zone].iter_runs() if run.level == level
+        ]
+
+    def _purge_pass(self) -> None:
+        """Purge oldest-first until below the high watermark."""
+        while (
+            self.hierarchy.ssd.utilization() >= self.high_watermark
+            and self._current_cached_level >= 0
+        ):
+            runs = self._runs_at_level(self._current_cached_level)
+            # Oldest runs first (tail of the newest-first list order).
+            progress = False
+            for run in reversed(runs):
+                if run.header.persisted and self.is_run_cached(run):
+                    self.purge_run(run)
+                    progress = True
+                    if self.hierarchy.ssd.utilization() < self.high_watermark:
+                        return
+            if not progress:
+                # Level fully purged: decrement the current cached level.
+                if self._current_cached_level == 0:
+                    return  # never purge below level 0 entirely automatically
+                self._current_cached_level -= 1
+
+    def _load_pass(self) -> None:
+        """Load recent-first in the reverse direction of purging."""
+        while (
+            self.hierarchy.ssd.utilization() < self.low_watermark
+            and self._current_cached_level < self.config.total_levels - 1
+        ):
+            next_level = self._current_cached_level + 1
+            runs = self._runs_at_level(next_level)
+            all_cached = True
+            for run in runs:  # newest first
+                if not self.is_run_cached(run):
+                    if not self.load_run(run):
+                        return  # out of space; stop loading
+                    if self.hierarchy.ssd.utilization() >= self.low_watermark:
+                        all_cached = self.is_run_cached(run) and run is runs[-1]
+                        break
+            if all_cached or all(self.is_run_cached(r) for r in runs):
+                self._current_cached_level = next_level
+            else:
+                return
+
+    # -- manual control (Figure 14) ----------------------------------------------------------
+
+    def set_cache_level(self, level: int) -> None:
+        """Pin the cached/purged boundary: purge everything above ``level``,
+        load everything at or below it, and disable the dynamic policy."""
+        if not -1 <= level <= self.config.total_levels - 1:
+            raise ValueError(
+                f"cache level must be in [-1, {self.config.total_levels - 1}]"
+            )
+        with self._lock:
+            self._manual = True
+            self._current_cached_level = level
+            for lvl in range(self.config.total_levels - 1, level, -1):
+                for run in self._runs_at_level(lvl):
+                    self.purge_run(run)
+            for lvl in range(0, level + 1):
+                for run in self._runs_at_level(lvl):
+                    self.load_run(run)
+
+    def resume_dynamic_policy(self) -> None:
+        with self._lock:
+            self._manual = False
+
+    def cached_fraction(self) -> float:
+        """Fraction of persisted runs whose data is fully cached."""
+        runs = [
+            run
+            for zone in (Zone.GROOMED, Zone.POST_GROOMED)
+            for run in self.run_lists[zone].iter_runs()
+            if run.header.persisted
+        ]
+        if not runs:
+            return 1.0
+        cached = sum(1 for run in runs if self.is_run_cached(run))
+        return cached / len(runs)
+
+
+__all__ = ["CacheManager"]

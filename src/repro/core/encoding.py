@@ -1,0 +1,272 @@
+"""Order-preserving (memcmp-comparable) key encodings.
+
+Paper section 4.2: "All ordering columns, i.e., the hash column, equality
+columns, sort columns and beginTS, are stored in lexicographically
+comparable formats, similar to LevelDB, so that keys can be compared by
+simply using memory compare operations."
+
+This module provides exactly that: every supported column type encodes to
+``bytes`` such that ``encode(a) < encode(b)`` iff ``a < b`` under the
+type's natural order.  ``beginTS`` is stored *descending* (section 4.2
+sorts beginTS in descending order to put the newest version first), which
+is achieved by encoding its bitwise complement.
+
+Encodings
+---------
+* signed 64-bit int  -> 8 bytes big-endian with the sign bit flipped;
+* float              -> 8 bytes of the IEEE-754 image, sign-adjusted so the
+  byte order matches numeric order (standard trick used by key-value
+  stores);
+* str                -> UTF-8 with ``0x00`` escaped as ``0x00 0xFF`` and a
+  ``0x00 0x00`` terminator, so variable-length strings compare correctly
+  inside composite keys;
+* bytes              -> same escape/terminator scheme as str.
+
+The hash column uses 64-bit FNV-1a -- deterministic across processes
+(unlike Python's builtin ``hash``), cheap, and well-spread in the high
+bits, which is what the offset array consumes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple, Union
+
+KeyValue = Union[int, float, str, bytes]
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+UINT64_MAX = (1 << 64) - 1
+
+_STRING_TERMINATOR = b"\x00\x00"
+_STRING_ESCAPED_ZERO = b"\x00\xff"
+
+_FNV64_OFFSET = 0xCBF29CE484222325
+_FNV64_PRIME = 0x100000001B3
+
+
+class EncodingError(ValueError):
+    """Raised for values outside the encodable domain."""
+
+
+# ---------------------------------------------------------------------------
+# scalar encodings
+# ---------------------------------------------------------------------------
+
+
+def encode_int64(value: int) -> bytes:
+    """Encode a signed 64-bit integer; big-endian with flipped sign bit."""
+    if not INT64_MIN <= value <= INT64_MAX:
+        raise EncodingError(f"integer {value} outside signed 64-bit range")
+    return struct.pack(">Q", (value + (1 << 63)) & UINT64_MAX)
+
+
+def decode_int64(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode an int64; returns ``(value, next_offset)``."""
+    (raw,) = struct.unpack_from(">Q", data, offset)
+    return raw - (1 << 63), offset + 8
+
+
+def encode_uint64(value: int) -> bytes:
+    """Encode an unsigned 64-bit integer (used for hashes and timestamps)."""
+    if not 0 <= value <= UINT64_MAX:
+        raise EncodingError(f"integer {value} outside unsigned 64-bit range")
+    return struct.pack(">Q", value)
+
+
+def decode_uint64(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    (value,) = struct.unpack_from(">Q", data, offset)
+    return value, offset + 8
+
+
+def encode_float64(value: float) -> bytes:
+    """Encode a float so byte order equals numeric order.
+
+    Positive floats: flip the sign bit.  Negative floats: flip all bits.
+    NaN is rejected -- it has no place in an ordered index key.
+    """
+    if value != value:  # NaN
+        raise EncodingError("NaN is not orderable and cannot be an index key")
+    if value == 0.0:
+        value = 0.0  # normalize -0.0: equal values must encode equally
+    (raw,) = struct.unpack(">Q", struct.pack(">d", value))
+    if raw & (1 << 63):
+        raw ^= UINT64_MAX
+    else:
+        raw ^= 1 << 63
+    return struct.pack(">Q", raw)
+
+
+def decode_float64(data: bytes, offset: int = 0) -> Tuple[float, int]:
+    (raw,) = struct.unpack_from(">Q", data, offset)
+    if raw & (1 << 63):
+        raw ^= 1 << 63
+    else:
+        raw ^= UINT64_MAX
+    (value,) = struct.unpack(">d", struct.pack(">Q", raw))
+    return value, offset + 8
+
+
+def encode_bytes(value: bytes) -> bytes:
+    """Escape-and-terminate encoding for variable-length byte strings."""
+    return value.replace(b"\x00", _STRING_ESCAPED_ZERO) + _STRING_TERMINATOR
+
+
+def decode_bytes(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    out = bytearray()
+    i = offset
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        if byte == 0x00:
+            if i + 1 >= n:
+                raise EncodingError("truncated escaped byte string")
+            nxt = data[i + 1]
+            if nxt == 0x00:
+                return bytes(out), i + 2
+            if nxt == 0xFF:
+                out.append(0x00)
+                i += 2
+                continue
+            raise EncodingError(f"invalid escape 0x00 0x{nxt:02x}")
+        out.append(byte)
+        i += 1
+    raise EncodingError("unterminated byte string")
+
+
+def encode_str(value: str) -> bytes:
+    return encode_bytes(value.encode("utf-8"))
+
+
+def decode_str(data: bytes, offset: int = 0) -> Tuple[str, int]:
+    raw, nxt = decode_bytes(data, offset)
+    return raw.decode("utf-8"), nxt
+
+
+# ---------------------------------------------------------------------------
+# descending timestamps
+# ---------------------------------------------------------------------------
+
+
+def encode_ts_desc(timestamp: int) -> bytes:
+    """Encode ``beginTS`` so larger (newer) timestamps sort *first*."""
+    if not 0 <= timestamp <= UINT64_MAX:
+        raise EncodingError(f"timestamp {timestamp} outside unsigned 64-bit range")
+    return struct.pack(">Q", UINT64_MAX - timestamp)
+
+
+def decode_ts_desc(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    (raw,) = struct.unpack_from(">Q", data, offset)
+    return UINT64_MAX - raw, offset + 8
+
+
+# ---------------------------------------------------------------------------
+# hashing
+# ---------------------------------------------------------------------------
+
+
+def fnv1a64(data: bytes) -> int:
+    """64-bit FNV-1a -- the deterministic hash for equality columns."""
+    value = _FNV64_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV64_PRIME) & UINT64_MAX
+    return value
+
+
+def _fmix64(value: int) -> int:
+    """MurmurHash3's 64-bit avalanche finalizer.
+
+    FNV-1a alone diffuses short inputs poorly into the *high* bits (all
+    contiguous int64 keys share the same top byte), and the offset array
+    consumes exactly those bits (paper section 4.2: "the most significant
+    n bits of hash values").  The finalizer gives every bucket entropy.
+    """
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & UINT64_MAX
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & UINT64_MAX
+    value ^= value >> 33
+    return value
+
+
+def hash_values(encoded_values: Iterable[bytes]) -> int:
+    """Hash the concatenated encodings of the equality-column values."""
+    return _fmix64(fnv1a64(b"".join(encoded_values)))
+
+
+def high_bits(hash_value: int, nbits: int) -> int:
+    """The most significant ``nbits`` of a 64-bit hash (offset-array bucket)."""
+    if not 0 < nbits <= 64:
+        raise EncodingError(f"nbits must be in (0, 64], got {nbits}")
+    return hash_value >> (64 - nbits)
+
+
+# ---------------------------------------------------------------------------
+# composite keys
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: KeyValue) -> bytes:
+    """Encode one scalar by its runtime type.
+
+    Mixed types within one column are rejected at the
+    :class:`~repro.core.definition.IndexDefinition` layer; this function is
+    the low-level dispatch used once the type is known valid.
+    """
+    if isinstance(value, bool):
+        # bool is an int subclass; keep it orderable but explicit.
+        return encode_int64(int(value))
+    if isinstance(value, int):
+        return encode_int64(value)
+    if isinstance(value, float):
+        return encode_float64(value)
+    if isinstance(value, str):
+        return encode_str(value)
+    if isinstance(value, bytes):
+        return encode_bytes(value)
+    raise EncodingError(f"unsupported key type {type(value).__name__}")
+
+
+def encode_composite(values: Sequence[KeyValue]) -> bytes:
+    """Concatenate encodings; composite order == tuple order."""
+    return b"".join(encode_value(v) for v in values)
+
+
+def prefix_successor(prefix: bytes) -> bytes:
+    """Smallest byte string strictly greater than every string with ``prefix``.
+
+    Used to build exclusive upper bounds for prefix scans.  Returns ``b""``
+    sentinel (meaning "+infinity") if the prefix is all ``0xFF``.
+    """
+    out = bytearray(prefix)
+    while out:
+        if out[-1] != 0xFF:
+            out[-1] += 1
+            return bytes(out)
+        out.pop()
+    return b""
+
+
+__all__ = [
+    "EncodingError",
+    "KeyValue",
+    "decode_bytes",
+    "decode_float64",
+    "decode_int64",
+    "decode_str",
+    "decode_ts_desc",
+    "decode_uint64",
+    "encode_bytes",
+    "encode_composite",
+    "encode_float64",
+    "encode_int64",
+    "encode_str",
+    "encode_ts_desc",
+    "encode_uint64",
+    "encode_value",
+    "fnv1a64",
+    "hash_values",
+    "high_bits",
+    "prefix_successor",
+]

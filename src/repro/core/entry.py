@@ -1,0 +1,190 @@
+"""Index entries and record identifiers.
+
+An index entry (paper section 4.2) is one logical row of a run's sorted
+table: hash column, equality columns, sort columns, included columns,
+``beginTS``, and the RID locating the indexed record.
+
+A Wildfire RID is "identified by the combination of zone, block ID, and
+record offset" (footnote 2) -- crucially it is *not* stable: when a record
+evolves from the groomed to the post-groomed zone it gets a new RID, which
+is exactly why classic LSM secondary indexes (fixed-RID assumption) do not
+work and the evolve operation exists.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.definition import ColumnType, IndexDefinition
+from repro.core.encoding import (
+    KeyValue,
+    decode_bytes,
+    decode_float64,
+    decode_int64,
+    decode_str,
+    decode_ts_desc,
+    decode_uint64,
+    encode_composite,
+    encode_ts_desc,
+    encode_uint64,
+    encode_value,
+)
+
+
+class Zone(enum.IntEnum):
+    """Data zones of the Wildfire lifecycle.
+
+    The index covers GROOMED and POST_GROOMED (section 3: the live zone is
+    small and not indexed); LIVE exists for the engine substrate's RIDs.
+    """
+
+    LIVE = 0
+    GROOMED = 1
+    POST_GROOMED = 2
+
+
+@dataclass(frozen=True, order=True)
+class RID:
+    """Record identifier: (zone, block id, record offset)."""
+
+    zone: Zone
+    block_id: int
+    offset: int
+
+    _STRUCT = struct.Struct(">BQI")
+
+    def to_bytes(self) -> bytes:
+        return self._STRUCT.pack(int(self.zone), self.block_id, self.offset)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int = 0) -> Tuple["RID", int]:
+        zone, block_id, rec_offset = cls._STRUCT.unpack_from(data, offset)
+        return (
+            cls(zone=Zone(zone), block_id=block_id, offset=rec_offset),
+            offset + cls._STRUCT.size,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.zone.name.lower()}:{self.block_id}:{self.offset}"
+
+
+_DECODERS = {
+    ColumnType.INT64: decode_int64,
+    ColumnType.FLOAT64: decode_float64,
+    ColumnType.STRING: decode_str,
+    ColumnType.BYTES: decode_bytes,
+}
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One logical index row.
+
+    ``sort_key`` is the memcmp-comparable concatenation
+    ``hash | equality columns | sort columns | ~beginTS`` -- the full run
+    order of paper section 4.2 (beginTS descending so newer versions sort
+    first within a key).
+    """
+
+    hash_value: int
+    equality_values: Tuple[KeyValue, ...]
+    sort_values: Tuple[KeyValue, ...]
+    include_values: Tuple[KeyValue, ...]
+    begin_ts: int
+    rid: RID
+
+    @classmethod
+    def create(
+        cls,
+        definition: IndexDefinition,
+        equality_values: Tuple[KeyValue, ...],
+        sort_values: Tuple[KeyValue, ...],
+        include_values: Tuple[KeyValue, ...],
+        begin_ts: int,
+        rid: RID,
+    ) -> "IndexEntry":
+        """Validate against a definition and compute the hash column."""
+        eq, st = definition.validate_key(equality_values, sort_values)
+        incl = definition.validate_includes(include_values)
+        return cls(
+            hash_value=definition.hash_of(eq),
+            equality_values=eq,
+            sort_values=st,
+            include_values=incl,
+            begin_ts=begin_ts,
+            rid=rid,
+        )
+
+    # -- ordering -------------------------------------------------------------
+
+    def key_bytes(self, definition: IndexDefinition) -> bytes:
+        """The user key (hash + equality + sort columns), excluding beginTS.
+
+        Two entries with equal ``key_bytes`` are versions of the same key;
+        reconciliation keeps only the newest visible one.
+        """
+        parts = []
+        if definition.has_hash_column:
+            parts.append(encode_uint64(self.hash_value))
+        parts.append(encode_composite(self.equality_values))
+        parts.append(encode_composite(self.sort_values))
+        return b"".join(parts)
+
+    def sort_key(self, definition: IndexDefinition) -> bytes:
+        """Full run order: user key then descending beginTS."""
+        return self.key_bytes(definition) + encode_ts_desc(self.begin_ts)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_bytes(self, definition: IndexDefinition) -> bytes:
+        """Serialize for storage in a run data block.
+
+        Layout: ``sort_key | includes | rid``.  The key columns are decoded
+        back out of the sort key itself (all encodings are self-delimiting
+        given the definition), so nothing is stored twice.
+        """
+        parts = [self.sort_key(definition)]
+        parts.extend(encode_value(v) for v in self.include_values)
+        parts.append(self.rid.to_bytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(
+        cls, definition: IndexDefinition, data: bytes, offset: int = 0
+    ) -> Tuple["IndexEntry", int]:
+        """Deserialize one entry; returns ``(entry, next_offset)``."""
+        pos = offset
+        hash_value = 0
+        if definition.has_hash_column:
+            hash_value, pos = decode_uint64(data, pos)
+        eq_values = []
+        for spec in definition.equality_columns:
+            value, pos = _DECODERS[spec.ctype](data, pos)
+            eq_values.append(value)
+        sort_values = []
+        for spec in definition.sort_columns:
+            value, pos = _DECODERS[spec.ctype](data, pos)
+            sort_values.append(value)
+        begin_ts, pos = decode_ts_desc(data, pos)
+        include_values = []
+        for spec in definition.included_columns:
+            value, pos = _DECODERS[spec.ctype](data, pos)
+            include_values.append(value)
+        rid, pos = RID.from_bytes(data, pos)
+        return (
+            cls(
+                hash_value=hash_value,
+                equality_values=tuple(eq_values),
+                sort_values=tuple(sort_values),
+                include_values=tuple(include_values),
+                begin_ts=begin_ts,
+                rid=rid,
+            ),
+            pos,
+        )
+
+
+__all__ = ["IndexEntry", "RID", "Zone"]

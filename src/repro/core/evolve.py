@@ -1,0 +1,215 @@
+"""The index evolve operation (paper section 5.4).
+
+When the post-groomer moves groomed data blocks into the post-groomed zone,
+the index must follow: entries pointing at deprecated groomed blocks are
+replaced by entries pointing at the new post-groomed blocks.  Evolve is
+decomposed into three sub-operations, each a single atomic modification,
+so concurrent lock-free queries always see a valid index:
+
+1. **Build** a post-groomed run for the new blocks and atomically add it to
+   the post-groomed run list (the run still records the *groomed* block-id
+   range it corresponds to).
+2. **Advance the watermark**: atomically raise the maximum groomed block id
+   covered by the post-groomed run list.  Groomed runs whose end id is no
+   larger than the watermark are now automatically ignored by queries.
+3. **Garbage-collect** the obsolete groomed runs from the groomed list.
+
+Between steps the index may contain duplicates (the same record version in
+both zones); section 5.4 shows these are harmless because reconciliation
+keeps only the newest version per key at query time.  Evolve operations are
+applied in strict PSN order.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.builder import RunBuilder
+from repro.core.entry import IndexEntry, Zone
+from repro.core.ids import RunIdAllocator
+from repro.core.journal import Checkpoint, MetadataJournal
+from repro.core.levels import LevelConfig
+from repro.core.run import IndexRun
+from repro.core.runlist import RunList
+from repro.storage.hierarchy import StorageHierarchy
+
+
+class EvolveError(RuntimeError):
+    """Out-of-order PSN or structurally invalid evolve request."""
+
+
+class Watermark:
+    """The maximum groomed block id covered by the post-groomed run list.
+
+    Reads and writes are single int-reference assignments -- atomic for
+    lock-free readers, mirroring the paper's atomic update of this value.
+    """
+
+    def __init__(self, initial: int = -1) -> None:
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def advance(self, new_value: int) -> None:
+        if new_value < self._value:
+            raise EvolveError(
+                f"watermark may only advance ({self._value} -> {new_value})"
+            )
+        self._value = new_value  # atomic publication
+
+
+@dataclass
+class EvolveResult:
+    """What one evolve operation did."""
+
+    psn: int
+    new_run_id: str
+    new_run_entries: int
+    watermark_before: int
+    watermark_after: int
+    collected_run_ids: Tuple[str, ...]
+
+
+class EvolveController:
+    """Executes evolve operations in PSN order for one index instance."""
+
+    def __init__(
+        self,
+        config: LevelConfig,
+        builder: RunBuilder,
+        hierarchy: StorageHierarchy,
+        allocator: RunIdAllocator,
+        run_lists: Dict[Zone, RunList],
+        watermark: Watermark,
+        journal: Optional[MetadataJournal] = None,
+        write_through: Optional[Callable[[int], bool]] = None,
+        ancestor_protector: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self.config = config
+        self.builder = builder
+        self.hierarchy = hierarchy
+        self.allocator = allocator
+        self.run_lists = run_lists
+        self.watermark = watermark
+        self.journal = journal
+        self._write_through = write_through if write_through is not None else lambda _: True
+        self._ancestor_protector = (
+            ancestor_protector if ancestor_protector is not None else lambda _: False
+        )
+        self.indexed_psn = 0  # PSNs start at 1; 0 means "nothing evolved yet"
+        self._lock = threading.Lock()
+
+    # -- the full operation ------------------------------------------------------------
+
+    def evolve(
+        self,
+        psn: int,
+        entries: Iterable[IndexEntry],
+        min_groomed_id: int,
+        max_groomed_id: int,
+    ) -> EvolveResult:
+        """Run all three sub-operations for one post-groom operation.
+
+        ``entries`` are index entries over the *post-groomed* blocks (new
+        RIDs); ``[min_groomed_id, max_groomed_id]`` is the groomed block-id
+        range the post-groom consumed.
+        """
+        with self._lock:
+            self._check_psn(psn)
+            new_run = self.step1_build_run(entries, min_groomed_id, max_groomed_id)
+            before = self.watermark.value
+            self.step2_advance_watermark(max_groomed_id)
+            collected = self.step3_collect_obsolete()
+            self.indexed_psn = psn
+            self._checkpoint()
+            return EvolveResult(
+                psn=psn,
+                new_run_id=new_run.run_id,
+                new_run_entries=new_run.entry_count,
+                watermark_before=before,
+                watermark_after=self.watermark.value,
+                collected_run_ids=tuple(collected),
+            )
+
+    def _check_psn(self, psn: int) -> None:
+        if psn != self.indexed_psn + 1:
+            raise EvolveError(
+                f"evolve operations must be applied in PSN order: "
+                f"expected {self.indexed_psn + 1}, got {psn}"
+            )
+
+    # -- the three atomic sub-operations (public for failure injection) -----------------
+
+    def step1_build_run(
+        self,
+        entries: Iterable[IndexEntry],
+        min_groomed_id: int,
+        max_groomed_id: int,
+    ) -> IndexRun:
+        """Sub-operation 1: build the post-groomed run and publish it."""
+        level = self.config.first_post_groomed_level
+        run = self.builder.build(
+            run_id=self.allocator.allocate(Zone.POST_GROOMED),
+            entries=entries,
+            zone=Zone.POST_GROOMED,
+            level=level,
+            min_groomed_id=min_groomed_id,
+            max_groomed_id=max_groomed_id,
+            persisted=True,  # post-groomed runs are always durable
+            write_through_ssd=self._write_through(level),
+        )
+        self.run_lists[Zone.POST_GROOMED].push_front(run)  # atomic
+        return run
+
+    def step2_advance_watermark(self, max_groomed_id: int) -> None:
+        """Sub-operation 2: raise the covered-groomed-id watermark."""
+        self.watermark.advance(max(self.watermark.value, max_groomed_id))
+
+    def step3_collect_obsolete(self) -> List[str]:
+        """Sub-operation 3: GC groomed runs fully under the watermark.
+
+        A groomed run may be *partially* covered when post-groom boundaries
+        do not align with run boundaries; such runs stay, and the resulting
+        physical duplicates are reconciled away at query time (section 5.4).
+        """
+        watermark_value = self.watermark.value
+        groomed = self.run_lists[Zone.GROOMED]
+        removed = groomed.remove_where(
+            lambda run: run.max_groomed_id <= watermark_value
+        )
+        collected: List[str] = []
+        for run in removed:
+            if self._ancestor_protector(run.run_id):
+                # Some live non-persisted run still derives from this one;
+                # keep the shared copy, just free the local cache.
+                for block_id in run.all_block_ids():
+                    self.hierarchy.drop_from_cache(block_id)
+                continue
+            self.hierarchy.delete_namespace(run.run_id)
+            collected.append(run.run_id)
+        return collected
+
+    # -- durability -----------------------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        if self.journal is not None:
+            self.journal.append(
+                Checkpoint(
+                    indexed_psn=self.indexed_psn,
+                    max_covered_groomed_id=self.watermark.value,
+                )
+            )
+
+    def restore(self, checkpoint: Checkpoint) -> None:
+        """Recovery: reinstall persisted PSN/watermark state."""
+        with self._lock:
+            self.indexed_psn = checkpoint.indexed_psn
+            if checkpoint.max_covered_groomed_id > self.watermark.value:
+                self.watermark.advance(checkpoint.max_covered_groomed_id)
+
+
+__all__ = ["EvolveController", "EvolveError", "EvolveResult", "Watermark"]

@@ -1,0 +1,33 @@
+"""Run-id allocation.
+
+Run ids double as storage namespaces, so they must be unique for the life
+of the shared-storage instance (append-only: a reused id would collide).
+The allocator is monotonic and thread-safe; ids embed the zone letter and a
+sequence number for debuggability (``run-g-000042``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.core.entry import Zone
+
+_ZONE_LETTER = {Zone.GROOMED: "g", Zone.POST_GROOMED: "p"}
+
+
+class RunIdAllocator:
+    """Monotonic, thread-safe run-id source for one index instance."""
+
+    def __init__(self, prefix: str = "run") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def allocate(self, zone: Zone) -> str:
+        with self._lock:
+            seq = next(self._counter)
+        return f"{self._prefix}-{_ZONE_LETTER[zone]}-{seq:06d}"
+
+
+__all__ = ["RunIdAllocator"]

@@ -1,0 +1,79 @@
+"""Durable index metadata (paper section 5.5).
+
+"After each index evolve operation, the maximum groomed blocked ID for the
+post-groomed run list and IndexedPSN are also persisted."
+
+Shared storage is append-only, so the journal writes a new checkpoint block
+per evolve (monotonic ordinal within one namespace) and recovery reads the
+newest one.  Old checkpoints are trimmed opportunistically to keep the
+object small.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.storage.block import Block, BlockId
+from repro.storage.hierarchy import StorageHierarchy
+
+_MAGIC = b"UMZM"
+_FORMAT = ">QqQ"  # indexed_psn, watermark, checkpoint ordinal echo
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One persisted metadata point."""
+
+    indexed_psn: int
+    max_covered_groomed_id: int
+
+
+class MetadataJournal:
+    """Append-only checkpoint log in shared storage."""
+
+    def __init__(self, hierarchy: StorageHierarchy, namespace: str) -> None:
+        self.hierarchy = hierarchy
+        self.namespace = namespace
+        self._next_ordinal = self._discover_next_ordinal()
+
+    def _discover_next_ordinal(self) -> int:
+        ids = self.hierarchy.shared.namespace_block_ids(self.namespace)
+        return (max(bid.ordinal for bid in ids) + 1) if ids else 0
+
+    def append(self, checkpoint: Checkpoint) -> None:
+        payload = _MAGIC + struct.pack(
+            _FORMAT,
+            checkpoint.indexed_psn,
+            checkpoint.max_covered_groomed_id,
+            self._next_ordinal,
+        )
+        block = Block(BlockId(self.namespace, self._next_ordinal), payload)
+        self.hierarchy.shared.write(block)
+        self._next_ordinal += 1
+        self._trim()
+
+    def latest(self) -> Optional[Checkpoint]:
+        ids = self.hierarchy.shared.namespace_block_ids(self.namespace)
+        if not ids:
+            return None
+        block = self.hierarchy.shared.read(ids[-1])
+        assert block is not None
+        return self._decode(block.payload)
+
+    @staticmethod
+    def _decode(payload: bytes) -> Checkpoint:
+        if payload[:4] != _MAGIC:
+            raise ValueError("not an Umzi metadata checkpoint block")
+        indexed_psn, watermark, _ordinal = struct.unpack_from(_FORMAT, payload, 4)
+        return Checkpoint(indexed_psn=indexed_psn, max_covered_groomed_id=watermark)
+
+    def _trim(self, keep: int = 4) -> None:
+        """Drop all but the newest ``keep`` checkpoints."""
+        ids = self.hierarchy.shared.namespace_block_ids(self.namespace)
+        for bid in ids[:-keep]:
+            self.hierarchy.shared.delete(bid)
+
+
+__all__ = ["Checkpoint", "MetadataJournal"]

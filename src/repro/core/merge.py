@@ -1,0 +1,326 @@
+"""The hybrid merge policy and merge execution (paper section 5.3).
+
+Policy, parameterized by ``K`` and ``T`` (see :class:`LevelConfig`):
+
+* each level keeps at most one **active** run; the rest are inactive;
+* incoming runs from level L-1 are always merged *into the active run* of
+  level L (i.e. the active run and the K incoming runs are replaced by one
+  new run, which becomes the new active run of L);
+* the active run of L is **full** once its size reaches T times the size
+  of an inactive run at L-1; a full active run is marked inactive and the
+  next merge starts a fresh active run;
+* when level L accumulates K inactive runs, they are merged together with
+  the active run of level L+1.
+
+Level 0 is special: grooms push completed runs, so every level-0 run is
+inactive from birth.
+
+Merges stay **within a zone** (section 4.3); crossing zones is the evolve
+operation's job.  Non-persisted-level bookkeeping follows section 6.1:
+persisted inputs consumed by a non-persisted output are retained in shared
+storage and recorded as *ancestors*; they are physically deleted only when
+a descendant run reaches a persisted level again.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.builder import RunBuilder
+from repro.core.entry import IndexEntry, Zone
+from repro.core.ids import RunIdAllocator
+from repro.core.levels import LevelConfig
+from repro.core.run import IndexRun
+from repro.core.runlist import RunList
+from repro.storage.hierarchy import StorageHierarchy
+
+
+@dataclass
+class MergeResult:
+    """What one merge step did (for logging, tests, and benchmarks)."""
+
+    zone: Zone
+    source_level: int
+    target_level: int
+    input_run_ids: Tuple[str, ...]
+    output_run_id: str
+    output_entries: int
+    output_marked_inactive: bool
+    deleted_run_ids: Tuple[str, ...]
+
+
+def merge_entry_streams(
+    definition,
+    runs_newest_first: Sequence[IndexRun],
+    retention_ts: Optional[int] = None,
+) -> Iterable[IndexEntry]:
+    """K-way merge by sort key, dropping exact duplicates.
+
+    Within one zone, two entries with identical sort keys (same key, same
+    ``beginTS``) describe the same record version; the copy from the newest
+    run wins.  Distinct versions of a key (different ``beginTS``) are all
+    kept -- Umzi is a multi-version index and must keep supporting time
+    travel after merges.
+
+    ``retention_ts`` enables MVCC garbage collection (the general LSM
+    "reclaim disk space occupied by obsolete entries"): the versions the
+    system must keep are those visible at some permitted snapshot
+    >= retention_ts, i.e. every version with ``beginTS > retention_ts``
+    plus, per key, the newest version with ``beginTS <= retention_ts``.
+    Anything older is unreachable and dropped during the merge.
+    """
+    def stream(run: IndexRun, recency: int):
+        # recency is bound per stream so duplicate sort keys across runs
+        # tie-break on run recency instead of comparing raw entries.
+        for entry in run.iter_entries():
+            yield entry.sort_key(definition), recency, entry
+
+    streams = [
+        stream(run, recency) for recency, run in enumerate(runs_newest_first)
+    ]
+    previous_sort_key: Optional[bytes] = None
+    previous_user_key: Optional[bytes] = None
+    retained_at_horizon = False
+    for sort_key, _recency, entry in heapq.merge(*streams):
+        if sort_key == previous_sort_key:
+            continue
+        previous_sort_key = sort_key
+        if retention_ts is not None:
+            user_key = entry.key_bytes(definition)
+            if user_key != previous_user_key:
+                previous_user_key = user_key
+                retained_at_horizon = False
+            if entry.begin_ts <= retention_ts:
+                # Versions arrive newest-first per key: the first one at or
+                # below the horizon is the version visible at retention_ts;
+                # older ones for this key are unreachable.
+                if retained_at_horizon:
+                    continue
+                retained_at_horizon = True
+        yield entry
+
+
+class MergeController:
+    """Drives within-zone merges for one Umzi index instance.
+
+    The controller owns the per-level *active run* bookkeeping.  Runs are
+    immutable, so "active" is controller state (a run id per level), not a
+    flag on the run.
+    """
+
+    def __init__(
+        self,
+        config: LevelConfig,
+        builder: RunBuilder,
+        hierarchy: StorageHierarchy,
+        allocator: RunIdAllocator,
+        run_lists: Dict[Zone, RunList],
+        write_through: Optional[Callable[[int], bool]] = None,
+        ancestor_protector: Optional[Callable[[str], bool]] = None,
+        retention_provider: Optional[Callable[[], Optional[int]]] = None,
+    ) -> None:
+        self.config = config
+        self.builder = builder
+        self.hierarchy = hierarchy
+        self.allocator = allocator
+        self.run_lists = run_lists
+        # write_through(level) -> should a new persisted run at `level` also
+        # be written into the SSD cache?  Supplied by the cache manager.
+        self._write_through = write_through if write_through is not None else lambda _: True
+        # ancestor_protector(run_id) -> True if some live run still lists
+        # run_id as an ancestor (so its shared-storage copy must survive).
+        self._ancestor_protector = (
+            ancestor_protector if ancestor_protector is not None else lambda _: False
+        )
+        # retention_provider() -> the MVCC retention horizon, or None to
+        # keep every version forever (the default).
+        self._retention_provider = (
+            retention_provider if retention_provider is not None else lambda: None
+        )
+        self._active: Dict[int, Optional[str]] = {}
+        self._lock = threading.Lock()
+
+    # -- policy inspection --------------------------------------------------------
+
+    def active_run_id(self, level: int) -> Optional[str]:
+        with self._lock:
+            return self._active.get(level)
+
+    def runs_at_level(self, zone: Zone, level: int) -> List[IndexRun]:
+        return [r for r in self.run_lists[zone].iter_runs() if r.level == level]
+
+    def inactive_runs_at_level(self, zone: Zone, level: int) -> List[IndexRun]:
+        active = self.active_run_id(level)
+        return [r for r in self.runs_at_level(zone, level) if r.run_id != active]
+
+    def level_needing_merge(self, zone: Zone) -> Optional[int]:
+        """Lowest level of ``zone`` with K inactive runs, excluding the
+        zone's last level (there is nowhere within the zone to merge into)."""
+        levels = self.config.levels_of(zone)
+        for level in levels[:-1]:
+            if len(self.inactive_runs_at_level(zone, level)) >= self.config.max_runs_per_level:
+                return level
+        return None
+
+    def needs_merge(self, zone: Zone) -> bool:
+        return self.level_needing_merge(zone) is not None
+
+    # -- execution -------------------------------------------------------------------
+
+    def merge_step(self, zone: Zone) -> Optional[MergeResult]:
+        """Perform one merge in ``zone`` if the policy calls for one."""
+        level = self.level_needing_merge(zone)
+        if level is None:
+            return None
+        return self.merge_level(zone, level)
+
+    def merge_until_stable(self, zone: Zone, max_steps: int = 64) -> List[MergeResult]:
+        """Run merge steps until the policy is satisfied (tests/benches)."""
+        results: List[MergeResult] = []
+        for _ in range(max_steps):
+            result = self.merge_step(zone)
+            if result is None:
+                break
+            results.append(result)
+        return results
+
+    def merge_level(self, zone: Zone, level: int) -> MergeResult:
+        """Merge level ``level``'s K oldest inactive runs into ``level+1``."""
+        config = self.config
+        target_level = level + 1
+        if target_level > config.last_level_of(zone):
+            raise ValueError(
+                f"level {level} is the last level of zone {zone.name}; "
+                "nothing to merge into"
+            )
+        run_list = self.run_lists[zone]
+
+        inactive = self.inactive_runs_at_level(zone, level)
+        if not inactive:
+            raise ValueError(f"no inactive runs at level {level} to merge")
+        # List order is newest-first; take the K *oldest* (tail of the span).
+        take = min(config.max_runs_per_level, len(inactive))
+        victims = inactive[-take:]
+
+        target_active_id = self.active_run_id(target_level)
+        target_active: Optional[IndexRun] = None
+        if target_active_id is not None:
+            for run in self.runs_at_level(zone, target_level):
+                if run.run_id == target_active_id:
+                    target_active = run
+                    break
+
+        # Inputs newest-first: the level-L victims, then the target active.
+        inputs: List[IndexRun] = list(victims)
+        if target_active is not None:
+            inputs.append(target_active)
+
+        merged_entries = merge_entry_streams(
+            self.builder.definition, inputs, self._retention_provider()
+        )
+        new_run_id = self.allocator.allocate(zone)
+        persisted = config.is_persisted(target_level)
+        ancestors = self._ancestors_for(inputs, persisted)
+        new_run = self.builder.build(
+            run_id=new_run_id,
+            entries=merged_entries,
+            zone=zone,
+            level=target_level,
+            min_groomed_id=min(r.min_groomed_id for r in inputs),
+            max_groomed_id=max(r.max_groomed_id for r in inputs),
+            persisted=persisted,
+            write_through_ssd=self._write_through(target_level),
+            spill_to_ssd=config.spill_non_persisted_to_ssd,
+            ancestor_run_ids=ancestors,
+            presorted=True,
+        )
+
+        # Splice: the victims and the old target-active form one contiguous
+        # span (victims are the oldest at L, the target active is the newest
+        # at L+1, and the list is globally recency-ordered).
+        span = [r.run_id for r in inputs]
+        run_list.replace(span, new_run)
+
+        deleted = self._garbage_collect_inputs(inputs, new_run)
+
+        # Active-run bookkeeping: the merged run is the new active of the
+        # target level, and is immediately marked inactive if full.
+        reference = max(r.entry_count for r in victims)
+        full = new_run.entry_count >= config.size_ratio * max(reference, 1)
+        with self._lock:
+            self._active[target_level] = None if full else new_run.run_id
+
+        return MergeResult(
+            zone=zone,
+            source_level=level,
+            target_level=target_level,
+            input_run_ids=tuple(r.run_id for r in inputs),
+            output_run_id=new_run.run_id,
+            output_entries=new_run.entry_count,
+            output_marked_inactive=full,
+            deleted_run_ids=tuple(deleted),
+        )
+
+    # -- non-persisted-level bookkeeping ---------------------------------------------
+
+    def _ancestors_for(
+        self, inputs: Sequence[IndexRun], output_persisted: bool
+    ) -> Tuple[str, ...]:
+        """Ancestor set for the merged run (section 6.1).
+
+        A non-persisted output must remember every *persisted* run whose
+        data it now carries (directly, or transitively through non-persisted
+        inputs), because those shared-storage copies are the only durable
+        form of that data until the output's descendants persist again.
+        """
+        if output_persisted:
+            return ()
+        ancestors: Set[str] = set()
+        for run in inputs:
+            if run.header.persisted:
+                ancestors.add(run.run_id)
+            else:
+                ancestors.update(run.header.ancestor_run_ids)
+        return tuple(sorted(ancestors))
+
+    def _garbage_collect_inputs(
+        self, inputs: Sequence[IndexRun], new_run: IndexRun
+    ) -> List[str]:
+        """Physically delete what can be deleted after a merge."""
+        deleted: List[str] = []
+        output_persisted = new_run.header.persisted
+        for run in inputs:
+            if run.header.persisted:
+                if output_persisted:
+                    # Normal LSM GC: data now lives in the durable new run.
+                    self.hierarchy.delete_namespace(run.run_id)
+                    deleted.append(run.run_id)
+                else:
+                    # Ancestor retention: keep the shared copy, free cache.
+                    for block_id in run.all_block_ids():
+                        self.hierarchy.drop_from_cache(block_id)
+            else:
+                # Non-persisted input: local blocks are garbage now ...
+                self.hierarchy.delete_namespace(run.run_id)
+                deleted.append(run.run_id)
+                if output_persisted:
+                    # ... and its recorded ancestors are finally safe to drop
+                    # (unless some other live run still needs them).
+                    for ancestor_id in run.header.ancestor_run_ids:
+                        if not self._ancestor_protector(ancestor_id):
+                            self.hierarchy.delete_namespace(ancestor_id)
+                            deleted.append(ancestor_id)
+        return deleted
+
+    # -- recovery support -----------------------------------------------------------
+
+    def reset_active_tracking(self) -> None:
+        """Forget active-run state (after recovery all runs are inactive)."""
+        with self._lock:
+            self._active.clear()
+
+
+__all__ = ["MergeController", "MergeResult", "merge_entry_streams"]

@@ -1,0 +1,138 @@
+"""Crash recovery (paper section 5.5).
+
+An indexer process can crash and lose every local data structure (and, with
+non-persisted levels, entire runs).  Recovery rebuilds the run lists from
+what shared storage holds:
+
+1. read the newest metadata checkpoint (IndexedPSN + watermark);
+2. enumerate run headers in shared storage; delete *incomplete* runs (a
+   crash mid-build leaves a header whose data blocks are missing, or
+   orphaned data blocks without a header);
+3. per zone, sort runs by descending end groomed block id and add them one
+   by one; "if multiple runs have overlapping groomed block IDs, the one
+   with largest range is selected, while the rest are simply deleted since
+   they have already been merged";
+4. groomed runs wholly below the watermark are already covered by the
+   post-groomed zone and are dropped too.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.definition import IndexDefinition
+from repro.core.entry import Zone
+from repro.core.journal import Checkpoint, MetadataJournal
+from repro.core.run import HEADER_ORDINAL, IndexRun, RunHeader
+from repro.storage.block import BlockId
+from repro.storage.hierarchy import StorageHierarchy
+
+
+@dataclass
+class RecoveredState:
+    """Everything recovery reconstructed."""
+
+    runs_by_zone: Dict[Zone, List[IndexRun]]
+    checkpoint: Optional[Checkpoint]
+    deleted_run_ids: List[str] = field(default_factory=list)
+    incomplete_run_ids: List[str] = field(default_factory=list)
+
+
+def _is_complete(hierarchy: StorageHierarchy, header: RunHeader) -> bool:
+    """All data blocks the header promises must exist in shared storage."""
+    for ordinal in range(1, header.num_data_blocks + 1):
+        if not hierarchy.shared.contains(BlockId(header.run_id, ordinal)):
+            return False
+    return True
+
+
+def _covers(outer: RunHeader, inner: RunHeader) -> bool:
+    return (
+        outer.min_groomed_id <= inner.min_groomed_id
+        and inner.max_groomed_id <= outer.max_groomed_id
+    )
+
+
+def recover_index_state(
+    definition: IndexDefinition,
+    hierarchy: StorageHierarchy,
+    run_prefix: str,
+    journal: Optional[MetadataJournal] = None,
+) -> RecoveredState:
+    """Rebuild run lists for one index instance from shared storage.
+
+    ``run_prefix`` scopes the scan to this index's namespaces (run ids are
+    ``{prefix}-{zone}-{seq}``).
+    """
+    checkpoint = journal.latest() if journal is not None else None
+    watermark = checkpoint.max_covered_groomed_id if checkpoint else -1
+
+    headers: List[RunHeader] = []
+    incomplete: List[str] = []
+    for namespace in hierarchy.shared.namespaces():
+        if not namespace.startswith(run_prefix):
+            continue
+        header_block = hierarchy.shared.read(BlockId(namespace, HEADER_ORDINAL))
+        if header_block is None:
+            # Orphaned data blocks without a header: a crash before the
+            # header write can't happen (header goes first), but a partial
+            # delete can leave them; clean up.
+            hierarchy.delete_namespace(namespace)
+            incomplete.append(namespace)
+            continue
+        try:
+            header = RunHeader.from_bytes(definition, header_block.payload)
+        except (ValueError, KeyError, IndexError, struct.error):
+            # Corrupted header (torn write, bit rot): treat like an
+            # incomplete run -- its data is covered by other runs or will
+            # be rebuilt from groomed blocks upstream.
+            hierarchy.delete_namespace(namespace)
+            incomplete.append(namespace)
+            continue
+        if not _is_complete(hierarchy, header):
+            hierarchy.delete_namespace(namespace)
+            incomplete.append(namespace)
+            continue
+        headers.append(header)
+
+    deleted: List[str] = []
+    runs_by_zone: Dict[Zone, List[IndexRun]] = {
+        Zone.GROOMED: [],
+        Zone.POST_GROOMED: [],
+    }
+    for zone in (Zone.GROOMED, Zone.POST_GROOMED):
+        zone_headers = [h for h in headers if h.zone is zone]
+        # Largest coverage first: descending end id, then widest range.
+        zone_headers.sort(
+            key=lambda h: (h.max_groomed_id, h.max_groomed_id - h.min_groomed_id),
+            reverse=True,
+        )
+        kept: List[RunHeader] = []
+        for header in zone_headers:
+            if zone is Zone.GROOMED and header.max_groomed_id <= watermark:
+                # Fully covered by the post-groomed zone already.
+                hierarchy.delete_namespace(header.run_id)
+                deleted.append(header.run_id)
+                continue
+            if any(_covers(other, header) for other in kept):
+                # Already merged into a bigger run.
+                hierarchy.delete_namespace(header.run_id)
+                deleted.append(header.run_id)
+                continue
+            kept.append(header)
+        runs_by_zone[zone] = [
+            IndexRun(definition, header, hierarchy) for header in kept
+        ]
+
+    return RecoveredState(
+        runs_by_zone=runs_by_zone,
+        checkpoint=checkpoint,
+        deleted_run_ids=deleted,
+        incomplete_run_ids=incomplete,
+    )
+
+
+__all__ = ["RecoveredState", "recover_index_state"]

@@ -1,0 +1,181 @@
+"""Single-run search (paper section 7.1.1).
+
+A run is a sorted table, so search is: narrow the ordinal range with the
+offset array (when the index has a hash column), binary-search the
+concatenated lower bound, then iterate forward until the concatenated upper
+bound, filtering on ``beginTS <= queryTS`` and keeping only the newest
+visible version of each key (entries are sorted by key then descending
+beginTS, so the first visible entry per key is the answer).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.encoding import high_bits
+from repro.core.entry import IndexEntry
+from repro.core.run import IndexRun
+
+# Sentinel: an empty upper bound means "+infinity" (scan to end of run).
+UNBOUNDED = b""
+
+
+def _first_geq(run: IndexRun, target: bytes, lo: int, hi: int) -> int:
+    """First ordinal in [lo, hi) whose sort key is >= ``target``.
+
+    Entries with ``key_bytes == target`` have sort keys that *extend*
+    ``target`` (the descending-beginTS suffix), and extensions of a prefix
+    compare greater, so this also finds the first entry of an exactly
+    matching key.
+    """
+    definition = run.definition
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if run.entry_at(mid).sort_key(definition) < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def narrow_with_offset_array(
+    run: IndexRun, hash_value: int
+) -> Tuple[int, int]:
+    """Initial ordinal range for a hash bucket (paper Figure 2b).
+
+    ``offset[b]`` is the first ordinal whose hash high-bits are >= b;
+    the bucket's entries live in ``[offset[b], offset[b+1])`` with the run's
+    entry count as the final fence.
+    """
+    offsets = run.header.offset_array
+    if not offsets:
+        return 0, run.entry_count
+    bucket = high_bits(hash_value, run.definition.hash_bits)
+    lo = offsets[bucket]
+    hi = offsets[bucket + 1] if bucket + 1 < len(offsets) else run.entry_count
+    return lo, hi
+
+
+def search_run(
+    run: IndexRun,
+    lower_key: bytes,
+    upper_exclusive: bytes,
+    query_ts: int,
+    hash_value: Optional[int] = None,
+    use_offset_array: bool = True,
+) -> Iterator[IndexEntry]:
+    """Yield the newest visible version of each matching key in one run.
+
+    Parameters
+    ----------
+    lower_key:
+        Inclusive lower bound over ``key_bytes`` (hash | eq | sort prefix).
+    upper_exclusive:
+        Exclusive upper bound, or :data:`UNBOUNDED` for "scan to run end".
+    query_ts:
+        Snapshot timestamp; versions with ``beginTS > query_ts`` are
+        invisible.
+    hash_value:
+        When provided (equality query), the offset array narrows the
+        initial binary-search range.
+    use_offset_array:
+        Ablation hook -- benchmarks disable it to measure its benefit.
+    """
+    if run.entry_count == 0:
+        return
+    if hash_value is not None and use_offset_array:
+        lo, hi = narrow_with_offset_array(run, hash_value)
+    else:
+        lo, hi = 0, run.entry_count
+    start = _first_geq(run, lower_key, lo, hi)
+    definition = run.definition
+    previous_key: Optional[bytes] = None
+    emitted_previous = False
+    for entry in run.iter_entries(start):
+        key = entry.key_bytes(definition)
+        if upper_exclusive != UNBOUNDED and key >= upper_exclusive:
+            break
+        if key != previous_key:
+            previous_key = key
+            emitted_previous = False
+        if emitted_previous:
+            continue  # an older version of a key we already answered
+        if entry.begin_ts > query_ts:
+            continue  # newer than the snapshot; keep looking within the key
+        emitted_previous = True
+        yield entry
+
+
+def lookup_key_in_run(
+    run: IndexRun,
+    key: bytes,
+    query_ts: int,
+    hash_value: Optional[int] = None,
+    use_offset_array: bool = True,
+) -> Optional[IndexEntry]:
+    """Point lookup: the newest visible version of one exact key, if any.
+
+    Equivalent to a range scan whose lower and upper sort-column bounds
+    coincide (paper section 7.2).
+    """
+    from repro.core.encoding import prefix_successor
+
+    upper = prefix_successor(key)
+    for entry in search_run(
+        run, key, upper, query_ts, hash_value, use_offset_array
+    ):
+        return entry
+    return None
+
+
+def batch_lookup_in_run(
+    run: IndexRun,
+    sorted_keys: Sequence[Tuple[bytes, int]],
+    query_ts: int,
+    use_offset_array: bool = True,
+) -> List[Optional[IndexEntry]]:
+    """Look up a pre-sorted key batch with one sequential pass over the run.
+
+    Paper section 7.2: "The sorted input keys are searched against each run
+    sequentially ... This guarantees that each run is accessed sequentially
+    and only once."  Keys must be sorted ascending by their encoded bytes;
+    each element is ``(key_bytes, hash_value)``.
+    """
+    from repro.core.encoding import prefix_successor
+
+    results: List[Optional[IndexEntry]] = [None] * len(sorted_keys)
+    if run.entry_count == 0:
+        return results
+    floor = 0  # monotone cursor: keys are sorted, so never search backwards
+    for i, (key, hash_value) in enumerate(sorted_keys):
+        if use_offset_array and run.header.offset_array:
+            lo, hi = narrow_with_offset_array(run, hash_value)
+            lo = max(lo, floor)
+        else:
+            lo, hi = floor, run.entry_count
+        if lo >= hi:
+            # The monotone cursor moved past this bucket -- fall back to a
+            # plain bounded search from the cursor.
+            lo, hi = floor, run.entry_count
+        start = _first_geq(run, key, lo, hi)
+        floor = start
+        upper = prefix_successor(key)
+        definition = run.definition
+        for entry in run.iter_entries(start):
+            entry_key = entry.key_bytes(definition)
+            if upper != b"" and entry_key >= upper:
+                break
+            if entry.begin_ts > query_ts:
+                continue
+            results[i] = entry
+            break
+    return results
+
+
+__all__ = [
+    "UNBOUNDED",
+    "batch_lookup_in_run",
+    "lookup_key_in_run",
+    "narrow_with_offset_array",
+    "search_run",
+]

@@ -1,0 +1,42 @@
+"""Multi-tier storage substrate for the Umzi reproduction.
+
+The paper runs Umzi against a three-tier hierarchy: local memory, a local
+SSD cache, and distributed shared storage (GlusterFS / HDFS / S3).  None of
+those are available here, so this package provides faithful simulations:
+
+* :class:`~repro.storage.memory.MemoryTier` -- unbounded, cheapest tier.
+* :class:`~repro.storage.ssd.SSDTier` -- capacity-bounded block cache with a
+  mid-range latency model.
+* :class:`~repro.storage.shared.SharedStorage` -- append-only object store
+  that forbids in-place updates and partial reads, with the most expensive
+  latency model (it stands in for network-attached storage).
+* :class:`~repro.storage.hierarchy.StorageHierarchy` -- the read-through /
+  write-through composition used by Umzi's cache manager.
+
+Every tier charges deterministic *simulated* nanoseconds to a shared
+:class:`~repro.storage.metrics.IOStats` ledger, so benchmark shapes are
+reproducible run-to-run independent of host noise.
+"""
+
+from repro.storage.block import Block, BlockId
+from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.memory import MemoryTier
+from repro.storage.metrics import IOStats, TierStats
+from repro.storage.shared import SharedStorage, SharedStorageError
+from repro.storage.ssd import SSDTier
+from repro.storage.tier import LatencyModel, StorageTier, TierName
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "IOStats",
+    "LatencyModel",
+    "MemoryTier",
+    "SSDTier",
+    "SharedStorage",
+    "SharedStorageError",
+    "StorageHierarchy",
+    "StorageTier",
+    "TierName",
+    "TierStats",
+]

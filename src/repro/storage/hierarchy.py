@@ -1,0 +1,146 @@
+"""Composition of the three tiers into the hierarchy Umzi runs against.
+
+Read path (paper section 7): queries read runs from the SSD cache; on a
+miss the block is transferred from shared storage to the SSD cache "on a
+block-basis ... to facilitate future accesses".  Memory sits in front of
+the SSD as the hottest layer for non-persisted runs and recently-touched
+blocks.
+
+Write paths (sections 6.1-6.2):
+
+* ``write_persisted`` -- the durable path: shared storage always, plus
+  write-through into the SSD cache when the cache manager says the run is
+  below the current cached level.
+* ``write_cached_only`` -- the non-persisted-level path: memory (and
+  optionally SSD spill), never shared storage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.storage.block import Block, BlockId
+from repro.storage.memory import MemoryTier
+from repro.storage.metrics import IOStats
+from repro.storage.shared import SharedStorage
+from repro.storage.ssd import SSDTier
+
+
+class BlockNotFoundError(KeyError):
+    """A block was requested that exists in no tier."""
+
+
+class StorageHierarchy:
+    """Memory + SSD + shared storage with Umzi's read/write policies."""
+
+    def __init__(
+        self,
+        memory: Optional[MemoryTier] = None,
+        ssd: Optional[SSDTier] = None,
+        shared: Optional[SharedStorage] = None,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        self.stats = stats if stats is not None else IOStats()
+        self.memory = memory if memory is not None else MemoryTier(stats=self.stats)
+        self.ssd = ssd if ssd is not None else SSDTier(stats=self.stats)
+        self.shared = shared if shared is not None else SharedStorage(stats=self.stats)
+        # Re-point tiers constructed by the caller at the shared ledger so
+        # one hierarchy always produces one consistent set of counters.
+        self.memory.stats = self.stats
+        self.ssd.stats = self.stats
+        self.shared.stats = self.stats
+
+    # -- write paths ---------------------------------------------------------
+
+    def write_persisted(self, block: Block, write_through_ssd: bool = True) -> None:
+        """Durable write: shared storage, plus SSD write-through if asked.
+
+        The SSD copy is a best-effort cache insertion: if the cache is full
+        the durable write still succeeds and the block simply stays
+        uncached until the cache manager frees space.
+        """
+        self.shared.write(block)
+        if write_through_ssd and self.ssd.would_fit(block.size):
+            self.ssd.write(block)
+
+    def write_cached_only(self, block: Block, spill_to_ssd: bool = False) -> None:
+        """Non-persisted write: memory only, optionally spilled to SSD."""
+        self.memory.write(block)
+        if spill_to_ssd:
+            self.ssd.write(block)
+
+    # -- read path -----------------------------------------------------------
+
+    def read(self, block_id: BlockId, promote: bool = True) -> Block:
+        """Read through memory -> SSD -> shared storage.
+
+        On a shared-storage hit the block is promoted into the SSD cache
+        (when ``promote``), reproducing the paper's block-basis transfer of
+        purged runs.  Raises :class:`BlockNotFoundError` if absent everywhere.
+        """
+        block = self.memory.read(block_id)
+        if block is not None:
+            return block
+        block = self.ssd.read(block_id)
+        if block is not None:
+            return block
+        block = self.shared.read(block_id)
+        if block is None:
+            raise BlockNotFoundError(block_id)
+        if promote:
+            if self.ssd.would_fit(block.size):
+                self.ssd.write(block)
+        return block
+
+    def read_many(self, block_ids: List[BlockId], promote: bool = True) -> List[Block]:
+        return [self.read(bid, promote=promote) for bid in block_ids]
+
+    # -- cache-management primitives ------------------------------------------
+
+    def drop_from_cache(self, block_id: BlockId) -> bool:
+        """Remove a block from the local tiers (purge); keeps shared copy."""
+        in_mem = self.memory.delete(block_id)
+        in_ssd = self.ssd.delete(block_id)
+        return in_mem or in_ssd
+
+    def load_into_cache(self, block_id: BlockId) -> bool:
+        """Fetch a block from shared storage into the SSD cache (load)."""
+        if self.ssd.contains(block_id):
+            return True
+        block = self.shared.read(block_id)
+        if block is None:
+            return False
+        if not self.ssd.would_fit(block.size):
+            return False
+        self.ssd.write(block)
+        return True
+
+    def is_cached(self, block_id: BlockId) -> bool:
+        return self.memory.contains(block_id) or self.ssd.contains(block_id)
+
+    # -- deletion --------------------------------------------------------------
+
+    def delete_everywhere(self, block_id: BlockId) -> None:
+        self.memory.delete(block_id)
+        self.ssd.delete(block_id)
+        self.shared.delete(block_id)
+
+    def delete_namespace(self, namespace: str) -> None:
+        """Garbage-collect one logical object from every tier."""
+        self.memory.delete_namespace(namespace)
+        self.ssd.delete_namespace(namespace)
+        self.shared.delete_namespace(namespace)
+
+    # -- failure injection -------------------------------------------------------
+
+    def crash_local_tiers(self) -> None:
+        """Simulate a node crash: lose memory and SSD, keep shared storage.
+
+        This is the recovery scenario of paper section 5.5 -- the indexer
+        process loses all local state and must rebuild run lists from runs
+        persisted in shared storage.
+        """
+        for bid in list(self.memory.block_ids()):
+            self.memory.delete(bid)
+        for bid in list(self.ssd.block_ids()):
+            self.ssd.delete(bid)

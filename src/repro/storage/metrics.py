@@ -1,0 +1,105 @@
+"""I/O accounting for the simulated storage tiers.
+
+The paper cannot report absolute numbers (Wildfire is product code), and
+neither can a pure-Python reproduction hope to match a 28-core Xeon with an
+NVMe SSD.  What *can* be reproduced exactly is the relative cost structure:
+shared storage is orders of magnitude more expensive than the SSD cache,
+which is more expensive than memory.  Every tier operation charges a
+deterministic number of simulated nanoseconds here, and the benchmark
+harness reports normalized simulated costs -- the same normalization the
+paper uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TierStats:
+    """Counters for a single storage tier."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    sim_ns: int = 0
+
+    def snapshot(self) -> "TierStats":
+        """Return a copy of the current counters."""
+        return TierStats(
+            reads=self.reads,
+            writes=self.writes,
+            deletes=self.deletes,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            sim_ns=self.sim_ns,
+        )
+
+    def diff(self, earlier: "TierStats") -> "TierStats":
+        """Return the delta between this snapshot and an ``earlier`` one."""
+        return TierStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            deletes=self.deletes - earlier.deletes,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            sim_ns=self.sim_ns - earlier.sim_ns,
+        )
+
+
+class IOStats:
+    """Thread-safe ledger of per-tier I/O counters.
+
+    A single ``IOStats`` instance is shared by all tiers of one
+    :class:`~repro.storage.hierarchy.StorageHierarchy`, so end-to-end
+    experiments can ask "how many simulated nanoseconds did this query
+    cost, and on which tier".
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tiers: Dict[str, TierStats] = {}
+
+    def record_read(self, tier: str, nbytes: int, sim_ns: int) -> None:
+        with self._lock:
+            stats = self._tiers.setdefault(tier, TierStats())
+            stats.reads += 1
+            stats.bytes_read += nbytes
+            stats.sim_ns += sim_ns
+
+    def record_write(self, tier: str, nbytes: int, sim_ns: int) -> None:
+        with self._lock:
+            stats = self._tiers.setdefault(tier, TierStats())
+            stats.writes += 1
+            stats.bytes_written += nbytes
+            stats.sim_ns += sim_ns
+
+    def record_delete(self, tier: str, sim_ns: int) -> None:
+        with self._lock:
+            stats = self._tiers.setdefault(tier, TierStats())
+            stats.deletes += 1
+            stats.sim_ns += sim_ns
+
+    def tier(self, tier: str) -> TierStats:
+        """Return a snapshot of one tier's counters (zeros if untouched)."""
+        with self._lock:
+            return self._tiers.get(tier, TierStats()).snapshot()
+
+    def snapshot(self) -> Dict[str, TierStats]:
+        """Return a snapshot of all tiers' counters."""
+        with self._lock:
+            return {name: stats.snapshot() for name, stats in self._tiers.items()}
+
+    @property
+    def total_sim_ns(self) -> int:
+        """Total simulated nanoseconds charged across all tiers."""
+        with self._lock:
+            return sum(stats.sim_ns for stats in self._tiers.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._tiers.clear()

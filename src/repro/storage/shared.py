@@ -1,0 +1,107 @@
+"""The shared storage tier: append-only, block-granularity, expensive.
+
+Simulates HDFS / GlusterFS / cloud object storage.  The semantics the paper
+leans on are enforced here, not merely documented:
+
+* **No in-place updates** -- writing an existing block id raises.
+* **Whole-block access** -- reads return full blocks only.
+* **File-count pressure** -- the tier counts live objects (namespaces), so
+  benchmarks can show why Umzi prefers a small number of large files.
+* **High, network-like latency** -- the most expensive tier by far.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional
+
+from repro.storage.block import Block, BlockId
+from repro.storage.metrics import IOStats
+from repro.storage.tier import LatencyModel, StorageTier, TierName
+
+DEFAULT_SHARED_READ = LatencyModel(fixed_ns=2_000_000, per_byte_ns=2.0)
+DEFAULT_SHARED_WRITE = LatencyModel(fixed_ns=3_000_000, per_byte_ns=3.0)
+
+
+class SharedStorageError(RuntimeError):
+    """Violation of shared-storage semantics (e.g. in-place update)."""
+
+
+class SharedStorage(StorageTier):
+    """Append-only distributed-storage simulation.
+
+    Durability is assumed: anything written here survives "node crashes"
+    (deleting local tiers), which is exactly the recovery contract of
+    paper section 5.5.
+    """
+
+    def __init__(
+        self,
+        stats: Optional[IOStats] = None,
+        read_latency: LatencyModel = DEFAULT_SHARED_READ,
+        write_latency: LatencyModel = DEFAULT_SHARED_WRITE,
+    ) -> None:
+        super().__init__(TierName.SHARED, read_latency, write_latency, stats)
+        self._blocks: Dict[BlockId, Block] = {}
+        self._lock = threading.Lock()
+        self._total_bytes_ever_written = 0
+
+    def write(self, block: Block) -> None:
+        with self._lock:
+            if block.block_id in self._blocks:
+                raise SharedStorageError(
+                    f"in-place update of {block.block_id} is not supported by "
+                    "shared storage; write a new block instead"
+                )
+            self._blocks[block.block_id] = block
+            self._total_bytes_ever_written += block.size
+        self._charge_write(block.size)
+
+    def read(self, block_id: BlockId) -> Optional[Block]:
+        with self._lock:
+            block = self._blocks.get(block_id)
+        if block is not None:
+            self._charge_read(block.size)
+        return block
+
+    def delete(self, block_id: BlockId) -> bool:
+        with self._lock:
+            present = self._blocks.pop(block_id, None) is not None
+        if present:
+            self._charge_delete()
+        return present
+
+    def contains(self, block_id: BlockId) -> bool:
+        with self._lock:
+            return block_id in self._blocks
+
+    def block_ids(self) -> Iterable[BlockId]:
+        with self._lock:
+            return list(self._blocks.keys())
+
+    def namespaces(self) -> List[str]:
+        """Live logical objects -- the 'number of files' metadata pressure."""
+        with self._lock:
+            return sorted({bid.namespace for bid in self._blocks})
+
+    def namespace_block_ids(self, namespace: str) -> List[BlockId]:
+        """All block ids of one object, sorted by ordinal."""
+        with self._lock:
+            ids = [bid for bid in self._blocks if bid.namespace == namespace]
+        return sorted(ids, key=lambda b: b.ordinal)
+
+    @property
+    def object_count(self) -> int:
+        with self._lock:
+            return len({bid.namespace for bid in self._blocks})
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return sum(b.size for b in self._blocks.values())
+
+    @property
+    def write_amplification_bytes(self) -> int:
+        """Total bytes ever written -- numerator of write amplification."""
+        with self._lock:
+            return self._total_bytes_ever_written

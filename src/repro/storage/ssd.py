@@ -1,0 +1,109 @@
+"""The SSD cache tier: capacity-bounded block store.
+
+Stands in for the Intel 750 NVMe SSD of the paper's testbed.  Umzi's cache
+manager (section 6.2) decides *which runs* live here -- this tier only
+enforces capacity and reports pressure; it never evicts behind the cache
+manager's back.  That mirrors the paper, where purge/load decisions are
+level-based policy, not device-level LRU.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional
+
+from repro.storage.block import Block, BlockId
+from repro.storage.metrics import IOStats
+from repro.storage.tier import LatencyModel, StorageTier, TierName
+
+DEFAULT_SSD_READ = LatencyModel(fixed_ns=80_000, per_byte_ns=0.4)
+DEFAULT_SSD_WRITE = LatencyModel(fixed_ns=100_000, per_byte_ns=0.6)
+
+
+class SSDCapacityError(RuntimeError):
+    """Raised when a write would exceed the configured SSD capacity."""
+
+
+class SSDTier(StorageTier):
+    """Capacity-bounded block store with NVMe-like simulated latency.
+
+    ``capacity_bytes=None`` means unbounded (the default for unit tests and
+    microbenchmarks; end-to-end purge experiments set a budget).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        stats: Optional[IOStats] = None,
+        read_latency: LatencyModel = DEFAULT_SSD_READ,
+        write_latency: LatencyModel = DEFAULT_SSD_WRITE,
+    ) -> None:
+        super().__init__(TierName.SSD, read_latency, write_latency, stats)
+        self.capacity_bytes = capacity_bytes
+        self._blocks: Dict[BlockId, Block] = {}
+        self._used = 0
+        self._lock = threading.Lock()
+
+    def write(self, block: Block) -> None:
+        with self._lock:
+            previous = self._blocks.get(block.block_id)
+            delta = block.size - (previous.size if previous is not None else 0)
+            if self.capacity_bytes is not None and self._used + delta > self.capacity_bytes:
+                raise SSDCapacityError(
+                    f"SSD capacity {self.capacity_bytes}B exceeded writing "
+                    f"{block.block_id} ({block.size}B; used {self._used}B)"
+                )
+            self._blocks[block.block_id] = block
+            self._used += delta
+        self._charge_write(block.size)
+
+    def read(self, block_id: BlockId) -> Optional[Block]:
+        with self._lock:
+            block = self._blocks.get(block_id)
+        if block is not None:
+            self._charge_read(block.size)
+        return block
+
+    def delete(self, block_id: BlockId) -> bool:
+        with self._lock:
+            block = self._blocks.pop(block_id, None)
+            if block is not None:
+                self._used -= block.size
+        if block is not None:
+            self._charge_delete()
+        return block is not None
+
+    def contains(self, block_id: BlockId) -> bool:
+        with self._lock:
+            return block_id in self._blocks
+
+    def block_ids(self) -> Iterable[BlockId]:
+        with self._lock:
+            return list(self._blocks.keys())
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._used
+
+    @property
+    def free_bytes(self) -> Optional[int]:
+        """Remaining capacity, or ``None`` when unbounded."""
+        if self.capacity_bytes is None:
+            return None
+        with self._lock:
+            return self.capacity_bytes - self._used
+
+    def utilization(self) -> float:
+        """Fraction of capacity in use (0.0 when unbounded)."""
+        if self.capacity_bytes is None or self.capacity_bytes == 0:
+            return 0.0
+        with self._lock:
+            return self._used / self.capacity_bytes
+
+    def would_fit(self, nbytes: int) -> bool:
+        """Check whether ``nbytes`` more would fit without writing."""
+        if self.capacity_bytes is None:
+            return True
+        with self._lock:
+            return self._used + nbytes <= self.capacity_bytes

@@ -1,0 +1,34 @@
+"""Single-shard simulation of the Wildfire HTAP engine (paper section 2).
+
+Wildfire itself is IBM product-adjacent C++ and unavailable; this package
+rebuilds the parts Umzi's behaviour depends on, faithfully:
+
+* the **live zone**: transaction side-logs and the committed log;
+* the **groomer**: merges committed transactions in time order, assigns
+  monotonic hybrid ``beginTS`` values, emits columnar groomed blocks and
+  builds index runs;
+* the **post-groomer**: resolves ``prevRID`` / ``endTS`` through the index,
+  repartitions data by the partition key into larger post-groomed blocks
+  and publishes post-groom sequence numbers (PSNs);
+* the **indexer daemon**: polls MaxPSN and applies index evolve operations
+  in PSN order;
+* **snapshot-isolation reads** by query timestamp, including time travel.
+
+Everything runs against the simulated storage hierarchy, and the whole
+lifecycle can be driven deterministically (``WildfireShard.run_cycles``)
+or with real background threads (``WildfireShard.start_daemons``).
+"""
+
+from repro.wildfire.schema import IndexSpec, TableSchema
+from repro.wildfire.record import Record
+from repro.wildfire.clock import HybridClock
+from repro.wildfire.engine import ShardConfig, WildfireShard
+
+__all__ = [
+    "HybridClock",
+    "IndexSpec",
+    "Record",
+    "ShardConfig",
+    "TableSchema",
+    "WildfireShard",
+]

@@ -1,0 +1,188 @@
+"""Catalog of groomed and post-groomed data blocks.
+
+Blocks live on shared storage (write-through to the SSD cache, like index
+runs) and are decoded on demand.  The catalog also owns:
+
+* monotonic groomed / post-groomed block ids ("each groomed block is
+  uniquely identified by a monotonic increasing ID");
+* the deprecation lifecycle of groomed blocks ("after a post-groom
+  operation, groomed data blocks are marked deprecated and eventually
+  deleted"), with deletion deferred one PSN so in-flight queries holding
+  groomed RIDs can still resolve them;
+* the ``endTS`` overlay.  **Substitution note:** Wildfire updates endTS
+  fields inside post-groomed Parquet data; our shared storage (like S3)
+  forbids in-place updates, so endTS mutations live in an in-memory overlay
+  applied at record fetch.  Index behaviour is unaffected -- Umzi never
+  stores endTS -- and snapshot visibility semantics are identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.entry import RID, Zone
+from repro.storage.block import Block, BlockId
+from repro.storage.hierarchy import StorageHierarchy
+from repro.wildfire.columnar import DataBlock
+from repro.wildfire.record import Record
+from repro.wildfire.schema import TableSchema
+
+
+class BlockNotFound(KeyError):
+    """A data block (or record) was requested that no longer exists."""
+
+
+class BlockCatalog:
+    """Zone-aware data-block store for one table shard."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        hierarchy: StorageHierarchy,
+        table_name: Optional[str] = None,
+    ) -> None:
+        self.schema = schema
+        self.hierarchy = hierarchy
+        self.table_name = table_name if table_name is not None else schema.name
+        self._lock = threading.Lock()
+        self._next_groomed_id = 0
+        self._next_post_groomed_id = 0
+        self._live_groomed: Set[int] = set()
+        self._live_post_groomed: Set[int] = set()
+        self._deprecated_groomed: Set[int] = set()
+        self._decoded: Dict[Tuple[Zone, int], DataBlock] = {}
+        self._end_ts_overlay: Dict[RID, int] = {}
+
+    # -- namespaces -----------------------------------------------------------------
+
+    def _namespace(self, zone: Zone, block_id: int) -> str:
+        letter = "g" if zone is Zone.GROOMED else "p"
+        return f"{self.table_name}-blk-{letter}-{block_id:08d}"
+
+    # -- writes ----------------------------------------------------------------------
+
+    def store_groomed(self, records: Sequence[Record]) -> DataBlock:
+        """Persist one new groomed block; returns it with its assigned id."""
+        with self._lock:
+            block_id = self._next_groomed_id
+            self._next_groomed_id += 1
+            self._live_groomed.add(block_id)
+        return self._store(Zone.GROOMED, block_id, records)
+
+    def reserve_post_groomed_ids(self, count: int) -> int:
+        """Reserve ``count`` consecutive post-groomed block ids.
+
+        The post-groomer needs RIDs *before* blocks are written so it can
+        stitch intra-batch ``prevRID`` chains into the (immutable) records;
+        returns the first reserved id.
+        """
+        with self._lock:
+            first = self._next_post_groomed_id
+            self._next_post_groomed_id += count
+            return first
+
+    def store_post_groomed(
+        self, records: Sequence[Record], block_id: Optional[int] = None
+    ) -> DataBlock:
+        """Persist one post-groomed block (id auto-assigned or reserved)."""
+        with self._lock:
+            if block_id is None:
+                block_id = self._next_post_groomed_id
+                self._next_post_groomed_id += 1
+            elif block_id >= self._next_post_groomed_id:
+                raise ValueError(
+                    f"post-groomed block id {block_id} was never reserved"
+                )
+            self._live_post_groomed.add(block_id)
+        return self._store(Zone.POST_GROOMED, block_id, records)
+
+    def _store(
+        self, zone: Zone, block_id: int, records: Sequence[Record]
+    ) -> DataBlock:
+        block = DataBlock(zone=zone, block_id=block_id, records=tuple(records))
+        payload = block.to_bytes(self.schema)
+        storage_block = Block(BlockId(self._namespace(zone, block_id), 0), payload)
+        self.hierarchy.write_persisted(storage_block, write_through_ssd=True)
+        with self._lock:
+            self._decoded[(zone, block_id)] = block
+        return block
+
+    # -- reads ------------------------------------------------------------------------
+
+    def get_block(self, zone: Zone, block_id: int) -> DataBlock:
+        with self._lock:
+            cached = self._decoded.get((zone, block_id))
+        if cached is not None:
+            return cached
+        try:
+            raw = self.hierarchy.read(BlockId(self._namespace(zone, block_id), 0))
+        except KeyError as exc:
+            raise BlockNotFound(f"{zone.name} block {block_id}") from exc
+        block = DataBlock.from_bytes(self.schema, raw.payload)
+        with self._lock:
+            self._decoded[(zone, block_id)] = block
+        return block
+
+    def fetch_record(self, rid: RID) -> Record:
+        """Resolve a RID to its record, applying the endTS overlay."""
+        block = self.get_block(rid.zone, rid.block_id)
+        record = block.records[rid.offset]
+        end_ts = self._end_ts_overlay.get(rid)
+        if end_ts is not None:
+            record = record.with_end_ts(end_ts)
+        return record
+
+    # -- hidden-column maintenance (post-groomer) -----------------------------------------
+
+    def set_end_ts(self, rid: RID, end_ts: int) -> None:
+        with self._lock:
+            self._end_ts_overlay[rid] = end_ts
+
+    # -- groomed-block lifecycle ------------------------------------------------------------
+
+    @property
+    def max_groomed_id(self) -> int:
+        """Largest assigned groomed block id, or -1 when none exist yet."""
+        with self._lock:
+            return self._next_groomed_id - 1
+
+    @property
+    def max_post_groomed_id(self) -> int:
+        with self._lock:
+            return self._next_post_groomed_id - 1
+
+    def live_groomed_ids(self) -> List[int]:
+        with self._lock:
+            return sorted(self._live_groomed)
+
+    def deprecate_groomed(self, block_ids: Iterable[int]) -> None:
+        """Mark groomed blocks as superseded by post-groomed copies."""
+        with self._lock:
+            for block_id in block_ids:
+                if block_id in self._live_groomed:
+                    self._deprecated_groomed.add(block_id)
+
+    def delete_deprecated_up_to(self, max_block_id: int) -> List[int]:
+        """Physically delete deprecated groomed blocks with id <= bound."""
+        with self._lock:
+            doomed = sorted(
+                bid for bid in self._deprecated_groomed if bid <= max_block_id
+            )
+            for block_id in doomed:
+                self._deprecated_groomed.discard(block_id)
+                self._live_groomed.discard(block_id)
+                self._decoded.pop((Zone.GROOMED, block_id), None)
+        for block_id in doomed:
+            self.hierarchy.delete_namespace(self._namespace(Zone.GROOMED, block_id))
+        return doomed
+
+    # -- failure injection -----------------------------------------------------------------------
+
+    def forget_decoded(self) -> None:
+        """Drop the in-process decode cache (crash simulation support)."""
+        with self._lock:
+            self._decoded.clear()
+
+
+__all__ = ["BlockCatalog", "BlockNotFound"]

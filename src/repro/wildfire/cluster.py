@@ -1,0 +1,172 @@
+"""Multi-shard tables (paper sections 2.1, 3, 8).
+
+"Inserted records are routed by the sharding key to different shards. ...
+each Umzi index structure instance serves a single table shard.  There are
+a number of indexer daemons running in the cluster.  Each runs
+independently ... As a result, Umzi scales up and down nicely with more or
+less indexer daemons."
+
+This module provides that outer layer: a :class:`ShardedTable` routes
+upserts by the hash of the sharding key, runs each shard's lifecycle
+independently (shards share nothing -- separate storage hierarchies,
+logs, catalogs and index instances), and answers queries by routing
+(sharding key fully bound) or scatter-gather (otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.encoding import KeyValue, encode_composite, fnv1a64
+from repro.core.entry import IndexEntry
+from repro.wildfire.engine import ShardConfig, WildfireShard
+from repro.wildfire.record import Record
+from repro.wildfire.schema import IndexSpec, SchemaError, TableSchema
+
+
+class ShardedTable:
+    """A Wildfire table split into independent shards."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        index_spec: IndexSpec,
+        num_shards: int = 4,
+        config: Optional[ShardConfig] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if not schema.sharding_key:
+            raise SchemaError("a sharded table needs a sharding key")
+        self.schema = schema
+        self.index_spec = index_spec
+        self.num_shards = num_shards
+        self.shards: List[WildfireShard] = [
+            WildfireShard(schema, index_spec, config=config)
+            for _ in range(num_shards)
+        ]
+        self._shard_positions = schema.positions(schema.sharding_key)
+        # Which index key columns the sharding key pins (for routing reads).
+        self._spec_eq = index_spec.equality_columns
+        self._spec_sort = index_spec.sort_columns
+
+    # -- routing --------------------------------------------------------------------
+
+    def shard_of_row(self, row: Sequence[KeyValue]) -> int:
+        values = tuple(row[i] for i in self._shard_positions)
+        return self.shard_of_key(values)
+
+    def shard_of_key(self, sharding_values: Tuple[KeyValue, ...]) -> int:
+        return fnv1a64(encode_composite(sharding_values)) % self.num_shards
+
+    def _route_query(
+        self,
+        equality_values: Sequence[KeyValue],
+        sort_values: Sequence[KeyValue],
+    ) -> Optional[int]:
+        """Shard id when the sharding key is fully bound, else ``None``."""
+        bound: Dict[str, KeyValue] = {}
+        for name, value in zip(self._spec_eq, equality_values):
+            bound[name] = value
+        for name, value in zip(self._spec_sort, sort_values):
+            bound[name] = value
+        try:
+            values = tuple(bound[name] for name in self.schema.sharding_key)
+        except KeyError:
+            return None
+        return self.shard_of_key(values)
+
+    # -- ingestion -------------------------------------------------------------------
+
+    def ingest(self, rows: Sequence[Sequence[KeyValue]]) -> Dict[int, int]:
+        """Route rows to shards; returns rows-per-shard for observability."""
+        per_shard: Dict[int, List[Sequence[KeyValue]]] = {}
+        for row in rows:
+            per_shard.setdefault(self.shard_of_row(row), []).append(row)
+        for shard_id, shard_rows in per_shard.items():
+            self.shards[shard_id].ingest(shard_rows)
+        return {shard_id: len(rs) for shard_id, rs in per_shard.items()}
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One lifecycle cycle on every shard (deterministic driver)."""
+        for shard in self.shards:
+            shard.tick()
+
+    def run_cycles(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.tick()
+
+    def start_daemons(self, groom_interval_s: float = 0.05) -> None:
+        for shard in self.shards:
+            shard.start_daemons(groom_interval_s=groom_interval_s)
+
+    def stop_daemons(self) -> None:
+        for shard in self.shards:
+            shard.stop_daemons()
+
+    # -- queries ----------------------------------------------------------------------
+
+    def point_query(
+        self,
+        equality_values: Sequence[KeyValue] = (),
+        sort_values: Sequence[KeyValue] = (),
+        query_ts: Optional[int] = None,
+    ) -> Optional[Record]:
+        """Routed when the sharding key is bound (it is, for a primary-key
+        lookup: the sharding key is a subset of the primary key)."""
+        shard_id = self._route_query(equality_values, sort_values)
+        if shard_id is not None:
+            return self.shards[shard_id].point_query(
+                equality_values, sort_values, query_ts
+            )
+        for shard in self.shards:  # pragma: no cover - defensive fallback
+            record = shard.point_query(equality_values, sort_values, query_ts)
+            if record is not None:
+                return record
+        return None
+
+    def range_query(
+        self,
+        equality_values: Sequence[KeyValue] = (),
+        sort_lower: Optional[Sequence[KeyValue]] = None,
+        sort_upper: Optional[Sequence[KeyValue]] = None,
+        query_ts: Optional[int] = None,
+    ) -> List[IndexEntry]:
+        """Routed if the equality columns pin the sharding key; otherwise a
+        scatter-gather over every shard with a client-side merge."""
+        shard_id = self._route_query(equality_values, ())
+        if shard_id is not None:
+            return self.shards[shard_id].range_query(
+                equality_values, sort_lower, sort_upper, query_ts
+            )
+        gathered: List[IndexEntry] = []
+        for shard in self.shards:
+            gathered.extend(
+                shard.range_query(
+                    equality_values, sort_lower, sort_upper, query_ts
+                )
+            )
+        definition = self.shards[0].index.definition
+        gathered.sort(key=lambda entry: entry.key_bytes(definition))
+        return gathered
+
+    # -- observability ----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        per_shard = [shard.stats() for shard in self.shards]
+        return {
+            "num_shards": self.num_shards,
+            "total_entries": sum(
+                s["index"].total_entries for s in per_shard  # type: ignore[index]
+            ),
+            "per_shard": per_shard,
+        }
+
+    def crash_and_recover_shard(self, shard_id: int):
+        """Crash one shard's node; the rest keep serving (independence)."""
+        return self.shards[shard_id].crash_and_recover()
+
+
+__all__ = ["ShardedTable"]

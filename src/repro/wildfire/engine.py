@@ -1,0 +1,397 @@
+"""The shard facade: one table shard with the full Wildfire lifecycle.
+
+Ties together the committed log, groomer, post-groomer, indexer daemon and
+the Umzi index over one storage hierarchy, and exposes:
+
+* ingestion (auto-commit upserts or explicit transactions);
+* the lifecycle drivers -- deterministic (:meth:`WildfireShard.tick`,
+  :meth:`run_cycles`) and threaded (:meth:`start_daemons`), matching the
+  paper's cadence of "groomer runs every second, post-groomer every 20
+  seconds" as a cycle ratio;
+* snapshot-isolation reads: point lookups, range scans, batched lookups,
+  and time travel via explicit query timestamps, each resolving RIDs to
+  records through the block catalog.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.encoding import KeyValue
+from repro.core.entry import IndexEntry, Zone
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.maintenance import MaintenanceService
+from repro.core.query import MAX_QUERY_TS, PointLookup, RangeScanQuery
+from repro.storage.hierarchy import StorageHierarchy
+from repro.wildfire.blockstore import BlockCatalog
+from repro.wildfire.clock import HybridClock
+from repro.wildfire.groomer import GroomResult, Groomer
+from repro.wildfire.indexer import IndexerDaemon, IndexerStepResult
+from repro.wildfire.indexes import PRIMARY_INDEX_NAME, ShardIndexes
+from repro.wildfire.postgroomer import PostGroomer, PostGroomOp
+from repro.wildfire.record import Record
+from repro.wildfire.schema import IndexSpec, SchemaError, TableSchema
+from repro.wildfire.transaction import Transaction
+from repro.wildfire.txlog import CommittedLog
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Lifecycle cadence and component tunables for one shard."""
+
+    post_groom_every: int = 20  # groom cycles per post-groom (paper: 1s vs 20s)
+    partition_buckets: int = 4
+    umzi: UmziConfig = field(default_factory=UmziConfig)
+    require_primary_index: bool = True
+    groomed_block_grace_psns: int = 1
+    # Secondary indexes (name -> spec), maintained in lockstep with the
+    # primary through every groom and evolve (paper section 10 future work).
+    secondary_indexes: Optional[Dict[str, "IndexSpec"]] = None
+
+
+class WildfireShard:
+    """A single table shard of the simulated Wildfire engine."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        index_spec: IndexSpec,
+        hierarchy: Optional[StorageHierarchy] = None,
+        config: Optional[ShardConfig] = None,
+    ) -> None:
+        self.schema = schema
+        self.index_spec = index_spec
+        self.config = config if config is not None else ShardConfig()
+        if self.config.require_primary_index:
+            index_spec.validate_primary(schema)
+        self.hierarchy = hierarchy if hierarchy is not None else StorageHierarchy()
+
+        self.clock = HybridClock()
+        self.committed_log = CommittedLog(
+            self.hierarchy, namespace=f"{schema.name}-live-log"
+        )
+        self.catalog = BlockCatalog(schema, self.hierarchy)
+        self.indexes = ShardIndexes(
+            schema,
+            index_spec,
+            self.hierarchy,
+            self.config.umzi,
+            secondary_specs=self.config.secondary_indexes,
+            require_primary=self.config.require_primary_index,
+        )
+        self.index = self.indexes.primary.index  # the primary Umzi index
+        self.groomer = Groomer(
+            schema, self.clock, self.committed_log, self.catalog, self.indexes
+        )
+        self.post_groomer = PostGroomer(
+            schema,
+            self.catalog,
+            self.index,
+            index_spec,
+            partition_buckets=self.config.partition_buckets,
+        )
+        self.indexer = IndexerDaemon(
+            schema,
+            self.catalog,
+            self.indexes,
+            self.post_groomer,
+            groomed_block_grace_psns=self.config.groomed_block_grace_psns,
+        )
+        self.maintenance = MaintenanceService(self.index.merger, self.index.cache)
+        self._secondary_maintenance = [
+            MaintenanceService(si.index.merger, si.index.cache)
+            for si in self.indexes.secondaries.values()
+        ]
+        self._extract = index_spec.extractor(schema)
+        self._daemon_threads: List[threading.Thread] = []
+        self._daemons_stop = threading.Event()
+        self._cycle = 0
+
+    # ------------------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------------------
+
+    def begin(self, replica_id: int = 0) -> Transaction:
+        return Transaction(self.schema, self.clock, self.committed_log, replica_id)
+
+    def ingest(self, rows: Sequence[Sequence[KeyValue]], replica_id: int = 0) -> int:
+        """Auto-commit upsert of a batch of rows; returns the commit seq."""
+        transaction = self.begin(replica_id)
+        transaction.upsert_many(rows)
+        commit_seq = transaction.commit()
+        return commit_seq if commit_seq is not None else 0
+
+    # ------------------------------------------------------------------------------
+    # lifecycle -- deterministic driver
+    # ------------------------------------------------------------------------------
+
+    def tick(self) -> Dict[str, object]:
+        """One simulation cycle: groom, maybe post-groom, evolve, merge."""
+        self._cycle += 1
+        report: Dict[str, object] = {"cycle": self._cycle}
+        groom = self.groomer.groom()
+        report["groom"] = groom
+        if self._cycle % self.config.post_groom_every == 0:
+            report["post_groom"] = self.post_groomer.post_groom()
+        evolved = self.indexer.drain()
+        if evolved:
+            report["evolved"] = evolved
+        merges = self.maintenance.step()
+        for service in self._secondary_maintenance:
+            service.step()
+        if merges:
+            report["merges"] = merges
+        return report
+
+    def run_cycles(self, cycles: int, ingest_fn=None) -> List[Dict[str, object]]:
+        """Drive ``cycles`` ticks; ``ingest_fn(cycle)`` feeds rows first."""
+        reports = []
+        for _ in range(cycles):
+            if ingest_fn is not None:
+                rows = ingest_fn(self._cycle + 1)
+                if rows:
+                    self.ingest(rows)
+            reports.append(self.tick())
+        return reports
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    # ------------------------------------------------------------------------------
+    # lifecycle -- threaded daemons (end-to-end experiments)
+    # ------------------------------------------------------------------------------
+
+    def start_daemons(
+        self,
+        groom_interval_s: float = 0.05,
+        post_groom_enabled: bool = True,
+    ) -> None:
+        """Run groomer/post-groomer/indexer/maintenance as real threads.
+
+        ``groom_interval_s`` is the scaled-down "every second"; the
+        post-groomer fires every ``config.post_groom_every`` grooms, as in
+        the paper's 1s/20s cadence.  ``post_groom_enabled=False`` is the
+        Figure 15 ablation (no post-groom, hence no index evolution).
+        """
+        if self._daemon_threads:
+            raise RuntimeError("daemons already running")
+        self._daemons_stop.clear()
+
+        def groom_loop() -> None:
+            grooms = 0
+            while not self._daemons_stop.is_set():
+                result = self.groomer.groom()
+                if result is not None:
+                    grooms += 1
+                    if post_groom_enabled and grooms % self.config.post_groom_every == 0:
+                        self.post_groomer.post_groom()
+                time.sleep(groom_interval_s)
+
+        thread = threading.Thread(target=groom_loop, name="wildfire-groomer", daemon=True)
+        thread.start()
+        self._daemon_threads.append(thread)
+        if post_groom_enabled:
+            self.indexer.start()
+        self.maintenance.start()
+        for service in self._secondary_maintenance:
+            service.start()
+
+    def stop_daemons(self) -> None:
+        self._daemons_stop.set()
+        for thread in self._daemon_threads:
+            thread.join(timeout=5.0)
+        self._daemon_threads = []
+        self.indexer.stop()
+        if self.maintenance.running:
+            self.maintenance.stop()
+        for service in self._secondary_maintenance:
+            if service.running:
+                service.stop()
+
+    # ------------------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------------------
+
+    def current_snapshot_ts(self) -> int:
+        """Freshest groomed-visible snapshot timestamp."""
+        return self.clock.now()
+
+    def index_lookup(
+        self,
+        equality_values: Sequence[KeyValue] = (),
+        sort_values: Sequence[KeyValue] = (),
+        query_ts: Optional[int] = None,
+    ) -> Optional[IndexEntry]:
+        """Pure index point lookup (what the paper's experiments time)."""
+        ts = query_ts if query_ts is not None else self.current_snapshot_ts()
+        return self.index.lookup(equality_values, sort_values, ts)
+
+    def index_batch_lookup(
+        self,
+        keys: Sequence[Tuple[Tuple[KeyValue, ...], Tuple[KeyValue, ...]]],
+        query_ts: Optional[int] = None,
+    ) -> List[Optional[IndexEntry]]:
+        ts = query_ts if query_ts is not None else self.current_snapshot_ts()
+        lookups = [PointLookup(eq, sort, ts) for eq, sort in keys]
+        return self.index.batch_lookup(lookups)
+
+    def point_query(
+        self,
+        equality_values: Sequence[KeyValue] = (),
+        sort_values: Sequence[KeyValue] = (),
+        query_ts: Optional[int] = None,
+        freshness: str = "groomed",
+    ) -> Optional[Record]:
+        """Index lookup + record fetch through the block catalog.
+
+        ``freshness`` selects the snapshot class (paper section 3: "a query
+        may need to access data in the live zone, groomed zone, and/or the
+        post-groomed zone"):
+
+        * ``"groomed"`` (default) -- everything groomed so far, i.e. the
+          quorum-readable snapshot the index covers;
+        * ``"live"`` -- additionally scan the (small, unindexed) live zone
+          for committed-but-not-yet-groomed writes; the newest committed
+          write for the key wins.  Live-zone versions have no ``beginTS``
+          yet (the groomer assigns it), so explicit ``query_ts`` time
+          travel only applies to the indexed zones.
+        """
+        if freshness not in ("groomed", "live"):
+            raise ValueError(f"unknown freshness level {freshness!r}")
+        if freshness == "live" and query_ts is None:
+            live_hit = self._live_zone_lookup(equality_values, sort_values)
+            if live_hit is not None:
+                return live_hit
+        entry = self.index_lookup(equality_values, sort_values, query_ts)
+        if entry is None:
+            return None
+        return self.catalog.fetch_record(entry.rid)
+
+    def _live_zone_lookup(
+        self,
+        equality_values: Sequence[KeyValue],
+        sort_values: Sequence[KeyValue],
+    ) -> Optional[Record]:
+        """Scan the committed log for the newest write of one key.
+
+        The live zone is deliberately unindexed (section 3: grooming is
+        frequent, the zone stays small), so this is a linear scan in commit
+        order; the last match is the newest committed version.
+        """
+        target = tuple(equality_values) + tuple(sort_values)
+        newest: Optional[Tuple[int, Tuple[KeyValue, ...]]] = None
+        for transaction in self.committed_log.peek():
+            for row in transaction.rows:
+                eq, sort, _ = self._extract(row)
+                if eq + sort == target:
+                    candidate = (transaction.commit_seq, row)
+                    if newest is None or candidate[0] >= newest[0]:
+                        newest = candidate
+        if newest is None:
+            return None
+        # beginTS is assigned at groom time; expose the tentative commit
+        # sequence so callers can still order live versions.
+        return Record(values=newest[1], begin_ts=newest[0])
+
+    def range_query(
+        self,
+        equality_values: Sequence[KeyValue] = (),
+        sort_lower: Optional[Sequence[KeyValue]] = None,
+        sort_upper: Optional[Sequence[KeyValue]] = None,
+        query_ts: Optional[int] = None,
+        fetch_records: bool = False,
+    ) -> List:
+        ts = query_ts if query_ts is not None else self.current_snapshot_ts()
+        entries = self.index.scan(equality_values, sort_lower, sort_upper, ts)
+        if not fetch_records:
+            return entries
+        return [self.catalog.fetch_record(entry.rid) for entry in entries]
+
+    # -- secondary index queries -------------------------------------------------
+
+    def secondary_scan(
+        self,
+        index_name: str,
+        equality_values: Sequence[KeyValue] = (),
+        sort_lower: Optional[Sequence[KeyValue]] = None,
+        sort_upper: Optional[Sequence[KeyValue]] = None,
+        query_ts: Optional[int] = None,
+        fetch_records: bool = False,
+    ) -> List:
+        """Scan a secondary index; secondary keys are not unique, so this
+        returns every matching row's newest visible version."""
+        shard_index = self.indexes.get(index_name)
+        ts = query_ts if query_ts is not None else self.current_snapshot_ts()
+        entries = shard_index.index.scan(
+            equality_values, sort_lower, sort_upper, ts
+        )
+        if not fetch_records:
+            return entries
+        return [self.catalog.fetch_record(entry.rid) for entry in entries]
+
+    def secondary_lookup(
+        self,
+        index_name: str,
+        equality_values: Sequence[KeyValue] = (),
+        sort_prefix: Sequence[KeyValue] = (),
+        query_ts: Optional[int] = None,
+    ) -> List[IndexEntry]:
+        """All rows matching one secondary value (a prefix scan: the
+        secondary key is internally suffixed with the primary key)."""
+        return self.secondary_scan(
+            index_name,
+            equality_values,
+            sort_lower=tuple(sort_prefix) or None,
+            sort_upper=tuple(sort_prefix) or None,
+            query_ts=query_ts,
+        )
+
+    def time_travel(
+        self,
+        equality_values: Sequence[KeyValue],
+        sort_values: Sequence[KeyValue],
+        query_ts: int,
+        max_versions: int = 16,
+    ) -> List[Record]:
+        """The visible version at ``query_ts`` plus its prevRID chain."""
+        entry = self.index_lookup(equality_values, sort_values, query_ts)
+        if entry is None:
+            return []
+        versions: List[Record] = []
+        record = self.catalog.fetch_record(entry.rid)
+        versions.append(record)
+        while record.prev_rid is not None and len(versions) < max_versions:
+            record = self.catalog.fetch_record(record.prev_rid)
+            versions.append(record)
+        return versions
+
+    # ------------------------------------------------------------------------------
+    # introspection / recovery
+    # ------------------------------------------------------------------------------
+
+    def crash_and_recover(self):
+        """Simulate an indexer-node crash and recover every index."""
+        self.hierarchy.crash_local_tiers()
+        self.catalog.forget_decoded()
+        primary_state = self.index.recover()
+        for shard_index in self.indexes.secondaries.values():
+            shard_index.index.recover()
+        return primary_state
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "cycle": self._cycle,
+            "live_rows": self.committed_log.pending_rows(),
+            "groomed_blocks": len(self.catalog.live_groomed_ids()),
+            "max_psn": self.post_groomer.max_psn,
+            "indexed_psn": self.index.indexed_psn,
+            "index": self.index.stats(),
+            "io": self.hierarchy.stats.snapshot(),
+        }
+
+
+__all__ = ["ShardConfig", "WildfireShard"]

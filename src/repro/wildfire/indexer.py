@@ -1,0 +1,161 @@
+"""The indexer daemon (paper sections 3, 5.4).
+
+"The indexer keeps track of the indexed post-groom sequence number, i.e.,
+IndexedPSN, and keeps polling the maximum PSN.  If IndexedPSN is smaller
+than the maximum PSN, the indexer process performs an index evolve
+operation for IndexedPSN+1, which guarantees the index evolves in a
+correct order."
+
+The daemon is deliberately decoupled from the post-groomer: it reads only
+published PSN metadata and the post-groomed blocks themselves -- the
+minimum-coordination property the paper emphasizes for loosely-coupled
+distributed processes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.entry import Zone
+from repro.core.evolve import EvolveResult
+from repro.wildfire.blockstore import BlockCatalog
+from repro.wildfire.indexes import ShardIndexes
+from repro.wildfire.postgroomer import PostGroomer
+from repro.wildfire.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class IndexerStepResult:
+    """One applied PSN (an evolve per index) plus groomed-block cleanup."""
+
+    evolve: EvolveResult  # the primary index's evolve
+    deleted_groomed_blocks: List[int]
+    secondary_evolves: Tuple[EvolveResult, ...] = ()
+
+
+class IndexerDaemon:
+    """Applies pending index evolve operations in PSN order."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        catalog: BlockCatalog,
+        indexes: ShardIndexes,
+        post_groomer: PostGroomer,
+        groomed_block_grace_psns: int = 1,
+    ) -> None:
+        self.schema = schema
+        self.catalog = catalog
+        self.indexes = indexes
+        self.index = indexes.primary.index  # the primary index
+        self.post_groomer = post_groomer
+        # Groomed blocks of PSN p are deleted only once PSN p+grace has
+        # evolved, so queries that raced an evolve can still resolve
+        # groomed RIDs ("eventually deleted", section 5.4).
+        self.groomed_block_grace_psns = groomed_block_grace_psns
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.evolves_applied = 0
+
+    # -- polling ------------------------------------------------------------------
+
+    def pending_psns(self) -> int:
+        return max(0, self.post_groomer.max_psn - self.indexes.min_indexed_psn())
+
+    def step(self) -> Optional[IndexerStepResult]:
+        """Apply the next pending PSN: one evolve per attached index."""
+        with self._lock:
+            next_psn = self.indexes.min_indexed_psn() + 1
+            if next_psn > self.post_groomer.max_psn:
+                return None
+            op = self.post_groomer.get_op(next_psn)
+
+            blocks = [
+                self.catalog.get_block(Zone.POST_GROOMED, block_id)
+                for block_id in op.post_groomed_block_ids
+            ]
+            primary_result: Optional[EvolveResult] = None
+            secondary_results: List[EvolveResult] = []
+            for shard_index in self.indexes.all():
+                if shard_index.index.indexed_psn >= next_psn:
+                    continue  # already evolved (e.g. resumed after crash)
+                entries = []
+                for block in blocks:
+                    for offset, record in enumerate(block.records):
+                        eq, sort, incl = shard_index.extract(record.values)
+                        entries.append(
+                            shard_index.index.make_entry(
+                                eq, sort, incl, record.begin_ts,
+                                block.rid_of(offset),
+                            )
+                        )
+                result = shard_index.index.evolve(
+                    op.psn, entries, op.min_groomed_id, op.max_groomed_id
+                )
+                if shard_index.name == "primary":
+                    primary_result = result
+                else:
+                    secondary_results.append(result)
+            if primary_result is None:
+                # Primary was already at this PSN (crash replay): synthesize
+                # a no-op record so callers still get a coherent result.
+                from repro.core.evolve import EvolveResult as _ER
+
+                primary_result = _ER(
+                    psn=next_psn, new_run_id="", new_run_entries=0,
+                    watermark_before=self.index.watermark.value,
+                    watermark_after=self.index.watermark.value,
+                    collected_run_ids=(),
+                )
+
+            # Deferred physical cleanup of deprecated groomed blocks.
+            grace_psn = op.psn - self.groomed_block_grace_psns
+            deleted: List[int] = []
+            if grace_psn >= 1:
+                bound = self.post_groomer.get_op(grace_psn).max_groomed_id
+                deleted = self.catalog.delete_deprecated_up_to(bound)
+
+            self.evolves_applied += 1
+            return IndexerStepResult(
+                evolve=primary_result,
+                deleted_groomed_blocks=deleted,
+                secondary_evolves=tuple(secondary_results),
+            )
+
+    def drain(self, max_steps: int = 64) -> List[IndexerStepResult]:
+        """Apply every pending evolve (deterministic mode)."""
+        results: List[IndexerStepResult] = []
+        for _ in range(max_steps):
+            result = self.step()
+            if result is None:
+                break
+            results.append(result)
+        return results
+
+    # -- threaded mode --------------------------------------------------------------
+
+    def start(self, poll_interval_s: float = 0.01) -> None:
+        if self._thread is not None:
+            raise RuntimeError("indexer daemon already running")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                if self.step() is None:
+                    time.sleep(poll_interval_s)
+
+        self._thread = threading.Thread(target=loop, name="umzi-indexer", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+
+
+__all__ = ["IndexerDaemon", "IndexerStepResult"]

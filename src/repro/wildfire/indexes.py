@@ -1,0 +1,150 @@
+"""Primary + secondary index management for one shard.
+
+The paper's future work (section 10): "we plan to extend Umzi to build and
+maintain secondary indexes in HTAP systems."  This module implements that
+extension: a shard owns one *primary* Umzi index (key columns = the
+table's primary key) and any number of *secondary* Umzi indexes (key
+columns over arbitrary table columns).
+
+All indexes share the shard's lifecycle: every groom builds one run per
+index over the new groomed block, and every post-groom is followed by one
+evolve per index.  Secondary indexes are multi-version exactly like the
+primary -- a secondary entry carries the version's ``beginTS`` and RID, so
+snapshot reads and time travel work through them too.  Secondary keys are
+not unique: a secondary lookup is a range scan over the secondary key
+returning every matching (primary) row's newest visible version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.encoding import KeyValue
+from repro.core.index import UmziConfig, UmziIndex
+from repro.storage.hierarchy import StorageHierarchy
+from repro.wildfire.schema import IndexSpec, SchemaError, TableSchema
+
+PRIMARY_INDEX_NAME = "primary"
+
+
+@dataclass
+class ShardIndex:
+    """One named index attached to a shard."""
+
+    name: str
+    spec: IndexSpec
+    index: UmziIndex
+    extract: Callable
+
+
+class ShardIndexes:
+    """The set of indexes a shard maintains in lockstep."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        primary_spec: IndexSpec,
+        hierarchy: StorageHierarchy,
+        umzi_config: UmziConfig,
+        secondary_specs: Optional[Dict[str, IndexSpec]] = None,
+        require_primary: bool = True,
+    ) -> None:
+        self.schema = schema
+        if require_primary:
+            primary_spec.validate_primary(schema)
+        self.primary = self._attach(
+            PRIMARY_INDEX_NAME, primary_spec, hierarchy, umzi_config
+        )
+        self.secondaries: Dict[str, ShardIndex] = {}
+        for name, spec in (secondary_specs or {}).items():
+            self.add_secondary(name, spec, hierarchy, umzi_config)
+
+    def _attach(
+        self,
+        name: str,
+        spec: IndexSpec,
+        hierarchy: StorageHierarchy,
+        umzi_config: UmziConfig,
+    ) -> ShardIndex:
+        config = replace(
+            umzi_config, name=f"{self.schema.name}-{name}"
+        )
+        index = UmziIndex(spec.build_definition(self.schema), hierarchy, config)
+        return ShardIndex(
+            name=name, spec=spec, index=index,
+            extract=spec.extractor(self.schema),
+        )
+
+    def add_secondary(
+        self,
+        name: str,
+        spec: IndexSpec,
+        hierarchy: StorageHierarchy,
+        umzi_config: UmziConfig,
+    ) -> ShardIndex:
+        """Register a secondary index (before any data is ingested).
+
+        Building secondary indexes over pre-existing data would require a
+        backfill scan, which the engine does not implement; registration is
+        therefore restricted to empty shards (enforced by the caller).
+        """
+        if name == PRIMARY_INDEX_NAME or name in self.secondaries:
+            raise SchemaError(f"index name {name!r} already in use")
+        # Suffix the primary key so every (secondary key, primary key) pair
+        # is unique -- reconciliation must collapse versions, not distinct
+        # records that happen to share a secondary value.
+        spec = spec.with_primary_key_suffix(self.schema)
+        attached = self._attach(name, spec, hierarchy, umzi_config)
+        self.secondaries[name] = attached
+        return attached
+
+    # -- iteration ---------------------------------------------------------------
+
+    def all(self) -> List[ShardIndex]:
+        return [self.primary] + list(self.secondaries.values())
+
+    def get(self, name: str) -> ShardIndex:
+        if name == PRIMARY_INDEX_NAME:
+            return self.primary
+        if name in self.secondaries:
+            return self.secondaries[name]
+        raise KeyError(f"no index named {name!r}")
+
+    def names(self) -> List[str]:
+        return [si.name for si in self.all()]
+
+    # -- lifecycle fan-out ---------------------------------------------------------
+
+    def build_groomed_runs(self, block, records) -> Dict[str, str]:
+        """One index run per index over one newly groomed block."""
+        run_ids: Dict[str, str] = {}
+        for shard_index in self.all():
+            entries = []
+            for offset, record in enumerate(records):
+                eq, sort, incl = shard_index.extract(record.values)
+                entries.append(
+                    shard_index.index.make_entry(
+                        eq, sort, incl, record.begin_ts, block.rid_of(offset)
+                    )
+                )
+            run = shard_index.index.add_groomed_run(
+                entries,
+                min_groomed_id=block.block_id,
+                max_groomed_id=block.block_id,
+            )
+            run_ids[shard_index.name] = run.run_id
+        return run_ids
+
+    def min_indexed_psn(self) -> int:
+        """The slowest index's progress gates groomed-block deletion."""
+        return min(si.index.indexed_psn for si in self.all())
+
+    def run_maintenance(self) -> int:
+        merges = 0
+        for shard_index in self.all():
+            merges += len(shard_index.index.run_maintenance())
+        return merges
+
+
+__all__ = ["PRIMARY_INDEX_NAME", "ShardIndex", "ShardIndexes"]

@@ -1,0 +1,191 @@
+"""The post-groomer (paper section 2.1).
+
+Every post-groom operation takes the groomed blocks produced since the last
+one and:
+
+1. collects, through the *post-groomed portion* of the index, the RIDs of
+   already post-groomed records that the new records replace;
+2. sets ``prevRID`` on the new records and ``endTS`` on the replaced ones
+   (version chains for snapshot isolation and time travel);
+3. re-organizes records by the analytics-friendly partition key into
+   larger post-groomed blocks on shared storage;
+4. publishes the operation's metadata under a new post-groom sequence
+   number (PSN) and advances MaxPSN -- the indexer daemon polls this and
+   evolves the index asynchronously (section 5.4);
+5. marks the consumed groomed blocks deprecated.
+
+The post-groomer never touches the index itself; the indexer does.  That
+split (two loosely-coupled processes, coordination through PSN metadata
+only) is exactly the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.encoding import KeyValue
+from repro.core.entry import RID, Zone
+from repro.core.index import UmziIndex
+from repro.wildfire.blockstore import BlockCatalog
+from repro.wildfire.record import Record
+from repro.wildfire.schema import IndexSpec, TableSchema
+
+
+@dataclass(frozen=True)
+class PostGroomOp:
+    """Published metadata of one post-groom operation (the PSN record)."""
+
+    psn: int
+    min_groomed_id: int
+    max_groomed_id: int
+    post_groomed_block_ids: Tuple[int, ...]
+    record_count: int
+
+
+class PostGroomer:
+    """Periodic groomed-zone -> post-groomed-zone migration."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        catalog: BlockCatalog,
+        index: UmziIndex,
+        index_spec: IndexSpec,
+        partition_buckets: int = 4,
+    ) -> None:
+        if partition_buckets < 1:
+            raise ValueError("partition_buckets must be >= 1")
+        self.schema = schema
+        self.catalog = catalog
+        self.index = index
+        self._extract = index_spec.extractor(schema)
+        self.partition_buckets = partition_buckets
+        self._lock = threading.Lock()
+        self._ops: Dict[int, PostGroomOp] = {}
+        self._max_psn = 0
+        self._last_post_groomed_gid = -1
+        self._partition_positions = (
+            schema.positions(schema.partition_key) if schema.partition_key else ()
+        )
+
+    # -- published metadata (polled by the indexer) -----------------------------------
+
+    @property
+    def max_psn(self) -> int:
+        """MaxPSN -- the newest published post-groom sequence number."""
+        with self._lock:
+            return self._max_psn
+
+    def get_op(self, psn: int) -> PostGroomOp:
+        with self._lock:
+            if psn not in self._ops:
+                raise KeyError(f"no post-groom operation published for PSN {psn}")
+            return self._ops[psn]
+
+    @property
+    def last_post_groomed_gid(self) -> int:
+        with self._lock:
+            return self._last_post_groomed_gid
+
+    # -- the operation ------------------------------------------------------------------
+
+    def post_groom(self) -> Optional[PostGroomOp]:
+        """Process all groomed blocks created since the previous post-groom."""
+        with self._lock:
+            first_gid = self._last_post_groomed_gid + 1
+            last_gid = self.catalog.max_groomed_id
+            if last_gid < first_gid:
+                return None
+
+            records = self._collect_groomed_records(first_gid, last_gid)
+            block_ids = self._repartition_and_write(records)
+
+            psn = self._max_psn + 1
+            op = PostGroomOp(
+                psn=psn,
+                min_groomed_id=first_gid,
+                max_groomed_id=last_gid,
+                post_groomed_block_ids=tuple(block_ids),
+                record_count=len(records),
+            )
+            self._ops[psn] = op
+            self._last_post_groomed_gid = last_gid
+            self.catalog.deprecate_groomed(range(first_gid, last_gid + 1))
+            self._max_psn = psn  # the atomic MaxPSN publication
+            return op
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _collect_groomed_records(
+        self, first_gid: int, last_gid: int
+    ) -> List[Record]:
+        """Scan the newly groomed blocks in beginTS (= block, offset) order."""
+        records: List[Record] = []
+        for gid in range(first_gid, last_gid + 1):
+            block = self.catalog.get_block(Zone.GROOMED, gid)
+            records.extend(block.records)
+        return records
+
+    def _repartition_and_write(self, records: List[Record]) -> List[int]:
+        """Partition, resolve version chains, and write post-groomed blocks.
+
+        Block ids are *reserved* before writing so every record's eventual
+        RID is known up front; that lets intra-batch ``prevRID`` chains (a
+        key updated more than once since the last post-groom) be stitched
+        into the immutable records.  Previous versions outside the batch
+        are found through the post-groomed portion of the index.
+        """
+        # Partition into buckets; records stay in beginTS order per bucket.
+        buckets: Dict[int, List[Record]] = {}
+        placement: List[Tuple[int, int]] = []  # batch order -> (bucket, offset)
+        for record in records:
+            bucket = self._bucket_of(record)
+            slot = buckets.setdefault(bucket, [])
+            placement.append((bucket, len(slot)))
+            slot.append(record)
+
+        sorted_buckets = sorted(buckets)
+        first_id = self.catalog.reserve_post_groomed_ids(len(sorted_buckets))
+        block_id_of = {
+            bucket: first_id + i for i, bucket in enumerate(sorted_buckets)
+        }
+
+        # Resolve version chains in global beginTS order (= batch order).
+        last_rid: Dict[Tuple[KeyValue, ...], RID] = {}
+        for record, (bucket, offset) in zip(records, placement):
+            key = self.schema.primary_key_of(record.values)
+            prev_rid = last_rid.get(key)
+            if prev_rid is None:
+                eq, sort, _ = self._extract(record.values)
+                hit = self.index.post_groomed_lookup(
+                    eq, sort, query_ts=record.begin_ts - 1
+                )
+                if hit is not None:
+                    prev_rid = hit.rid
+            if prev_rid is not None:
+                self.catalog.set_end_ts(prev_rid, record.begin_ts)
+            new_rid = RID(Zone.POST_GROOMED, block_id_of[bucket], offset)
+            buckets[bucket][offset] = record.with_prev_rid(prev_rid)
+            last_rid[key] = new_rid
+
+        block_ids: List[int] = []
+        for bucket in sorted_buckets:
+            block = self.catalog.store_post_groomed(
+                buckets[bucket], block_id=block_id_of[bucket]
+            )
+            block_ids.append(block.block_id)
+        return block_ids
+
+    def _bucket_of(self, record: Record) -> int:
+        if not self._partition_positions:
+            return 0
+        value = tuple(record.values[i] for i in self._partition_positions)
+        # Deterministic partition bucketing (Python's hash is salted).
+        from repro.core.encoding import encode_composite, fnv1a64
+
+        return fnv1a64(encode_composite(value)) % self.partition_buckets
+
+
+__all__ = ["PostGroomOp", "PostGroomer"]

@@ -1,0 +1,158 @@
+"""Table schemas (paper section 2.1).
+
+A Wildfire table is defined with a primary key, a sharding key (a subset of
+the primary key, routing records to shards), and optionally a partition key
+(organizing post-groomed data for analytics; typically different from the
+sharding key -- e.g. device id shards, date partitions).
+
+Wildfire adds three hidden columns to every table: ``beginTS`` (set by the
+groomer), ``endTS`` (set by the post-groomer when a newer version of the
+key lands), and ``prevRID`` (the previous version's RID); they live on
+:class:`~repro.wildfire.record.Record`, not in the user schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.core.definition import ColumnSpec, IndexDefinition
+from repro.core.encoding import KeyValue
+
+
+class SchemaError(ValueError):
+    """Invalid table schema or index specification."""
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Columns plus primary / sharding / partition key declarations."""
+
+    name: str
+    columns: Tuple[ColumnSpec, ...]
+    primary_key: Tuple[str, ...]
+    sharding_key: Tuple[str, ...] = ()
+    partition_key: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names: {names}")
+        known = set(names)
+        if not self.primary_key:
+            raise SchemaError("a Wildfire table requires a primary key")
+        for group, label in (
+            (self.primary_key, "primary key"),
+            (self.sharding_key, "sharding key"),
+            (self.partition_key, "partition key"),
+        ):
+            for column in group:
+                if column not in known:
+                    raise SchemaError(f"{label} column {column!r} not in schema")
+        if not set(self.sharding_key) <= set(self.primary_key):
+            raise SchemaError("the sharding key must be a subset of the primary key")
+
+    # -- positional access ---------------------------------------------------------
+
+    def position(self, column: str) -> int:
+        for i, spec in enumerate(self.columns):
+            if spec.name == column:
+                return i
+        raise SchemaError(f"unknown column {column!r}")
+
+    def positions(self, columns: Sequence[str]) -> Tuple[int, ...]:
+        return tuple(self.position(c) for c in columns)
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def primary_key_of(self, values: Sequence[KeyValue]) -> Tuple[KeyValue, ...]:
+        return tuple(values[i] for i in self.positions(self.primary_key))
+
+    def partition_value_of(
+        self, values: Sequence[KeyValue]
+    ) -> Tuple[KeyValue, ...]:
+        return tuple(values[i] for i in self.positions(self.partition_key))
+
+    def validate_row(self, values: Sequence[KeyValue]) -> Tuple[KeyValue, ...]:
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(values)} values; schema {self.name!r} has "
+                f"{len(self.columns)} columns"
+            )
+        return tuple(
+            spec.validate(value) for spec, value in zip(self.columns, values)
+        )
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Maps an index definition onto table columns.
+
+    ``equality_columns + sort_columns`` must equal the table's primary key
+    when the index serves as the primary index (the paper's assumption
+    throughout).
+    """
+
+    equality_columns: Tuple[str, ...] = ()
+    sort_columns: Tuple[str, ...] = ()
+    included_columns: Tuple[str, ...] = ()
+    hash_bits: int = 8
+
+    def build_definition(self, schema: TableSchema) -> IndexDefinition:
+        def specs(names: Tuple[str, ...]) -> Tuple[ColumnSpec, ...]:
+            return tuple(schema.columns[schema.position(n)] for n in names)
+
+        return IndexDefinition(
+            equality_columns=specs(self.equality_columns),
+            sort_columns=specs(self.sort_columns),
+            included_columns=specs(self.included_columns),
+            hash_bits=self.hash_bits,
+        )
+
+    def validate_primary(self, schema: TableSchema) -> None:
+        key_columns = set(self.equality_columns) | set(self.sort_columns)
+        if key_columns != set(schema.primary_key):
+            raise SchemaError(
+                f"primary index key columns {sorted(key_columns)} must equal "
+                f"the table primary key {sorted(schema.primary_key)}"
+            )
+
+    def with_primary_key_suffix(self, schema: TableSchema) -> "IndexSpec":
+        """Append any missing primary-key columns to the sort columns.
+
+        Secondary index keys are not unique on their own; suffixing the
+        primary key makes every (secondary key, primary key) pair unique so
+        reconciliation collapses *versions of one record* rather than
+        distinct records sharing a secondary value.  Versions of the same
+        record still share the full key and reconcile to the newest one.
+        """
+        covered = set(self.equality_columns) | set(self.sort_columns)
+        missing = tuple(c for c in schema.primary_key if c not in covered)
+        if not missing:
+            return self
+        return IndexSpec(
+            equality_columns=self.equality_columns,
+            sort_columns=self.sort_columns + missing,
+            included_columns=self.included_columns,
+            hash_bits=self.hash_bits,
+        )
+
+    def extractor(self, schema: TableSchema):
+        """Return a function mapping a row tuple to (eq, sort, include)."""
+        eq_pos = schema.positions(self.equality_columns)
+        sort_pos = schema.positions(self.sort_columns)
+        incl_pos = schema.positions(self.included_columns)
+
+        def extract(values: Sequence[KeyValue]):
+            return (
+                tuple(values[i] for i in eq_pos),
+                tuple(values[i] for i in sort_pos),
+                tuple(values[i] for i in incl_pos),
+            )
+
+        return extract
+
+
+__all__ = ["IndexSpec", "SchemaError", "TableSchema"]

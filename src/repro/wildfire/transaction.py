@@ -1,0 +1,84 @@
+"""Upsert transactions (paper section 2.1).
+
+"All inserts, updates, and deletes in Wildfire are treated as upserts based
+on the user-defined primary key" with last-writer-wins semantics for
+concurrent updates.  A transaction stages rows in its side-log and, at
+commit, stamps them with a tentative commit sequence and appends to the
+committed log.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.encoding import KeyValue
+from repro.wildfire.clock import HybridClock
+from repro.wildfire.schema import TableSchema
+from repro.wildfire.txlog import CommittedLog, CommittedTransaction, SideLog
+
+
+class TransactionError(RuntimeError):
+    """Commit/abort misuse (double commit, use after close)."""
+
+
+class Transaction:
+    """A single-shard upsert transaction."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        clock: HybridClock,
+        committed_log: CommittedLog,
+        replica_id: int = 0,
+    ) -> None:
+        self.schema = schema
+        self._clock = clock
+        self._committed_log = committed_log
+        self._replica_id = replica_id
+        self._side_log = SideLog()
+        self._closed = False
+
+    def upsert(self, values: Sequence[KeyValue]) -> None:
+        """Stage one row (insert or update -- distinguished only by key)."""
+        self._ensure_open()
+        self._side_log.append(self.schema.validate_row(values))
+
+    def upsert_many(self, rows: Sequence[Sequence[KeyValue]]) -> None:
+        for row in rows:
+            self.upsert(row)
+
+    def commit(self) -> Optional[int]:
+        """Append the side-log to the committed log.
+
+        Returns the tentative commit sequence (the low-order component of
+        the eventual ``beginTS``), or ``None`` for an empty transaction.
+        """
+        self._ensure_open()
+        self._closed = True
+        rows = self._side_log.rows()
+        if not rows:
+            return None
+        commit_seq = self._clock.next_commit_seq()
+        self._committed_log.append(
+            CommittedTransaction(
+                commit_seq=commit_seq, replica_id=self._replica_id, rows=rows
+            )
+        )
+        return commit_seq
+
+    def abort(self) -> None:
+        """Discard the side-log; uncommitted changes were never visible."""
+        self._ensure_open()
+        self._closed = True
+        self._side_log = SideLog()
+
+    @property
+    def pending(self) -> int:
+        return len(self._side_log)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise TransactionError("transaction already committed or aborted")
+
+
+__all__ = ["Transaction", "TransactionError"]

@@ -1,0 +1,149 @@
+"""Mixed HTAP operation streams.
+
+The paper's end-to-end experiments run ingest and lookup batches
+concurrently at a fixed cadence; real HTAP front-ends interleave more
+operation kinds.  This module generates deterministic mixed streams --
+upserts, point lookups, range scans, and time-travel reads over previously
+observed snapshots -- with configurable weights, for soak tests and
+user-defined benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.workloads.generator import IoTUpdateWorkload
+
+
+class OpKind(str, enum.Enum):
+    UPSERT_BATCH = "upsert_batch"
+    POINT_LOOKUP = "point_lookup"
+    RANGE_SCAN = "range_scan"
+    TIME_TRAVEL = "time_travel"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of the mixed stream.
+
+    ``keys`` carries the abstract workload keys involved (upsert batches,
+    lookup targets, or the scan anchor); ``scan_range`` is set for range
+    scans; ``snapshot_back`` tells time-travel reads how many observed
+    snapshots to rewind.
+    """
+
+    kind: OpKind
+    keys: Tuple[int, ...] = ()
+    scan_range: int = 0
+    snapshot_back: int = 0
+
+
+@dataclass(frozen=True)
+class MixWeights:
+    """Relative operation frequencies (normalized internally)."""
+
+    upsert_batch: float = 0.40
+    point_lookup: float = 0.40
+    range_scan: float = 0.15
+    time_travel: float = 0.05
+
+    def normalized(self) -> List[Tuple[OpKind, float]]:
+        pairs = [
+            (OpKind.UPSERT_BATCH, self.upsert_batch),
+            (OpKind.POINT_LOOKUP, self.point_lookup),
+            (OpKind.RANGE_SCAN, self.range_scan),
+            (OpKind.TIME_TRAVEL, self.time_travel),
+        ]
+        total = sum(weight for _, weight in pairs)
+        if total <= 0:
+            raise ValueError("at least one operation weight must be positive")
+        return [(kind, weight / total) for kind, weight in pairs]
+
+
+class MixedWorkload:
+    """Deterministic mixed-operation stream over an evolving key set.
+
+    Upserts follow the paper's IoT update model; reads target keys that
+    have actually been written, so every generated lookup is answerable.
+    """
+
+    def __init__(
+        self,
+        records_per_upsert: int = 50,
+        update_percent: float = 10.0,
+        lookup_batch: int = 20,
+        max_scan_range: int = 200,
+        weights: Optional[MixWeights] = None,
+        seed: int = 31,
+    ) -> None:
+        if lookup_batch < 1:
+            raise ValueError("lookup_batch must be >= 1")
+        if max_scan_range < 1:
+            raise ValueError("max_scan_range must be >= 1")
+        self._ingest = IoTUpdateWorkload(
+            records_per_upsert, update_percent, seed=seed
+        )
+        self._rng = random.Random(seed + 1)
+        self.lookup_batch = lookup_batch
+        self.max_scan_range = max_scan_range
+        self._weights = (weights or MixWeights()).normalized()
+        self._snapshots_observed = 0
+
+    @property
+    def keys_written(self) -> int:
+        return self._ingest.keys_ingested
+
+    def note_snapshot(self) -> None:
+        """Record that the driver captured one more snapshot timestamp."""
+        self._snapshots_observed += 1
+
+    def next_operation(self) -> Operation:
+        """Draw the next operation.
+
+        The first operation is always an upsert batch so reads never
+        target an empty table.
+        """
+        if self._ingest.keys_ingested == 0:
+            return Operation(
+                OpKind.UPSERT_BATCH, tuple(self._ingest.next_cycle())
+            )
+        roll = self._rng.random()
+        cumulative = 0.0
+        kind = OpKind.UPSERT_BATCH
+        for candidate, weight in self._weights:
+            cumulative += weight
+            if roll < cumulative:
+                kind = candidate
+                break
+        if kind is OpKind.UPSERT_BATCH:
+            return Operation(kind, tuple(self._ingest.next_cycle()))
+        if kind is OpKind.POINT_LOOKUP:
+            population = self._ingest.keys_ingested
+            keys = tuple(
+                self._rng.randrange(population)
+                for _ in range(self.lookup_batch)
+            )
+            return Operation(kind, keys)
+        if kind is OpKind.RANGE_SCAN:
+            population = self._ingest.keys_ingested
+            anchor = self._rng.randrange(population)
+            span = self._rng.randint(1, self.max_scan_range)
+            return Operation(kind, (anchor,), scan_range=span)
+        # TIME_TRAVEL: rewind 1..N observed snapshots (0 when none yet).
+        back = (
+            self._rng.randint(1, self._snapshots_observed)
+            if self._snapshots_observed
+            else 0
+        )
+        population = self._ingest.keys_ingested
+        key = self._rng.randrange(population)
+        return Operation(OpKind.TIME_TRAVEL, (key,), snapshot_back=back)
+
+    def stream(self, count: int) -> List[Operation]:
+        return [self.next_operation() for _ in range(count)]
+
+
+__all__ = ["MixWeights", "MixedWorkload", "OpKind", "Operation"]

@@ -1,0 +1,107 @@
+"""Tests for the experiment helpers and the CLI runner (tiny scales)."""
+
+import os
+
+import pytest
+
+from repro.bench import run as cli
+from repro.bench.endtoend import (
+    _iot_rows,
+    _lookup_batch_for,
+    fig14_purge_levels,
+    make_iot_shard,
+)
+from repro.bench.experiments import fig08_build
+from repro.bench.fixtures import (
+    build_index_with_runs,
+    build_single_run,
+    entries_for_keys,
+)
+from repro.core.definition import i1_definition
+from repro.workloads.generator import KeyMapper, KeyMode
+
+
+class TestFixtures:
+    def test_entries_for_keys_monotone_ts(self):
+        definition = i1_definition()
+        entries = entries_for_keys(definition, [5, 3, 9], ts_start=10)
+        assert [e.begin_ts for e in entries] == [10, 11, 12]
+
+    def test_build_single_run_sorted(self):
+        definition = i1_definition()
+        run, hierarchy = build_single_run(definition, 50)
+        assert run.entry_count == 50
+        keys = [e.sort_key(definition) for e in run.iter_entries()]
+        assert keys == sorted(keys)
+
+    def test_build_index_sequential_disjoint_ranges(self):
+        definition = i1_definition()
+        index = build_index_with_runs(definition, 4, 10, KeyMode.SEQUENTIAL)
+        synopses = [
+            (r.header.synopsis.column_range(0).min_value,
+             r.header.synopsis.column_range(0).max_value)
+            for r in index.all_runs()
+        ]
+        # Disjoint, contiguous key ranges per run.
+        flat = sorted(synopses)
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(flat, flat[1:]):
+            assert a_hi < b_lo
+
+    def test_build_index_random_overlapping_ranges(self):
+        definition = i1_definition()
+        index = build_index_with_runs(definition, 4, 50, KeyMode.RANDOM)
+        spans = [
+            (r.header.synopsis.column_range(0).min_value,
+             r.header.synopsis.column_range(0).max_value)
+            for r in index.all_runs()
+        ]
+        overlapping = any(
+            a_lo <= b_hi and b_lo <= a_hi
+            for i, (a_lo, a_hi) in enumerate(spans)
+            for (b_lo, b_hi) in spans[i + 1:]
+        )
+        assert overlapping
+
+
+class TestEndToEndHelpers:
+    def test_iot_row_mapping_roundtrip(self):
+        rows = _iot_rows([0, 64, 129], devices=64)
+        assert rows == [(0, 0, 0), (0, 1, 64), (1, 2, 129)]
+        shard = make_iot_shard()
+        batch = _lookup_batch_for(shard, [129], devices=64)
+        assert batch == [((1,), (2,))]
+
+    def test_make_iot_shard_lifecycle(self):
+        shard = make_iot_shard(post_groom_every=2)
+        shard.ingest(_iot_rows(list(range(20))))
+        shard.tick()
+        shard.tick()
+        assert shard.index.stats().total_entries == 20
+
+
+class TestExperimentFunctions:
+    def test_fig08_tiny(self):
+        result = fig08_build(sizes=(200, 400), repeat=1)
+        assert result.series_by_label("I1").points[0][1] == pytest.approx(1.0)
+        assert len(result.series) == 3
+
+    def test_fig14_tiny_deterministic(self):
+        a = fig14_purge_levels(purge_modes=("none", "all"), cycles=10,
+                               records_per_cycle=50, batch_size=20,
+                               sample_every=5)
+        b = fig14_purge_levels(purge_modes=("none", "all"), cycles=10,
+                               records_per_cycle=50, batch_size=20,
+                               sample_every=5)
+        assert [s.points for s in a.series] == [s.points for s in b.series]
+
+
+class TestCLI:
+    def test_cli_quick_figure(self, tmp_path):
+        out = str(tmp_path / "results")
+        assert cli.main(["--quick", "--figures", "8", "--out", out]) == 0
+        files = os.listdir(out)
+        assert any(f.startswith("figure_8") for f in files)
+
+    def test_cli_rejects_unknown_figure(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["--figures", "99", "--out", str(tmp_path)])

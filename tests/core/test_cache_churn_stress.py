@@ -1,0 +1,88 @@
+"""Stress test: queries racing cache purge/load churn.
+
+Paper section 7: queries must keep working on purged runs (blocks stream
+back from shared storage), and section 6.2's purge/load decisions happen
+from a maintenance thread concurrently with queries.  This test hammers
+both at once and checks nothing is ever lost or doubled.
+"""
+
+import random
+import threading
+import time
+
+from repro.core.definition import i1_definition
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.levels import LevelConfig
+
+from tests.conftest import make_entries, key_of
+
+DEF = i1_definition()
+
+
+def build_index():
+    levels = LevelConfig(groomed_levels=3, post_groomed_levels=2,
+                         max_runs_per_level=4, size_ratio=2)
+    index = UmziIndex(DEF, config=UmziConfig(name="churn", levels=levels,
+                                             data_block_bytes=2048))
+    for gid in range(6):
+        keys = range(gid * 50, (gid + 1) * 50)
+        index.add_groomed_run(make_entries(DEF, keys, gid * 50 + 1), gid, gid)
+    index.run_maintenance()
+    return index
+
+
+class TestCacheChurn:
+    def test_queries_survive_purge_load_churn(self):
+        index = build_index()
+        total_levels = index.config.levels.total_levels
+        errors = []
+        stop = threading.Event()
+
+        def churner():
+            rng = random.Random(1)
+            while not stop.is_set():
+                level = rng.randrange(-1, total_levels)
+                try:
+                    index.cache.set_cache_level(level)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(repr(exc))
+                    return
+
+        def reader():
+            rng = random.Random(2)
+            while not stop.is_set():
+                k = rng.randrange(300)
+                eq, sort = key_of(DEF, k)
+                try:
+                    hit = index.lookup(eq, sort)
+                    if hit is None:
+                        errors.append(f"lost key {k}")
+                        return
+                    scan = index.scan(eq, (k,), (k,))
+                    if len(scan) != 1:
+                        errors.append(f"key {k}: {len(scan)} answers")
+                        return
+                except Exception as exc:  # pragma: no cover
+                    errors.append(repr(exc))
+                    return
+
+        threads = [threading.Thread(target=churner)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_purged_then_loaded_round_trips(self):
+        index = build_index()
+        eq, sort = key_of(DEF, 123)
+        baseline = index.lookup(eq, sort)
+        for _ in range(3):
+            index.cache.set_cache_level(-1)
+            assert index.lookup(eq, sort).begin_ts == baseline.begin_ts
+            index.cache.set_cache_level(index.config.levels.total_levels - 1)
+            assert index.lookup(eq, sort).begin_ts == baseline.begin_ts

@@ -1,0 +1,114 @@
+"""Tests for index entries, RIDs, and their serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.definition import (
+    ColumnSpec,
+    ColumnType,
+    IndexDefinition,
+    i1_definition,
+    i2_definition,
+)
+from repro.core.entry import IndexEntry, RID, Zone
+
+from tests.conftest import make_entry
+
+small_ints = st.integers(min_value=0, max_value=1 << 30)
+
+
+class TestRID:
+    def test_roundtrip(self):
+        rid = RID(Zone.POST_GROOMED, 12345, 678)
+        decoded, offset = RID.from_bytes(rid.to_bytes())
+        assert decoded == rid
+        assert offset == len(rid.to_bytes())
+
+    def test_ordering_by_zone_then_block(self):
+        a = RID(Zone.GROOMED, 1, 0)
+        b = RID(Zone.POST_GROOMED, 0, 0)
+        assert a < b  # zone dominates
+
+    @given(small_ints, small_ints)
+    def test_roundtrip_property(self, block_id, offset):
+        rid = RID(Zone.LIVE, block_id, offset % (1 << 32))
+        decoded, _ = RID.from_bytes(rid.to_bytes())
+        assert decoded == rid
+
+
+class TestEntryCreation:
+    def test_create_computes_hash(self):
+        d = i1_definition()
+        entry = IndexEntry.create(d, (7,), (1,), (70,), 100, RID(Zone.GROOMED, 0, 0))
+        assert entry.hash_value == d.hash_of((7,))
+
+    def test_create_validates_arity(self):
+        d = i1_definition()
+        with pytest.raises(Exception):
+            IndexEntry.create(d, (), (1,), (70,), 100, RID(Zone.GROOMED, 0, 0))
+
+
+class TestOrdering:
+    def test_begin_ts_descending_within_key(self):
+        d = i1_definition()
+        older = make_entry(d, 5, begin_ts=10)
+        newer = make_entry(d, 5, begin_ts=20)
+        assert newer.sort_key(d) < older.sort_key(d)
+
+    def test_key_bytes_equal_for_versions(self):
+        d = i1_definition()
+        a = make_entry(d, 5, begin_ts=10)
+        b = make_entry(d, 5, begin_ts=20)
+        assert a.key_bytes(d) == b.key_bytes(d)
+
+    def test_hash_column_leads_the_order(self):
+        d = i1_definition()
+        a, b = make_entry(d, 1, 1), make_entry(d, 2, 1)
+        expected = a.hash_value < b.hash_value
+        assert (a.sort_key(d) < b.sort_key(d)) == expected
+
+
+class TestSerialization:
+    @given(small_ints, small_ints)
+    def test_roundtrip_i1(self, k, ts):
+        d = i1_definition()
+        entry = make_entry(d, k, ts + 1)
+        decoded, consumed = IndexEntry.from_bytes(d, entry.to_bytes(d))
+        assert decoded == entry
+        assert consumed == len(entry.to_bytes(d))
+
+    @given(small_ints, small_ints)
+    def test_roundtrip_i2(self, k, ts):
+        d = i2_definition()
+        entry = make_entry(d, k, ts + 1)
+        decoded, _ = IndexEntry.from_bytes(d, entry.to_bytes(d))
+        assert decoded == entry
+
+    def test_roundtrip_string_columns(self):
+        d = IndexDefinition(
+            equality_columns=(ColumnSpec("name", ColumnType.STRING),),
+            sort_columns=(ColumnSpec("seq"),),
+            included_columns=(ColumnSpec("payload", ColumnType.BYTES),),
+        )
+        entry = IndexEntry.create(
+            d, ("device-\x00-x",), (9,), (b"\x00\xffdata",), 5,
+            RID(Zone.GROOMED, 3, 4),
+        )
+        decoded, _ = IndexEntry.from_bytes(d, entry.to_bytes(d))
+        assert decoded == entry
+
+    def test_roundtrip_pure_range_index(self):
+        d = IndexDefinition(sort_columns=(ColumnSpec("s"),))
+        entry = IndexEntry.create(d, (), (3,), (), 1, RID(Zone.GROOMED, 0, 0))
+        decoded, _ = IndexEntry.from_bytes(d, entry.to_bytes(d))
+        assert decoded == entry
+
+    def test_concatenated_entries_decode_sequentially(self):
+        d = i1_definition()
+        entries = [make_entry(d, k, k + 1) for k in range(5)]
+        blob = b"".join(e.to_bytes(d) for e in entries)
+        pos = 0
+        for expected in entries:
+            decoded, pos = IndexEntry.from_bytes(d, blob, pos)
+            assert decoded == expected
+        assert pos == len(blob)

@@ -1,0 +1,82 @@
+"""Tests for the maintenance service (step and threaded modes)."""
+
+import time
+
+import pytest
+
+from repro.core.definition import i1_definition
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.levels import LevelConfig
+from repro.core.maintenance import MaintenanceService
+
+from tests.conftest import make_entries, key_of
+
+DEF = i1_definition()
+
+
+def build_index():
+    levels = LevelConfig(groomed_levels=3, post_groomed_levels=2,
+                         max_runs_per_level=2, size_ratio=2)
+    return UmziIndex(DEF, config=UmziConfig(name="mt", levels=levels,
+                                            data_block_bytes=1024))
+
+
+class TestStepMode:
+    def test_step_runs_all_pending_merges(self):
+        index = build_index()
+        for gid in range(4):
+            index.add_groomed_run(
+                make_entries(DEF, range(gid * 5, gid * 5 + 5), gid * 5 + 1),
+                gid, gid,
+            )
+        service = MaintenanceService(index.merger, index.cache)
+        results = service.step()
+        assert results
+        assert service.merges_done == len(results)
+        assert not index.needs_merge()
+
+    def test_step_with_nothing_pending(self):
+        index = build_index()
+        service = MaintenanceService(index.merger, index.cache)
+        assert service.step() == []
+
+
+class TestThreadedMode:
+    def test_background_merging(self):
+        index = build_index()
+        service = MaintenanceService(index.merger, index.cache,
+                                     poll_interval_s=0.001)
+        with service:
+            assert service.running
+            for gid in range(6):
+                index.add_groomed_run(
+                    make_entries(DEF, range(gid * 5, gid * 5 + 5), gid * 5 + 1),
+                    gid, gid,
+                )
+            deadline = time.time() + 5.0
+            while index.needs_merge() and time.time() < deadline:
+                time.sleep(0.01)
+        assert not index.needs_merge()
+        assert service.merges_done > 0
+        # All keys still answerable.
+        for k in (0, 14, 29):
+            eq, sort = key_of(DEF, k)
+            assert index.lookup(eq, sort) is not None
+
+    def test_double_start_rejected(self):
+        index = build_index()
+        service = MaintenanceService(index.merger)
+        service.start()
+        try:
+            with pytest.raises(RuntimeError):
+                service.start()
+        finally:
+            service.stop()
+
+    def test_stop_is_idempotent(self):
+        index = build_index()
+        service = MaintenanceService(index.merger)
+        service.start()
+        service.stop()
+        service.stop()
+        assert not service.running

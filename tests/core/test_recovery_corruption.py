@@ -1,0 +1,72 @@
+"""Failure-injection tests: corrupted blocks in shared storage."""
+
+import pytest
+
+from repro.core.definition import i1_definition
+from repro.core.entry import Zone
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.levels import LevelConfig
+from repro.storage.block import Block, BlockId
+
+from tests.conftest import make_entries, key_of
+
+DEF = i1_definition()
+
+
+def build_index():
+    levels = LevelConfig(groomed_levels=3, post_groomed_levels=2,
+                         max_runs_per_level=2, size_ratio=2)
+    return UmziIndex(DEF, config=UmziConfig(name="cr", levels=levels,
+                                            data_block_bytes=1024))
+
+
+def corrupt_shared_block(index, block_id, payload):
+    index.hierarchy.shared.delete(block_id)
+    index.hierarchy.shared.write(Block(block_id, payload))
+
+
+class TestCorruptedHeaders:
+    def test_garbage_header_treated_as_incomplete(self):
+        index = build_index()
+        index.add_groomed_run(make_entries(DEF, range(10)), 0, 0)
+        index.add_groomed_run(make_entries(DEF, range(10, 20), 11), 1, 1)
+        victim = index.run_lists[Zone.GROOMED].snapshot()[0]
+        corrupt_shared_block(index, victim.header_block_id(), b"\x00" * 64)
+        index.hierarchy.crash_local_tiers()
+        state = index.recover()
+        assert victim.run_id in state.incomplete_run_ids
+        # The intact run still answers.
+        eq, sort = key_of(DEF, 5)
+        assert index.lookup(eq, sort) is not None
+
+    def test_truncated_header_treated_as_incomplete(self):
+        index = build_index()
+        index.add_groomed_run(make_entries(DEF, range(10)), 0, 0)
+        victim = index.run_lists[Zone.GROOMED].snapshot()[0]
+        original = index.hierarchy.shared.read(victim.header_block_id())
+        corrupt_shared_block(
+            index, victim.header_block_id(), original.payload[:10]
+        )
+        index.hierarchy.crash_local_tiers()
+        state = index.recover()
+        assert victim.run_id in state.incomplete_run_ids
+
+    def test_wrong_version_header_treated_as_incomplete(self):
+        index = build_index()
+        index.add_groomed_run(make_entries(DEF, range(10)), 0, 0)
+        victim = index.run_lists[Zone.GROOMED].snapshot()[0]
+        original = index.hierarchy.shared.read(victim.header_block_id())
+        tampered = original.payload[:4] + b"\x00\x99" + original.payload[6:]
+        corrupt_shared_block(index, victim.header_block_id(), tampered)
+        index.hierarchy.crash_local_tiers()
+        state = index.recover()
+        assert victim.run_id in state.incomplete_run_ids
+
+    def test_recovery_deletes_corrupt_namespaces(self):
+        index = build_index()
+        index.add_groomed_run(make_entries(DEF, range(10)), 0, 0)
+        victim = index.run_lists[Zone.GROOMED].snapshot()[0]
+        corrupt_shared_block(index, victim.header_block_id(), b"JUNK")
+        index.hierarchy.crash_local_tiers()
+        index.recover()
+        assert victim.run_id not in index.hierarchy.shared.namespaces()

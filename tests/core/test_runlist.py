@@ -1,0 +1,166 @@
+"""Tests for the lock-free run list (paper section 5.1)."""
+
+import threading
+
+import pytest
+
+from repro.core.builder import RunBuilder
+from repro.core.definition import i1_definition
+from repro.core.entry import Zone
+from repro.core.runlist import RunList, RunListError
+from repro.storage.hierarchy import StorageHierarchy
+
+from tests.conftest import make_entries
+
+
+def build_runs(count, entries_each=4):
+    definition = i1_definition()
+    builder = RunBuilder(definition, StorageHierarchy())
+    runs = []
+    for i in range(count):
+        runs.append(
+            builder.build(
+                f"r{i}", make_entries(definition, range(entries_each)),
+                Zone.GROOMED, 0, i, i,
+            )
+        )
+    return runs
+
+
+class TestBasicOperations:
+    def test_push_front_newest_first(self):
+        runs = build_runs(3)
+        rl = RunList("t")
+        for run in runs:
+            rl.push_front(run)
+        assert [r.run_id for r in rl.iter_runs()] == ["r2", "r1", "r0"]
+        assert rl.head_run().run_id == "r2"
+
+    def test_len_and_contains(self):
+        runs = build_runs(2)
+        rl = RunList("t")
+        for run in runs:
+            rl.push_front(run)
+        assert len(rl) == 2
+        assert "r0" in rl and "missing" not in rl
+
+    def test_empty_list(self):
+        rl = RunList("t")
+        assert rl.snapshot() == []
+        assert rl.head_run() is None
+        assert len(rl) == 0
+
+
+class TestReplace:
+    def test_replace_middle_span(self):
+        runs = build_runs(5)
+        rl = RunList("t")
+        for run in runs:
+            rl.push_front(run)  # r4 r3 r2 r1 r0
+        merged = build_runs(1)[0]
+        rl.replace(["r3", "r2"], merged)
+        ids = [r.run_id for r in rl.iter_runs()]
+        assert ids == ["r4", merged.run_id, "r1", "r0"]
+
+    def test_replace_at_head(self):
+        runs = build_runs(3)
+        rl = RunList("t")
+        for run in runs:
+            rl.push_front(run)
+        merged = build_runs(1)[0]
+        rl.replace(["r2", "r1"], merged)
+        assert [r.run_id for r in rl.iter_runs()] == [merged.run_id, "r0"]
+
+    def test_replace_at_tail(self):
+        runs = build_runs(3)
+        rl = RunList("t")
+        for run in runs:
+            rl.push_front(run)
+        merged = build_runs(1)[0]
+        rl.replace(["r0"], merged)
+        assert [r.run_id for r in rl.iter_runs()] == ["r2", "r1", merged.run_id]
+
+    def test_non_contiguous_span_rejected(self):
+        runs = build_runs(3)
+        rl = RunList("t")
+        for run in runs:
+            rl.push_front(run)
+        merged = build_runs(1)[0]
+        with pytest.raises(RunListError):
+            rl.replace(["r2", "r0"], merged)
+
+    def test_missing_run_rejected(self):
+        rl = RunList("t")
+        with pytest.raises(RunListError):
+            rl.replace(["ghost"], build_runs(1)[0])
+
+    def test_empty_span_rejected(self):
+        rl = RunList("t")
+        with pytest.raises(RunListError):
+            rl.replace([], build_runs(1)[0])
+
+
+class TestRemove:
+    def test_remove_unlinks(self):
+        runs = build_runs(3)
+        rl = RunList("t")
+        for run in runs:
+            rl.push_front(run)
+        removed = rl.remove("r1")
+        assert removed.run_id == "r1"
+        assert [r.run_id for r in rl.iter_runs()] == ["r2", "r0"]
+
+    def test_remove_missing_raises(self):
+        rl = RunList("t")
+        with pytest.raises(RunListError):
+            rl.remove("ghost")
+
+    def test_remove_where(self):
+        runs = build_runs(4)
+        rl = RunList("t")
+        for run in runs:
+            rl.push_front(run)
+        removed = rl.remove_where(lambda r: r.max_groomed_id <= 1)
+        assert sorted(r.run_id for r in removed) == ["r0", "r1"]
+        assert [r.run_id for r in rl.iter_runs()] == ["r3", "r2"]
+
+    def test_rebuild(self):
+        runs = build_runs(3)
+        rl = RunList("t")
+        rl.rebuild(runs)
+        assert [r.run_id for r in rl.iter_runs()] == ["r0", "r1", "r2"]
+
+
+class TestConcurrentReaders:
+    def test_readers_always_see_valid_chain(self):
+        """Readers traversing during heavy mutation never crash and never
+        observe a torn list (every traversal ends at None)."""
+        runs = build_runs(20)
+        rl = RunList("t")
+        for run in runs[:10]:
+            rl.push_front(run)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snapshot = rl.snapshot()
+                    ids = [r.run_id for r in snapshot]
+                    assert len(ids) == len(set(ids))  # no cycles
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        merged_pool = build_runs(10)
+        for i, run in enumerate(runs[10:]):
+            rl.push_front(run)
+            victims = [r.run_id for r in rl.snapshot()[-2:]]
+            rl.replace(victims, merged_pool[i])
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors

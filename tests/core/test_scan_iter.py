@@ -1,0 +1,63 @@
+"""Tests for the streaming range-scan API."""
+
+import itertools
+
+from repro.core.definition import i1_definition
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.levels import LevelConfig
+from repro.core.query import RangeScanQuery
+
+from tests.conftest import make_entries
+
+DEF = i1_definition()
+
+
+def build_index():
+    levels = LevelConfig(groomed_levels=3, post_groomed_levels=2,
+                         max_runs_per_level=4, size_ratio=2)
+    index = UmziIndex(DEF, config=UmziConfig(name="it", levels=levels))
+    for gid in range(3):
+        keys = range(gid * 30, (gid + 1) * 30)
+        index.add_groomed_run(make_entries(DEF, keys, gid * 30 + 1), gid, gid)
+    return index
+
+
+class TestRangeScanIter:
+    def test_iterator_matches_materialized_scan(self):
+        index = build_index()
+        query = RangeScanQuery(equality_values=(42,))
+        assert list(index.range_scan_iter(query)) == index.range_scan(query)
+
+    def test_lazy_consumption(self):
+        index = build_index()
+        query = RangeScanQuery(equality_values=(15,))
+        iterator = index.range_scan_iter(query)
+        first = next(iterator)
+        assert first.equality_values == (15,)
+        # Abandoning the iterator mid-way is safe.
+        del iterator
+
+    def test_islice_partial_read(self):
+        index = build_index()
+        # Pure-prefix scan per equality value: take across several keys.
+        results = []
+        for k in range(10):
+            results.extend(
+                itertools.islice(
+                    index.range_scan_iter(RangeScanQuery(equality_values=(k,))),
+                    1,
+                )
+            )
+        assert len(results) == 10
+
+    def test_iterator_respects_snapshot(self):
+        index = build_index()
+        query = RangeScanQuery(equality_values=(5,), query_ts=2)
+        hits = list(index.range_scan_iter(query))
+        # Key 5 was written with beginTS 6 (> 2): invisible.
+        assert hits == []
+
+    def test_empty_range(self):
+        index = build_index()
+        query = RangeScanQuery(equality_values=(10_000,))
+        assert list(index.range_scan_iter(query)) == []

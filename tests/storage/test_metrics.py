@@ -1,0 +1,64 @@
+"""Tests for the I/O accounting ledger."""
+
+import threading
+
+from repro.storage.metrics import IOStats, TierStats
+
+
+class TestTierStats:
+    def test_snapshot_is_a_copy(self):
+        stats = TierStats(reads=1)
+        copy = stats.snapshot()
+        stats.reads = 5
+        assert copy.reads == 1
+
+    def test_diff(self):
+        earlier = TierStats(reads=1, bytes_read=10, sim_ns=100)
+        later = TierStats(reads=4, bytes_read=50, sim_ns=600)
+        delta = later.diff(earlier)
+        assert (delta.reads, delta.bytes_read, delta.sim_ns) == (3, 40, 500)
+
+
+class TestIOStats:
+    def test_record_and_read_back(self):
+        ledger = IOStats()
+        ledger.record_read("ssd", nbytes=100, sim_ns=50)
+        ledger.record_write("ssd", nbytes=200, sim_ns=70)
+        ledger.record_delete("ssd", sim_ns=5)
+        tier = ledger.tier("ssd")
+        assert tier.reads == 1
+        assert tier.writes == 1
+        assert tier.deletes == 1
+        assert tier.bytes_read == 100
+        assert tier.bytes_written == 200
+        assert tier.sim_ns == 125
+
+    def test_unknown_tier_is_zeroes(self):
+        assert IOStats().tier("nothing").reads == 0
+
+    def test_total_sim_ns_sums_tiers(self):
+        ledger = IOStats()
+        ledger.record_read("a", 0, 10)
+        ledger.record_read("b", 0, 32)
+        assert ledger.total_sim_ns == 42
+
+    def test_reset(self):
+        ledger = IOStats()
+        ledger.record_read("a", 1, 1)
+        ledger.reset()
+        assert ledger.snapshot() == {}
+
+    def test_thread_safety_under_contention(self):
+        ledger = IOStats()
+
+        def hammer():
+            for _ in range(1000):
+                ledger.record_read("x", 1, 1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ledger.tier("x").reads == 8000
+        assert ledger.tier("x").sim_ns == 8000

@@ -1,0 +1,135 @@
+"""Tests for the hybrid clock, side-logs, committed log, transactions."""
+
+import threading
+
+import pytest
+
+from repro.core.definition import ColumnSpec
+from repro.storage.hierarchy import StorageHierarchy
+from repro.wildfire.clock import (
+    COMMIT_BITS,
+    HybridClock,
+    compose_begin_ts,
+    decompose_begin_ts,
+)
+from repro.wildfire.schema import TableSchema
+from repro.wildfire.transaction import Transaction, TransactionError
+from repro.wildfire.txlog import CommittedLog, CommittedTransaction, SideLog
+
+
+def schema():
+    return TableSchema(
+        name="t",
+        columns=(ColumnSpec("k"), ColumnSpec("v")),
+        primary_key=("k",),
+    )
+
+
+class TestHybridClock:
+    def test_compose_decompose_roundtrip(self):
+        ts = compose_begin_ts(5, 1234)
+        assert decompose_begin_ts(ts) == (5, 1234)
+
+    def test_later_groom_cycle_dominates(self):
+        early = compose_begin_ts(1, (1 << COMMIT_BITS) - 1)
+        late = compose_begin_ts(2, 0)
+        assert late > early
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            compose_begin_ts(-1, 0)
+
+    def test_commit_seq_monotone_under_threads(self):
+        clock = HybridClock()
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(200):
+                seq = clock.next_commit_seq()
+                with lock:
+                    seen.append(seq)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == 800
+
+    def test_now_covers_current_groom_cycle(self):
+        clock = HybridClock()
+        cycle = clock.next_groom_cycle()
+        assert clock.now() >= compose_begin_ts(cycle, 0)
+
+
+class TestSideLog:
+    def test_append_and_rows(self):
+        log = SideLog()
+        log.append((1, 2))
+        log.append((3, 4))
+        assert log.rows() == [(1, 2), (3, 4)]
+        assert len(log) == 2
+
+
+class TestCommittedLog:
+    def test_drain_returns_commit_order(self):
+        log = CommittedLog()
+        log.append(CommittedTransaction(commit_seq=2, replica_id=0, rows=[(2, 0)]))
+        log.append(CommittedTransaction(commit_seq=1, replica_id=1, rows=[(1, 0)]))
+        drained = log.drain()
+        assert [tx.commit_seq for tx in drained] == [1, 2]
+        assert log.drain() == []
+
+    def test_pending_rows_and_peek(self):
+        log = CommittedLog()
+        log.append(CommittedTransaction(1, 0, [(1, 0), (2, 0)]))
+        assert log.pending_rows() == 2
+        assert len(log.peek()) == 1
+        assert log.pending_rows() == 2  # peek does not drain
+
+    def test_persistence_charges_ssd(self):
+        hierarchy = StorageHierarchy()
+        log = CommittedLog(hierarchy, namespace="live")
+        log.append(CommittedTransaction(1, 0, [(1, 0)]))
+        assert hierarchy.stats.tier("ssd").writes >= 1
+        log.drain()
+        assert hierarchy.ssd.block_ids() == []  # groomed data supersedes log
+
+
+class TestTransaction:
+    def test_commit_appends_to_log(self):
+        log = CommittedLog()
+        tx = Transaction(schema(), HybridClock(), log)
+        tx.upsert((1, 10))
+        tx.upsert((2, 20))
+        seq = tx.commit()
+        assert seq == 1
+        assert log.pending_rows() == 2
+
+    def test_empty_commit_returns_none(self):
+        log = CommittedLog()
+        tx = Transaction(schema(), HybridClock(), log)
+        assert tx.commit() is None
+        assert len(log) == 0
+
+    def test_abort_discards(self):
+        log = CommittedLog()
+        tx = Transaction(schema(), HybridClock(), log)
+        tx.upsert((1, 10))
+        tx.abort()
+        assert log.pending_rows() == 0
+
+    def test_use_after_commit_rejected(self):
+        tx = Transaction(schema(), HybridClock(), CommittedLog())
+        tx.upsert((1, 10))
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.upsert((2, 20))
+        with pytest.raises(TransactionError):
+            tx.commit()
+
+    def test_row_validation_at_upsert(self):
+        tx = Transaction(schema(), HybridClock(), CommittedLog())
+        with pytest.raises(Exception):
+            tx.upsert((1,))  # wrong arity

@@ -1,0 +1,133 @@
+"""Tests for groomer, post-groomer, and indexer working together."""
+
+import pytest
+
+from repro.core.definition import ColumnSpec
+from repro.core.entry import Zone
+from repro.wildfire.engine import ShardConfig, WildfireShard
+from repro.wildfire.schema import IndexSpec, TableSchema
+
+
+def make_shard(post_groom_every=3, partition_buckets=2):
+    schema = TableSchema(
+        name="iot",
+        columns=(ColumnSpec("device"), ColumnSpec("msg"), ColumnSpec("reading")),
+        primary_key=("device", "msg"),
+        sharding_key=("device",),
+        partition_key=("msg",),
+    )
+    spec = IndexSpec(("device",), ("msg",), ("reading",))
+    return WildfireShard(
+        schema, spec,
+        config=ShardConfig(post_groom_every=post_groom_every,
+                           partition_buckets=partition_buckets),
+    )
+
+
+class TestGroomer:
+    def test_groom_empty_live_zone_is_noop(self):
+        shard = make_shard()
+        assert shard.groomer.groom() is None
+
+    def test_groom_creates_block_and_run(self):
+        shard = make_shard()
+        shard.ingest([(1, 1, 10), (2, 1, 20)])
+        result = shard.groomer.groom()
+        assert result.record_count == 2
+        assert result.groomed_block_id == 0
+        assert len(shard.index.run_lists[Zone.GROOMED]) == 1
+
+    def test_begin_ts_monotonic_across_grooms(self):
+        shard = make_shard()
+        shard.ingest([(1, 1, 10)])
+        first = shard.groomer.groom()
+        shard.ingest([(1, 2, 20)])
+        second = shard.groomer.groom()
+        assert second.max_begin_ts > first.max_begin_ts
+
+    def test_commit_order_preserved_within_groom(self):
+        shard = make_shard()
+        shard.ingest([(1, 1, 10)])
+        shard.ingest([(1, 1, 20)])  # same key, later commit
+        shard.groomer.groom()
+        record = shard.point_query((1,), (1,))
+        assert record.values == (1, 1, 20)  # last writer wins
+
+
+class TestPostGroomer:
+    def test_post_groom_without_groomed_data_is_noop(self):
+        shard = make_shard()
+        assert shard.post_groomer.post_groom() is None
+
+    def test_post_groom_publishes_psn(self):
+        shard = make_shard()
+        shard.ingest([(d, 1, d) for d in range(10)])
+        shard.groomer.groom()
+        op = shard.post_groomer.post_groom()
+        assert op.psn == 1
+        assert shard.post_groomer.max_psn == 1
+        assert op.min_groomed_id == 0 and op.max_groomed_id == 0
+        assert op.record_count == 10
+
+    def test_partitioning_by_key(self):
+        shard = make_shard(partition_buckets=4)
+        shard.ingest([(d, m, 0) for d in range(4) for m in range(8)])
+        shard.groomer.groom()
+        op = shard.post_groomer.post_groom()
+        assert 1 <= len(op.post_groomed_block_ids) <= 4
+        total = sum(
+            shard.catalog.get_block(Zone.POST_GROOMED, b).record_count
+            for b in op.post_groomed_block_ids
+        )
+        assert total == 32
+
+    def test_unknown_psn_rejected(self):
+        shard = make_shard()
+        with pytest.raises(KeyError):
+            shard.post_groomer.get_op(42)
+
+
+class TestIndexer:
+    def test_step_applies_pending_evolves_in_order(self):
+        shard = make_shard()
+        for batch in range(2):
+            shard.ingest([(batch, m, 0) for m in range(5)])
+            shard.groomer.groom()
+            shard.post_groomer.post_groom()
+        assert shard.indexer.pending_psns() == 2
+        first = shard.indexer.step()
+        assert first.evolve.psn == 1
+        second = shard.indexer.step()
+        assert second.evolve.psn == 2
+        assert shard.indexer.step() is None
+        assert shard.index.indexed_psn == 2
+
+    def test_rids_switch_to_post_groomed(self):
+        shard = make_shard()
+        shard.ingest([(1, 1, 10)])
+        shard.groomer.groom()
+        before = shard.index_lookup((1,), (1,))
+        assert before.rid.zone is Zone.GROOMED
+        shard.post_groomer.post_groom()
+        shard.indexer.drain()
+        after = shard.index_lookup((1,), (1,))
+        assert after.rid.zone is Zone.POST_GROOMED
+        assert after.begin_ts == before.begin_ts  # same version, new RID
+
+    def test_groomed_blocks_deleted_after_grace(self):
+        shard = make_shard(post_groom_every=1)
+        for batch in range(3):
+            shard.ingest([(batch, 1, 0)])
+            shard.tick()
+        # grace = 1 PSN: blocks of PSN 1 must be gone by PSN >= 2.
+        live = shard.catalog.live_groomed_ids()
+        op1 = shard.post_groomer.get_op(1)
+        assert all(gid > op1.max_groomed_id for gid in live)
+
+    def test_queries_work_against_post_groomed_records(self):
+        shard = make_shard(post_groom_every=1)
+        shard.ingest([(5, 5, 555)])
+        shard.tick()
+        shard.tick()  # ensures deletion grace has passed
+        record = shard.point_query((5,), (5,))
+        assert record.values == (5, 5, 555)

@@ -1,0 +1,131 @@
+"""Focused unit tests for the post-groomer (paper section 2.1)."""
+
+import pytest
+
+from repro.core.definition import ColumnSpec
+from repro.core.entry import Zone
+from repro.wildfire.engine import ShardConfig, WildfireShard
+from repro.wildfire.schema import IndexSpec, TableSchema
+
+
+def make_shard(partition_buckets=3):
+    schema = TableSchema(
+        name="pg",
+        columns=(ColumnSpec("device"), ColumnSpec("msg"), ColumnSpec("reading")),
+        primary_key=("device", "msg"),
+        sharding_key=("device",),
+        partition_key=("msg",),
+    )
+    return WildfireShard(
+        schema, IndexSpec(("device",), ("msg",), ("reading",)),
+        config=ShardConfig(post_groom_every=100,  # manual post-grooms only
+                           partition_buckets=partition_buckets),
+    )
+
+
+class TestPsnMetadata:
+    def test_psns_are_consecutive(self):
+        shard = make_shard()
+        for batch in range(3):
+            shard.ingest([(batch, 0, 0)])
+            shard.groomer.groom()
+            op = shard.post_groomer.post_groom()
+            assert op.psn == batch + 1
+
+    def test_op_covers_exactly_new_groomed_range(self):
+        shard = make_shard()
+        shard.ingest([(1, 1, 0)])
+        shard.groomer.groom()  # gid 0
+        shard.ingest([(1, 2, 0)])
+        shard.groomer.groom()  # gid 1
+        first = shard.post_groomer.post_groom()
+        assert (first.min_groomed_id, first.max_groomed_id) == (0, 1)
+        shard.ingest([(1, 3, 0)])
+        shard.groomer.groom()  # gid 2
+        second = shard.post_groomer.post_groom()
+        assert (second.min_groomed_id, second.max_groomed_id) == (2, 2)
+
+    def test_last_post_groomed_gid_tracked(self):
+        shard = make_shard()
+        assert shard.post_groomer.last_post_groomed_gid == -1
+        shard.ingest([(1, 1, 0)])
+        shard.groomer.groom()
+        shard.post_groomer.post_groom()
+        assert shard.post_groomer.last_post_groomed_gid == 0
+
+
+class TestPartitioning:
+    def test_partition_assignment_deterministic(self):
+        ops = []
+        for _ in range(2):
+            shard = make_shard(partition_buckets=4)
+            shard.ingest([(d, m, 0) for d in range(4) for m in range(12)])
+            shard.groomer.groom()
+            ops.append(shard.post_groomer.post_groom())
+        assert ops[0].post_groomed_block_ids == ops[1].post_groomed_block_ids
+        assert ops[0].record_count == ops[1].record_count
+
+    def test_same_partition_value_lands_in_one_block(self):
+        shard = make_shard(partition_buckets=4)
+        shard.ingest([(d, 7, 0) for d in range(8)])  # one msg value
+        shard.groomer.groom()
+        op = shard.post_groomer.post_groom()
+        assert len(op.post_groomed_block_ids) == 1
+
+    def test_single_bucket_configuration(self):
+        shard = make_shard(partition_buckets=1)
+        shard.ingest([(d, m, 0) for d in range(3) for m in range(5)])
+        shard.groomer.groom()
+        op = shard.post_groomer.post_groom()
+        assert len(op.post_groomed_block_ids) == 1
+        assert op.record_count == 15
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            make_shard(partition_buckets=0)
+
+
+class TestHiddenColumnMaintenance:
+    def test_end_ts_set_on_replaced_post_groomed_version(self):
+        shard = make_shard()
+        shard.ingest([(1, 1, 100)])
+        shard.groomer.groom()
+        shard.post_groomer.post_groom()
+        shard.indexer.drain()  # index the first version
+        old_entry = shard.index_lookup((1,), (1,))
+        shard.ingest([(1, 1, 200)])
+        shard.groomer.groom()
+        shard.post_groomer.post_groom()
+        old_record = shard.catalog.fetch_record(old_entry.rid)
+        assert old_record.end_ts is not None
+
+    def test_prev_rid_links_across_post_grooms(self):
+        shard = make_shard()
+        shard.ingest([(1, 1, 100)])
+        shard.groomer.groom()
+        shard.post_groomer.post_groom()
+        shard.indexer.drain()
+        shard.ingest([(1, 1, 200)])
+        shard.groomer.groom()
+        shard.post_groomer.post_groom()
+        shard.indexer.drain()
+        newest = shard.index_lookup((1,), (1,))
+        record = shard.catalog.fetch_record(newest.rid)
+        assert record.prev_rid is not None
+        assert record.prev_rid.zone is Zone.POST_GROOMED
+        previous = shard.catalog.fetch_record(record.prev_rid)
+        assert previous.values[2] == 100
+
+    def test_records_keep_begin_ts_through_post_groom(self):
+        shard = make_shard()
+        shard.ingest([(1, 1, 100), (2, 1, 200)])
+        shard.groomer.groom()
+        before = {
+            d: shard.index_lookup((d,), (1,)).begin_ts for d in (1, 2)
+        }
+        shard.post_groomer.post_groom()
+        shard.indexer.drain()
+        after = {
+            d: shard.index_lookup((d,), (1,)).begin_ts for d in (1, 2)
+        }
+        assert before == after

@@ -1,0 +1,82 @@
+"""Tests for table schemas and index specs."""
+
+import pytest
+
+from repro.core.definition import ColumnSpec, ColumnType
+from repro.wildfire.schema import IndexSpec, SchemaError, TableSchema
+
+
+def iot_schema(**overrides):
+    kwargs = dict(
+        name="iot",
+        columns=(ColumnSpec("device"), ColumnSpec("msg"), ColumnSpec("reading")),
+        primary_key=("device", "msg"),
+        sharding_key=("device",),
+        partition_key=("msg",),
+    )
+    kwargs.update(overrides)
+    return TableSchema(**kwargs)
+
+
+class TestTableSchema:
+    def test_valid_schema(self):
+        schema = iot_schema()
+        assert schema.column_names == ("device", "msg", "reading")
+
+    def test_primary_key_required(self):
+        with pytest.raises(SchemaError):
+            iot_schema(primary_key=())
+
+    def test_sharding_key_must_be_subset_of_primary(self):
+        with pytest.raises(SchemaError):
+            iot_schema(sharding_key=("reading",))
+
+    def test_unknown_key_column(self):
+        with pytest.raises(SchemaError):
+            iot_schema(partition_key=("nope",))
+
+    def test_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            iot_schema(columns=(ColumnSpec("a"), ColumnSpec("a")))
+
+    def test_positions(self):
+        schema = iot_schema()
+        assert schema.position("msg") == 1
+        assert schema.positions(("reading", "device")) == (2, 0)
+        with pytest.raises(SchemaError):
+            schema.position("ghost")
+
+    def test_key_extraction(self):
+        schema = iot_schema()
+        row = (7, 42, 99)
+        assert schema.primary_key_of(row) == (7, 42)
+        assert schema.partition_value_of(row) == (42,)
+
+    def test_validate_row(self):
+        schema = iot_schema()
+        assert schema.validate_row((1, 2, 3)) == (1, 2, 3)
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, 2))
+        with pytest.raises(Exception):
+            schema.validate_row((1, "text", 3))
+
+
+class TestIndexSpec:
+    def test_build_definition_maps_types(self):
+        schema = iot_schema()
+        spec = IndexSpec(("device",), ("msg",), ("reading",))
+        definition = spec.build_definition(schema)
+        assert [c.name for c in definition.equality_columns] == ["device"]
+        assert [c.name for c in definition.sort_columns] == ["msg"]
+        assert [c.name for c in definition.included_columns] == ["reading"]
+
+    def test_primary_index_must_cover_primary_key(self):
+        schema = iot_schema()
+        IndexSpec(("device",), ("msg",)).validate_primary(schema)
+        with pytest.raises(SchemaError):
+            IndexSpec(("device",), ()).validate_primary(schema)
+
+    def test_extractor(self):
+        schema = iot_schema()
+        extract = IndexSpec(("device",), ("msg",), ("reading",)).extractor(schema)
+        assert extract((7, 42, 99)) == ((7,), (42,), (99,))

@@ -1,0 +1,115 @@
+"""Tests for the mixed HTAP operation stream, including an engine drive."""
+
+import pytest
+
+from repro.core.definition import ColumnSpec
+from repro.wildfire.engine import ShardConfig, WildfireShard
+from repro.wildfire.schema import IndexSpec, TableSchema
+from repro.workloads.mixed import MixWeights, MixedWorkload, OpKind
+
+
+class TestStreamGeneration:
+    def test_first_operation_is_an_upsert(self):
+        workload = MixedWorkload()
+        assert workload.next_operation().kind is OpKind.UPSERT_BATCH
+
+    def test_deterministic_by_seed(self):
+        a = MixedWorkload(seed=5).stream(50)
+        b = MixedWorkload(seed=5).stream(50)
+        assert a == b
+
+    def test_mix_roughly_matches_weights(self):
+        workload = MixedWorkload(
+            weights=MixWeights(upsert_batch=0.5, point_lookup=0.5,
+                               range_scan=0.0, time_travel=0.0),
+            seed=7,
+        )
+        ops = workload.stream(400)
+        kinds = {op.kind for op in ops}
+        assert kinds <= {OpKind.UPSERT_BATCH, OpKind.POINT_LOOKUP}
+        upserts = sum(1 for op in ops if op.kind is OpKind.UPSERT_BATCH)
+        assert 100 < upserts < 300  # ~50% with slack
+
+    def test_reads_target_written_population(self):
+        workload = MixedWorkload(records_per_upsert=20, seed=11)
+        for op in workload.stream(200):
+            if op.kind is OpKind.POINT_LOOKUP:
+                assert all(0 <= k < workload.keys_written for k in op.keys)
+
+    def test_time_travel_rewinds_observed_snapshots_only(self):
+        workload = MixedWorkload(
+            weights=MixWeights(0.2, 0.0, 0.0, 0.8), seed=13
+        )
+        workload.next_operation()  # seed data
+        op = next(
+            op for op in workload.stream(50) if op.kind is OpKind.TIME_TRAVEL
+        )
+        assert op.snapshot_back == 0  # no snapshots noted yet
+        workload.note_snapshot()
+        workload.note_snapshot()
+        travels = [
+            op for op in workload.stream(100)
+            if op.kind is OpKind.TIME_TRAVEL
+        ]
+        assert travels and all(1 <= op.snapshot_back <= 2 for op in travels)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixedWorkload(lookup_batch=0)
+        with pytest.raises(ValueError):
+            MixWeights(0, 0, 0, 0).normalized()
+
+
+class TestDrivingTheEngine:
+    def test_mixed_stream_against_a_shard(self):
+        """Feed 120 mixed operations through a real shard; every read must
+        be answerable and every snapshot repeatable."""
+        schema = TableSchema(
+            name="mix",
+            columns=(ColumnSpec("device"), ColumnSpec("msg"), ColumnSpec("reading")),
+            primary_key=("device", "msg"),
+            sharding_key=("device",),
+            partition_key=("msg",),
+        )
+        shard = WildfireShard(
+            schema, IndexSpec(("device",), ("msg",), ("reading",)),
+            config=ShardConfig(post_groom_every=5),
+        )
+        workload = MixedWorkload(records_per_upsert=30, seed=3)
+        snapshots = []
+
+        def pk(k):
+            return (k % 8,), (k // 8,)
+
+        groomed_keys = set()
+        pending = set()
+        for op in workload.stream(120):
+            if op.kind is OpKind.UPSERT_BATCH:
+                shard.ingest([(k % 8, k // 8, k) for k in op.keys])
+                pending.update(op.keys)
+                shard.tick()
+                groomed_keys.update(pending)
+                pending.clear()
+                snapshots.append(shard.current_snapshot_ts())
+                workload.note_snapshot()
+            elif op.kind is OpKind.POINT_LOOKUP:
+                for k in op.keys:
+                    if k in groomed_keys:
+                        eq, sort = pk(k)
+                        assert shard.point_query(eq, sort) is not None
+            elif op.kind is OpKind.RANGE_SCAN:
+                anchor = op.keys[0]
+                eq, sort = pk(anchor)
+                entries = shard.range_query(
+                    eq, (sort[0],), (sort[0] + op.scan_range,)
+                )
+                assert isinstance(entries, list)
+            elif op.kind is OpKind.TIME_TRAVEL and op.snapshot_back:
+                ts = snapshots[-op.snapshot_back]
+                k = op.keys[0]
+                if k in groomed_keys:
+                    eq, sort = pk(k)
+                    first = shard.point_query(eq, sort, query_ts=ts)
+                    second = shard.point_query(eq, sort, query_ts=ts)
+                    assert first == second  # snapshot reads repeat
+        assert shard.index.stats().total_entries > 0
