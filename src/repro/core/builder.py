@@ -5,6 +5,18 @@ entries" in run order, writing fixed-size data blocks and computing the
 offset array on the fly.  The builder is the single primitive shared by
 index build (after a groom), merge, and evolve -- they differ only in where
 the input entries come from and which level/zone the run lands in.
+
+Two input shapes are accepted:
+
+* :meth:`RunBuilder.build` takes decoded :class:`IndexEntry` objects
+  (groom, evolve, tests) and serializes each once;
+* :meth:`RunBuilder.build_from_blobs` takes pre-serialized
+  ``(sort_key, entry_blob)`` pairs (the K-way merge path) and copies them
+  verbatim -- merged entries are never decoded and re-encoded.  Everything
+  derivable from raw sort keys (offset array, begin-TS range, Bloom
+  filter, block index) is computed from the bytes; only the synopsis,
+  whose per-column min/max needs decoded values, is supplied by the
+  caller (merges pass the union of the input synopses).
 """
 
 from __future__ import annotations
@@ -12,13 +24,18 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.definition import IndexDefinition
-from repro.core.entry import IndexEntry, Zone
+from repro.core.entry import (
+    IndexEntry,
+    SORT_KEY_TS_BYTES,
+    Zone,
+    begin_ts_of_sort_key,
+)
 from repro.core.run import (
     DataBlockMeta,
     IndexRun,
     RunHeader,
     Synopsis,
-    encode_data_block,
+    encode_data_block_from_blobs,
 )
 from repro.core.encoding import high_bits
 from repro.storage.block import Block, BlockId
@@ -73,14 +90,19 @@ class RunBuilder:
         query for bucket ``i`` searches ``[offset[i], offset[i+1])`` (with
         the entry count as the implicit final fence).
         """
+        return self._offset_array_from_hashes(
+            [e.hash_value for e in sorted_entries]
+        )
+
+    def _offset_array_from_hashes(self, hashes: Sequence[int]) -> Tuple[int, ...]:
         definition = self.definition
         size = definition.offset_array_size
         if size == 0:
             return ()
         nbits = definition.hash_bits
         counts = [0] * size
-        for entry in sorted_entries:
-            counts[high_bits(entry.hash_value, nbits)] += 1
+        for hash_value in hashes:
+            counts[high_bits(hash_value, nbits)] += 1
         offsets: List[int] = []
         running = 0
         for bucket in range(size):
@@ -112,36 +134,111 @@ class RunBuilder:
         """
         definition = self.definition
         ordered = list(entries) if presorted else self.sort_entries(entries)
-        offset_array = self.compute_offset_array(ordered)
         synopsis = Synopsis.from_entries(definition, ordered)
+        pairs = [entry.to_blob(definition) for entry in ordered]
+        return self._build_common(
+            run_id=run_id,
+            blob_pairs=pairs,
+            synopsis=synopsis,
+            zone=zone,
+            level=level,
+            min_groomed_id=min_groomed_id,
+            max_groomed_id=max_groomed_id,
+            persisted=persisted,
+            write_through_ssd=write_through_ssd,
+            spill_to_ssd=spill_to_ssd,
+            ancestor_run_ids=ancestor_run_ids,
+        )
+
+    def build_from_blobs(
+        self,
+        run_id: str,
+        blob_pairs: Iterable[Tuple[bytes, bytes]],
+        synopsis: Synopsis,
+        zone: Zone,
+        level: int,
+        min_groomed_id: int,
+        max_groomed_id: int,
+        persisted: bool = True,
+        write_through_ssd: bool = True,
+        spill_to_ssd: bool = False,
+        ancestor_run_ids: Sequence[str] = (),
+    ) -> IndexRun:
+        """Build a run from pre-serialized, pre-sorted entry blobs.
+
+        ``blob_pairs`` yields ``(sort_key, entry_blob)`` in sort-key order
+        (the shape :meth:`IndexRun.iter_raw` and the blob-level merge
+        produce).  No entry is decoded: the offset array reads the hash
+        from the first 8 sort-key bytes, begin-TS bounds come from the
+        8-byte suffix, and the Bloom filter hashes raw user-key slices.
+        """
+        return self._build_common(
+            run_id=run_id,
+            blob_pairs=list(blob_pairs),
+            synopsis=synopsis,
+            zone=zone,
+            level=level,
+            min_groomed_id=min_groomed_id,
+            max_groomed_id=max_groomed_id,
+            persisted=persisted,
+            write_through_ssd=write_through_ssd,
+            spill_to_ssd=spill_to_ssd,
+            ancestor_run_ids=ancestor_run_ids,
+        )
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _build_common(
+        self,
+        run_id: str,
+        blob_pairs: List[Tuple[bytes, bytes]],
+        synopsis: Synopsis,
+        zone: Zone,
+        level: int,
+        min_groomed_id: int,
+        max_groomed_id: int,
+        persisted: bool,
+        write_through_ssd: bool,
+        spill_to_ssd: bool,
+        ancestor_run_ids: Sequence[str],
+    ) -> IndexRun:
+        definition = self.definition
+        if definition.has_hash_column:
+            # The sort key starts with the 8-byte big-endian hash column.
+            offset_array = self._offset_array_from_hashes(
+                [int.from_bytes(sk[:8], "big") for sk, _blob in blob_pairs]
+            )
+        else:
+            offset_array = ()
 
         # Slice into data blocks of ~data_block_bytes each.
         block_metas: List[DataBlockMeta] = []
         block_payloads: List[bytes] = []
-        current: List[IndexEntry] = []
+        current: List[Tuple[bytes, bytes]] = []
         current_bytes = 0
-        for entry in ordered:
-            encoded_len = len(entry.to_bytes(definition))
-            if current and current_bytes + encoded_len > self.data_block_bytes:
+        for pair in blob_pairs:
+            blob_len = len(pair[1])
+            if current and current_bytes + blob_len > self.data_block_bytes:
                 self._seal_block(current, block_metas, block_payloads)
                 current = []
                 current_bytes = 0
-            current.append(entry)
-            current_bytes += encoded_len
+            current.append(pair)
+            current_bytes += blob_len
         if current:
             self._seal_block(current, block_metas, block_payloads)
 
-        if ordered:
-            min_ts = min(e.begin_ts for e in ordered)
-            max_ts = max(e.begin_ts for e in ordered)
+        if blob_pairs:
+            ts_values = [begin_ts_of_sort_key(sk) for sk, _blob in blob_pairs]
+            min_ts = min(ts_values)
+            max_ts = max(ts_values)
         else:
             min_ts = max_ts = 0
 
         bloom_blob = None
-        if self.bloom_fpr is not None and ordered:
+        if self.bloom_fpr is not None and blob_pairs:
             from repro.core.bloom import BloomFilter
 
-            distinct = {e.key_bytes(definition) for e in ordered}
+            distinct = {sk[:-SORT_KEY_TS_BYTES] for sk, _blob in blob_pairs}
             bloom = BloomFilter.for_capacity(len(distinct), self.bloom_fpr)
             bloom.add_all(distinct)
             bloom_blob = bloom.to_bytes()
@@ -152,7 +249,7 @@ class RunBuilder:
             level=level,
             min_groomed_id=min_groomed_id,
             max_groomed_id=max_groomed_id,
-            entry_count=len(ordered),
+            entry_count=len(blob_pairs),
             synopsis=synopsis,
             offset_array=offset_array,
             block_meta=tuple(block_metas),
@@ -166,19 +263,17 @@ class RunBuilder:
         self._write_blocks(header, block_payloads, write_through_ssd, spill_to_ssd)
         return IndexRun(definition, header, self.hierarchy)
 
-    # -- internals -----------------------------------------------------------------------
-
     def _seal_block(
         self,
-        entries: List[IndexEntry],
+        blob_pairs: List[Tuple[bytes, bytes]],
         metas: List[DataBlockMeta],
         payloads: List[bytes],
     ) -> None:
-        payload = encode_data_block(self.definition, entries)
+        payload = encode_data_block_from_blobs(blob_pairs)
         metas.append(
             DataBlockMeta(
-                entry_count=len(entries),
-                first_sort_key=entries[0].sort_key(self.definition),
+                entry_count=len(blob_pairs),
+                first_sort_key=blob_pairs[0][0],
                 size_bytes=len(payload),
             )
         )

@@ -78,6 +78,22 @@ _DECODERS = {
     ColumnType.BYTES: decode_bytes,
 }
 
+# The sort key always ends in the fixed-width descending-beginTS encoding
+# (section 4.2), so blob-level code can split ``user key | beginTS`` without
+# decoding any column.
+SORT_KEY_TS_BYTES = 8
+_UINT64_MAX = (1 << 64) - 1
+
+
+def user_key_of_sort_key(sort_key: bytes) -> bytes:
+    """The ``key_bytes`` portion of a raw sort key (drop the beginTS suffix)."""
+    return sort_key[:-SORT_KEY_TS_BYTES]
+
+
+def begin_ts_of_sort_key(sort_key: bytes) -> int:
+    """Decode ``beginTS`` from a raw sort key's fixed 8-byte suffix."""
+    return _UINT64_MAX - int.from_bytes(sort_key[-SORT_KEY_TS_BYTES:], "big")
+
 
 @dataclass(frozen=True)
 class IndexEntry:
@@ -146,10 +162,19 @@ class IndexEntry:
         back out of the sort key itself (all encodings are self-delimiting
         given the definition), so nothing is stored twice.
         """
-        parts = [self.sort_key(definition)]
+        return self.to_blob(definition)[1]
+
+    def to_blob(self, definition: IndexDefinition) -> Tuple[bytes, bytes]:
+        """Serialize once, returning ``(sort_key, blob)``.
+
+        The blob *starts with* the sort key, so callers that need both (the
+        run builder, the blob-level merge) avoid encoding the key twice.
+        """
+        sort_key = self.sort_key(definition)
+        parts = [sort_key]
         parts.extend(encode_value(v) for v in self.include_values)
         parts.append(self.rid.to_bytes())
-        return b"".join(parts)
+        return sort_key, b"".join(parts)
 
     @classmethod
     def from_bytes(
@@ -187,4 +212,11 @@ class IndexEntry:
         )
 
 
-__all__ = ["IndexEntry", "RID", "Zone"]
+__all__ = [
+    "IndexEntry",
+    "RID",
+    "SORT_KEY_TS_BYTES",
+    "Zone",
+    "begin_ts_of_sort_key",
+    "user_key_of_sort_key",
+]

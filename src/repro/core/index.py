@@ -46,6 +46,9 @@ class UmziConfig:
     reconcile: ReconcileStrategy = ReconcileStrategy.PRIORITY_QUEUE
     use_synopsis: bool = True
     use_offset_array: bool = True
+    # Ablation hook: False restores the legacy decode-per-probe run search
+    # (see benchmarks/bench_ablation_zero_decode.py).
+    use_raw_keys: bool = True
     # Extension beyond the paper: per-key (instead of batch-granularity)
     # synopsis pruning for batched lookups.  See QueryExecutor.
     per_key_batch_pruning: bool = False
@@ -118,6 +121,7 @@ class UmziIndex:
             collect_runs=self._collect_candidate_runs,
             use_synopsis=self.config.use_synopsis,
             use_offset_array=self.config.use_offset_array,
+            use_raw_keys=self.config.use_raw_keys,
             per_key_batch_pruning=self.config.per_key_batch_pruning,
             on_query_done=(
                 self.cache.release_after_query
@@ -337,6 +341,7 @@ class UmziIndex:
             collect_runs=self.run_lists[Zone.POST_GROOMED].snapshot,
             use_synopsis=self.config.use_synopsis,
             use_offset_array=self.config.use_offset_array,
+            use_raw_keys=self.config.use_raw_keys,
         )
         return executor.point_lookup(
             PointLookup(tuple(equality_values), tuple(sort_values), query_ts)

@@ -30,10 +30,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.builder import RunBuilder
-from repro.core.entry import IndexEntry, Zone
+from repro.core.entry import (
+    IndexEntry,
+    Zone,
+    begin_ts_of_sort_key,
+    user_key_of_sort_key,
+)
 from repro.core.ids import RunIdAllocator
 from repro.core.levels import LevelConfig
-from repro.core.run import IndexRun
+from repro.core.run import IndexRun, Synopsis
 from repro.core.runlist import RunList
 from repro.storage.hierarchy import StorageHierarchy
 
@@ -52,31 +57,35 @@ class MergeResult:
     deleted_run_ids: Tuple[str, ...]
 
 
-def merge_entry_streams(
+def merge_entry_blob_streams(
     definition,
     runs_newest_first: Sequence[IndexRun],
     retention_ts: Optional[int] = None,
-) -> Iterable[IndexEntry]:
-    """K-way merge by sort key, dropping exact duplicates.
+) -> Iterable[Tuple[bytes, bytes]]:
+    """Zero-decode K-way merge: yields ``(sort_key, entry_blob)`` pairs.
 
-    Within one zone, two entries with identical sort keys (same key, same
-    ``beginTS``) describe the same record version; the copy from the newest
-    run wins.  Distinct versions of a key (different ``beginTS``) are all
-    kept -- Umzi is a multi-version index and must keep supporting time
-    travel after merges.
+    The heap merges ``(sort_key_slice, recency, entry_blob)`` triples read
+    straight off the inputs' data-block payloads -- no
+    :class:`IndexEntry` is ever constructed.  Within one zone, two entries
+    with identical sort keys (same key, same ``beginTS``) describe the
+    same record version; the copy from the newest run wins.  Distinct
+    versions of a key (different ``beginTS``) are all kept -- Umzi is a
+    multi-version index and must keep supporting time travel after merges.
 
     ``retention_ts`` enables MVCC garbage collection (the general LSM
     "reclaim disk space occupied by obsolete entries"): the versions the
     system must keep are those visible at some permitted snapshot
     >= retention_ts, i.e. every version with ``beginTS > retention_ts``
     plus, per key, the newest version with ``beginTS <= retention_ts``.
-    Anything older is unreachable and dropped during the merge.
+    Anything older is unreachable and dropped during the merge.  Both the
+    user key and ``beginTS`` needed for that decision are raw slices of
+    the sort key (beginTS is its fixed 8-byte suffix).
     """
     def stream(run: IndexRun, recency: int):
         # recency is bound per stream so duplicate sort keys across runs
-        # tie-break on run recency instead of comparing raw entries.
-        for entry in run.iter_entries():
-            yield entry.sort_key(definition), recency, entry
+        # tie-break on run recency instead of comparing raw blobs.
+        for sort_key, blob in run.iter_raw():
+            yield sort_key, recency, blob
 
     streams = [
         stream(run, recency) for recency, run in enumerate(runs_newest_first)
@@ -84,22 +93,40 @@ def merge_entry_streams(
     previous_sort_key: Optional[bytes] = None
     previous_user_key: Optional[bytes] = None
     retained_at_horizon = False
-    for sort_key, _recency, entry in heapq.merge(*streams):
+    for sort_key, _recency, blob in heapq.merge(*streams):
         if sort_key == previous_sort_key:
             continue
         previous_sort_key = sort_key
         if retention_ts is not None:
-            user_key = entry.key_bytes(definition)
+            user_key = user_key_of_sort_key(sort_key)
             if user_key != previous_user_key:
                 previous_user_key = user_key
                 retained_at_horizon = False
-            if entry.begin_ts <= retention_ts:
+            if begin_ts_of_sort_key(sort_key) <= retention_ts:
                 # Versions arrive newest-first per key: the first one at or
                 # below the horizon is the version visible at retention_ts;
                 # older ones for this key are unreachable.
                 if retained_at_horizon:
                     continue
                 retained_at_horizon = True
+        yield sort_key, blob
+
+
+def merge_entry_streams(
+    definition,
+    runs_newest_first: Sequence[IndexRun],
+    retention_ts: Optional[int] = None,
+) -> Iterable[IndexEntry]:
+    """Decoded-entry view of :func:`merge_entry_blob_streams`.
+
+    Compatibility shim for callers that want :class:`IndexEntry` objects
+    (baselines, tests); the Umzi merge path itself stays on blobs via
+    :meth:`RunBuilder.build_from_blobs`.
+    """
+    for _sort_key, blob in merge_entry_blob_streams(
+        definition, runs_newest_first, retention_ts
+    ):
+        entry, _ = IndexEntry.from_bytes(definition, blob)
         yield entry
 
 
@@ -218,15 +245,20 @@ class MergeController:
         if target_active is not None:
             inputs.append(target_active)
 
-        merged_entries = merge_entry_streams(
+        # Zero-decode merge: entry blobs stream from the input blocks into
+        # the new run verbatim; the output synopsis is the union of the
+        # input synopses (sound over-approximation -- merged entries are a
+        # subset of the inputs', and over-approximation only costs pruning).
+        merged_blobs = merge_entry_blob_streams(
             self.builder.definition, inputs, self._retention_provider()
         )
         new_run_id = self.allocator.allocate(zone)
         persisted = config.is_persisted(target_level)
         ancestors = self._ancestors_for(inputs, persisted)
-        new_run = self.builder.build(
+        new_run = self.builder.build_from_blobs(
             run_id=new_run_id,
-            entries=merged_entries,
+            blob_pairs=merged_blobs,
+            synopsis=Synopsis.union([r.header.synopsis for r in inputs]),
             zone=zone,
             level=target_level,
             min_groomed_id=min(r.min_groomed_id for r in inputs),
@@ -235,7 +267,6 @@ class MergeController:
             write_through_ssd=self._write_through(target_level),
             spill_to_ssd=config.spill_non_persisted_to_ssd,
             ancestor_run_ids=ancestors,
-            presorted=True,
         )
 
         # Splice: the victims and the old target-active form one contiguous
@@ -323,4 +354,9 @@ class MergeController:
             self._active.clear()
 
 
-__all__ = ["MergeController", "MergeResult", "merge_entry_streams"]
+__all__ = [
+    "MergeController",
+    "MergeResult",
+    "merge_entry_blob_streams",
+    "merge_entry_streams",
+]

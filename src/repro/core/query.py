@@ -31,13 +31,17 @@ from repro.core.encoding import (
     KeyValue,
     UINT64_MAX,
     encode_composite,
-    encode_ts_desc,
     encode_uint64,
     prefix_successor,
 )
-from repro.core.entry import IndexEntry, Zone
+from repro.core.entry import IndexEntry, Zone, user_key_of_sort_key
 from repro.core.run import IndexRun
-from repro.core.search import UNBOUNDED, batch_lookup_in_run, search_run
+from repro.core.search import (
+    UNBOUNDED,
+    batch_lookup_in_run,
+    search_run,
+    search_run_raw,
+)
 
 MAX_QUERY_TS = UINT64_MAX
 
@@ -190,6 +194,7 @@ class QueryExecutor:
         collect_runs: Callable[[], List[IndexRun]],
         use_synopsis: bool = True,
         use_offset_array: bool = True,
+        use_raw_keys: bool = True,
         per_key_batch_pruning: bool = False,
         on_query_done: Optional[Callable[[List[IndexRun]], None]] = None,
     ) -> None:
@@ -197,6 +202,9 @@ class QueryExecutor:
         self.collect_runs = collect_runs
         self.use_synopsis = use_synopsis
         self.use_offset_array = use_offset_array
+        # Ablation hook: False restores the legacy decode-per-probe run
+        # search (see benchmarks/bench_ablation_zero_decode.py).
+        self.use_raw_keys = use_raw_keys
         # Paper-faithful batched lookups prune runs against the *batch's*
         # value bounding box (that granularity is what makes random batches
         # degrade linearly with run count in Figure 10b).  Per-key pruning
@@ -239,17 +247,17 @@ class QueryExecutor:
         """
         seen: set = set()
         results: List[Tuple[bytes, IndexEntry]] = []
-        definition = self.definition
         for run in runs:  # newest -> oldest
-            for entry in search_run(
+            for sort_key, entry in search_run_raw(
                 run,
                 bounds.lower_key,
                 bounds.upper_exclusive,
                 query_ts,
                 bounds.hash_value,
                 self.use_offset_array,
+                self.use_raw_keys,
             ):
-                key = entry.key_bytes(definition)
+                key = user_key_of_sort_key(sort_key)
                 if key in seen:
                     continue
                 seen.add(key)
@@ -287,29 +295,26 @@ class QueryExecutor:
     def _merge_runs_iter(
         self, runs: Sequence[IndexRun], bounds: _Bounds, query_ts: int
     ) -> Iterator[IndexEntry]:
-        definition = self.definition
-
         def stream(run: IndexRun, recency: int):
             # recency must be bound per stream (0 = newest run); it breaks
             # ties between identical versions surfacing from two zones.
-            for entry in search_run(
+            # The raw sort key (user key | descending beginTS) is exactly
+            # the order the reconciliation heap needs -- no re-encoding.
+            for sort_key, entry in search_run_raw(
                 run,
                 bounds.lower_key,
                 bounds.upper_exclusive,
                 query_ts,
                 bounds.hash_value,
                 self.use_offset_array,
+                self.use_raw_keys,
             ):
-                yield (
-                    entry.key_bytes(definition) + encode_ts_desc(entry.begin_ts),
-                    recency,
-                    entry,
-                )
+                yield sort_key, recency, entry
 
         streams = [stream(run, recency) for recency, run in enumerate(runs)]
         previous_key: Optional[bytes] = None
-        for _ordered_key, _recency, entry in heapq.merge(*streams):
-            key = entry.key_bytes(definition)
+        for sort_key, _recency, entry in heapq.merge(*streams):
+            key = user_key_of_sort_key(sort_key)
             if key == previous_key:
                 continue  # an older (or duplicate) version of an answered key
             previous_key = key
@@ -343,6 +348,7 @@ class QueryExecutor:
                     lookup.query_ts,
                     bounds.hash_value,
                     self.use_offset_array,
+                    self.use_raw_keys,
                 ):
                     return entry
             return None
@@ -473,15 +479,20 @@ class QueryExecutor:
     ) -> List[Optional[IndexEntry]]:
         # batch_lookup_in_run uses one shared query_ts; when the batch mixes
         # timestamps (rare), fall back to per-key searches.
+        # batch_lookup already consulted the run's Bloom filter per key when
+        # building the probe slots, so the run-level search must not re-hash
+        # every key against it (use_bloom=False).
         unique_ts = set(batch_ts)
         if len(unique_ts) == 1:
             return batch_lookup_in_run(
-                run, batch, unique_ts.pop(), self.use_offset_array
+                run, batch, unique_ts.pop(), self.use_offset_array,
+                self.use_raw_keys, use_bloom=False,
             )
         results: List[Optional[IndexEntry]] = []
         for (key, hash_value), ts in zip(batch, batch_ts):
             single = batch_lookup_in_run(
-                run, [(key, hash_value)], ts, self.use_offset_array
+                run, [(key, hash_value)], ts, self.use_offset_array,
+                self.use_raw_keys, use_bloom=False,
             )
             results.append(single[0])
         return results

@@ -13,6 +13,29 @@ A run is one header block plus one or more fixed-size data blocks:
 * each **data block** is a count-prefixed sequence of serialized entries
   in sort-key order.
 
+Data blocks come in two formats:
+
+* **v1** (legacy): ``count:u32 | entry offsets:u32[count] | entry bytes``.
+  Probing a key requires decoding the entry at the offset and re-encoding
+  its sort key -- the object-materialization cost the paper's
+  memcmp-comparable key format (section 4.2) was designed to avoid.
+* **v2** (current): ``"UMB2" | count:u32 | entry offsets:u32[count] |
+  sort-key lengths:u32[count] | entry bytes``.  Because every entry blob
+  *starts with* its sort key and the offset table also records each
+  entry's sort-key length, :class:`DataBlockView` serves
+  ``sort_key_at(i)`` / ``key_bytes_at(i)`` / ``begin_ts_at(i)`` as raw
+  slices of the payload -- binary-search probes, batched lookups, and
+  K-way merges compare memory directly and decode an :class:`IndexEntry`
+  only for entries actually emitted.  The beginTS is the fixed 8-byte
+  descending-encoded suffix of the sort key, so visibility checks are a
+  slice plus one integer subtraction.
+
+The two formats are distinguished by the leading 4 bytes: the v2 magic
+``UMB2`` decodes as an entry count of ~1.4 billion, far beyond what any
+block can hold, so v1 blocks (which start with their real count) can never
+be misread as v2.  v1 blocks remain fully readable; their raw-key accessors
+fall back to decode + re-encode.
+
 Everything is serialized to plain ``bytes`` so runs round-trip through the
 storage hierarchy like any other block.
 """
@@ -20,8 +43,9 @@ storage hierarchy like any other block.
 from __future__ import annotations
 
 import struct
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.definition import ColumnType, IndexDefinition
 from repro.core.encoding import (
@@ -32,13 +56,21 @@ from repro.core.encoding import (
     decode_str,
     encode_value,
 )
-from repro.core.entry import IndexEntry, Zone
+from repro.core.entry import (
+    IndexEntry,
+    SORT_KEY_TS_BYTES,
+    Zone,
+    begin_ts_of_sort_key,
+)
 from repro.storage.block import Block, BlockId
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.metrics import DecodeStats
 
 HEADER_ORDINAL = 0
 _MAGIC = b"UMZI"
-_VERSION = 1
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+_BLOCK_MAGIC_V2 = b"UMB2"
 
 _DECODERS = {
     ColumnType.INT64: decode_int64,
@@ -116,6 +148,35 @@ class Synopsis:
 
     def column_range(self, position: int) -> Optional[ColumnRange]:
         return self.ranges[position]
+
+    @classmethod
+    def union(cls, synopses: Sequence["Synopsis"]) -> "Synopsis":
+        """Position-wise union of several runs' synopses.
+
+        Used by the blob-level merge path: the merged run's entries are a
+        subset of the inputs' entries, so the union of the input ranges is
+        a sound (possibly over-approximate) synopsis without decoding a
+        single merged entry.  Over-approximation only costs pruning
+        opportunities, never correctness.
+        """
+        if not synopses:
+            raise ValueError("union of zero synopses is undefined")
+        width = len(synopses[0].ranges)
+        merged: List[Optional[ColumnRange]] = []
+        for position in range(width):
+            present = [
+                s.ranges[position] for s in synopses if s.ranges[position] is not None
+            ]
+            if not present:
+                merged.append(None)
+                continue
+            merged.append(
+                ColumnRange(
+                    min(r.min_value for r in present),
+                    max(r.max_value for r in present),
+                )
+            )
+        return cls(ranges=tuple(merged))
 
 
 @dataclass(frozen=True)
@@ -207,7 +268,7 @@ class RunHeader:
         if data[:4] != _MAGIC:
             raise ValueError("not an Umzi run header block")
         (version,) = struct.unpack_from(">H", data, 4)
-        if version != _VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported run header version {version}")
         pos = 6
         run_id, pos = _unpack_str(data, pos)
@@ -281,16 +342,50 @@ class RunHeader:
         )
 
 
+def encode_data_block_from_blobs(
+    blob_pairs: Sequence[Tuple[bytes, bytes]]
+) -> bytes:
+    """Serialize one v2 data block from ``(sort_key, entry_blob)`` pairs.
+
+    Layout: ``"UMB2" | count | per-entry offsets | per-entry sort-key
+    lengths | entry bytes``.  The offset table lets binary-search probes
+    touch *single* entries instead of whole blocks (the restart-point
+    trick); the sort-key length table is what makes those probes zero
+    decode -- each entry blob starts with its sort key, so a probe is a
+    pure payload slice.
+    """
+    offsets: List[int] = []
+    sklens: List[int] = []
+    position = 0
+    for sort_key, blob in blob_pairs:
+        offsets.append(position)
+        sklens.append(len(sort_key))
+        position += len(blob)
+    count = len(blob_pairs)
+    parts = [_BLOCK_MAGIC_V2, struct.pack(">I", count)]
+    if count:
+        parts.append(struct.pack(f">{count}I", *offsets))
+        parts.append(struct.pack(f">{count}I", *sklens))
+    parts.extend(blob for _sk, blob in blob_pairs)
+    return b"".join(parts)
+
+
 def encode_data_block(
     definition: IndexDefinition, entries: Sequence[IndexEntry]
 ) -> bytes:
-    """Serialize one data block.
+    """Serialize one data block (current v2 format) from decoded entries."""
+    return encode_data_block_from_blobs(
+        [entry.to_blob(definition) for entry in entries]
+    )
 
-    Layout: ``count | per-entry offsets | entry bytes``.  The offset table
-    lets binary-search probes decode *single* entries instead of whole
-    blocks -- the standard restart-point trick; without it, per-probe cost
-    grows with block size and the paper's "impact of run size is limited"
-    behaviour (Figure 9) is unreproducible.
+
+def encode_data_block_v1(
+    definition: IndexDefinition, entries: Sequence[IndexEntry]
+) -> bytes:
+    """Serialize one *legacy* v1 data block (compatibility tests only).
+
+    Layout: ``count | per-entry offsets | entry bytes`` -- no sort-key
+    length table, so raw-key accessors on v1 blocks must decode.
     """
     blobs = [entry.to_bytes(definition) for entry in entries]
     offsets: List[int] = []
@@ -306,27 +401,107 @@ def encode_data_block(
 
 
 class DataBlockView:
-    """Lazy, memoizing view over one encoded data block."""
+    """Lazy, memoizing view over one encoded data block (v1 or v2).
 
-    __slots__ = ("definition", "payload", "_offsets", "_base", "_cache", "count")
+    On v2 payloads the raw-key accessors (:meth:`sort_key_at`,
+    :meth:`key_bytes_at`, :meth:`begin_ts_at`, :meth:`entry_blob_at`) are
+    pure payload slices -- no column decoding, no object construction.  On
+    legacy v1 payloads they fall back to decoding the entry and re-encoding
+    its sort key (memoized), preserving readability of old blocks.
+    """
 
-    def __init__(self, definition: IndexDefinition, payload: bytes) -> None:
+    __slots__ = (
+        "definition",
+        "payload",
+        "version",
+        "_offsets",
+        "_sklens",
+        "_base",
+        "_cache",
+        "_sort_key_cache",
+        "_stats",
+        "count",
+    )
+
+    def __init__(
+        self,
+        definition: IndexDefinition,
+        payload: bytes,
+        stats: Optional[DecodeStats] = None,
+    ) -> None:
         self.definition = definition
         self.payload = payload
-        (self.count,) = struct.unpack_from(">I", payload, 0)
-        self._offsets = struct.unpack_from(f">{self.count}I", payload, 4)
-        self._base = 4 + 4 * self.count
+        self._stats = stats
+        if payload[:4] == _BLOCK_MAGIC_V2:
+            self.version = 2
+            (self.count,) = struct.unpack_from(">I", payload, 4)
+            self._offsets = struct.unpack_from(f">{self.count}I", payload, 8)
+            self._sklens = struct.unpack_from(
+                f">{self.count}I", payload, 8 + 4 * self.count
+            )
+            self._base = 8 + 8 * self.count
+        else:
+            self.version = 1
+            (self.count,) = struct.unpack_from(">I", payload, 0)
+            self._offsets = struct.unpack_from(f">{self.count}I", payload, 4)
+            self._sklens = None
+            self._base = 4 + 4 * self.count
         self._cache: Dict[int, IndexEntry] = {}
+        self._sort_key_cache: Optional[Dict[int, bytes]] = (
+            None if self._sklens is not None else {}
+        )
 
     def entry(self, index: int) -> IndexEntry:
         cached = self._cache.get(index)
         if cached is not None:
             return cached
+        if self._stats is not None:
+            self._stats.entry_decodes += 1
         entry, _ = IndexEntry.from_bytes(
             self.definition, self.payload, self._base + self._offsets[index]
         )
         self._cache[index] = entry
         return entry
+
+    # -- zero-decode accessors --------------------------------------------------
+
+    def sort_key_at(self, index: int) -> bytes:
+        """Raw sort key of entry ``index`` -- a payload slice on v2."""
+        if self._sklens is not None:
+            if self._stats is not None:
+                self._stats.raw_key_probes += 1
+            start = self._base + self._offsets[index]
+            return self.payload[start : start + self._sklens[index]]
+        # v1 fallback: decode once, memoize the re-encoded key.
+        cached = self._sort_key_cache.get(index)
+        if cached is None:
+            cached = self.entry(index).sort_key(self.definition)
+            self._sort_key_cache[index] = cached
+        return cached
+
+    def key_bytes_at(self, index: int) -> bytes:
+        """Raw user key (sort key minus the 8-byte beginTS suffix)."""
+        if self._sklens is not None:
+            if self._stats is not None:
+                self._stats.raw_key_probes += 1
+            start = self._base + self._offsets[index]
+            return self.payload[start : start + self._sklens[index] - SORT_KEY_TS_BYTES]
+        return self.sort_key_at(index)[:-SORT_KEY_TS_BYTES]
+
+    def begin_ts_at(self, index: int) -> int:
+        """``beginTS`` of entry ``index`` from the fixed sort-key suffix."""
+        return begin_ts_of_sort_key(self.sort_key_at(index))
+
+    def entry_blob_at(self, index: int) -> bytes:
+        """The raw serialized entry, verbatim (merge copy path)."""
+        if self._stats is not None:
+            self._stats.blob_copies += 1
+        start = self._base + self._offsets[index]
+        if index + 1 < self.count:
+            return self.payload[start : self._base + self._offsets[index + 1]]
+        return self.payload[start:]
+
+    # -- decoded iteration ------------------------------------------------------
 
     def iter_from(self, start: int):
         for index in range(start, self.count):
@@ -364,6 +539,7 @@ class IndexRun:
         self.hierarchy = hierarchy
         self._views: Dict[int, DataBlockView] = {}
         self._cumulative: Optional[List[int]] = None
+        self._first_keys: Optional[List[bytes]] = None
         self._bloom = None  # decoded lazily from header.bloom_blob
         self._bloom_decoded = False
 
@@ -428,7 +604,9 @@ class IndexRun:
         if cached is not None:
             return cached
         block = self.hierarchy.read(self.data_block_id(block_index))
-        view = DataBlockView(self.definition, block.payload)
+        view = DataBlockView(
+            self.definition, block.payload, stats=self.hierarchy.stats.decode
+        )
         self._views[block_index] = view
         return view
 
@@ -469,6 +647,26 @@ class IndexRun:
         block_index, in_block = self.locate(ordinal)
         return self.block_view(block_index).entry(in_block)
 
+    def sort_key_at(self, ordinal: int) -> bytes:
+        """Raw sort key at a global ordinal -- zero decode on v2 blocks."""
+        block_index, in_block = self.locate(ordinal)
+        return self.block_view(block_index).sort_key_at(in_block)
+
+    def key_bytes_at(self, ordinal: int) -> bytes:
+        """Raw user key (no beginTS suffix) at a global ordinal."""
+        block_index, in_block = self.locate(ordinal)
+        return self.block_view(block_index).key_bytes_at(in_block)
+
+    def begin_ts_at(self, ordinal: int) -> int:
+        """``beginTS`` at a global ordinal, from the raw sort-key suffix."""
+        block_index, in_block = self.locate(ordinal)
+        return self.block_view(block_index).begin_ts_at(in_block)
+
+    def entry_blob_at(self, ordinal: int) -> bytes:
+        """Raw serialized entry at a global ordinal (merge copy path)."""
+        block_index, in_block = self.locate(ordinal)
+        return self.block_view(block_index).entry_blob_at(in_block)
+
     def iter_entries(self, start_ordinal: int = 0):
         """Yield entries in sort-key order from ``start_ordinal`` onward."""
         if start_ordinal >= self.entry_count:
@@ -479,9 +677,63 @@ class IndexRun:
             start = in_block if bi == block_index else 0
             yield from view.iter_from(start)
 
+    def iter_positions(
+        self, start_ordinal: int = 0
+    ) -> Iterator[Tuple[DataBlockView, int]]:
+        """Yield ``(block_view, in_block_index)`` in sort-key order.
+
+        The raw-slice iteration primitive: callers probe
+        ``view.sort_key_at(i)`` / ``view.begin_ts_at(i)`` and decode an
+        entry only when they actually emit it.
+        """
+        if start_ordinal >= self.entry_count:
+            return
+        block_index, in_block = self.locate(start_ordinal)
+        for bi in range(block_index, self.header.num_data_blocks):
+            view = self.block_view(bi)
+            start = in_block if bi == block_index else 0
+            for i in range(start, view.count):
+                yield view, i
+
+    def iter_raw(
+        self, start_ordinal: int = 0
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield ``(sort_key, entry_blob)`` pairs in sort-key order.
+
+        The zero-decode merge input: blobs stream out verbatim, keys are
+        payload slices (on v2 blocks).
+        """
+        for view, i in self.iter_positions(start_ordinal):
+            yield view.sort_key_at(i), view.entry_blob_at(i)
+
     def all_entries(self) -> List[IndexEntry]:
         """Materialize every entry (tests / merges; charges block reads)."""
         return list(self.iter_entries(0))
+
+    # -- block-index narrowing ------------------------------------------------------
+
+    def _block_first_keys(self) -> List[bytes]:
+        if self._first_keys is None:
+            self._first_keys = [m.first_sort_key for m in self.header.block_meta]
+        return self._first_keys
+
+    def key_position_bounds(self, target: bytes) -> Tuple[int, int]:
+        """Ordinal bounds on ``first_geq(target)`` from the block index.
+
+        Binary-searches the header's ``block_meta.first_sort_key`` table
+        (no data-block I/O) and returns ``(lo, hi)`` such that the first
+        ordinal whose sort key is ``>= target`` lies in ``[lo, hi]``.
+        Probing within these fences means binary search never fetches data
+        blocks outside the key range.
+        """
+        first_keys = self._block_first_keys()
+        cum = self._cumulative_counts()
+        # Blocks before b_lo end strictly below target (bisect_left keeps
+        # duplicates of target on the safe side); blocks from b_hi on start
+        # strictly above it.
+        b_lo = max(0, bisect_left(first_keys, target) - 1)
+        b_hi = bisect_right(first_keys, target)
+        return cum[b_lo], cum[b_hi]
 
     # -- bloom membership (extension) -----------------------------------------------
 
@@ -521,5 +773,7 @@ __all__ = [
     "Synopsis",
     "decode_data_block",
     "encode_data_block",
+    "encode_data_block_from_blobs",
+    "encode_data_block_v1",
     "HEADER_ORDINAL",
 ]

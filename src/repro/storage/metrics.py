@@ -51,18 +51,62 @@ class TierStats:
         )
 
 
+@dataclass
+class DecodeStats:
+    """CPU-side counters for the run read path (zero-decode accounting).
+
+    The simulated tiers charge I/O; these counters charge *object
+    materialization*, the cost the memcmp-comparable key format exists to
+    avoid.  ``entry_decodes`` counts full ``IndexEntry.from_bytes`` calls,
+    ``raw_key_probes`` counts zero-decode sort-key slice fetches, and
+    ``blob_copies`` counts pre-serialized entry blobs forwarded verbatim
+    (the merge fast path).  A healthy hot path probes raw keys many times
+    per entry decode; the v1 decode path pays one decode (plus a sort-key
+    re-encode) per probe.
+
+    Counters are plain ints incremented without the ledger lock: they sit
+    on every binary-search probe, and the GIL already makes the increments
+    adequate for the single-writer benchmark/test usage they serve.
+    """
+
+    entry_decodes: int = 0
+    raw_key_probes: int = 0
+    blob_copies: int = 0
+
+    def snapshot(self) -> "DecodeStats":
+        return DecodeStats(
+            entry_decodes=self.entry_decodes,
+            raw_key_probes=self.raw_key_probes,
+            blob_copies=self.blob_copies,
+        )
+
+    def diff(self, earlier: "DecodeStats") -> "DecodeStats":
+        return DecodeStats(
+            entry_decodes=self.entry_decodes - earlier.entry_decodes,
+            raw_key_probes=self.raw_key_probes - earlier.raw_key_probes,
+            blob_copies=self.blob_copies - earlier.blob_copies,
+        )
+
+    def reset(self) -> None:
+        self.entry_decodes = 0
+        self.raw_key_probes = 0
+        self.blob_copies = 0
+
+
 class IOStats:
     """Thread-safe ledger of per-tier I/O counters.
 
     A single ``IOStats`` instance is shared by all tiers of one
     :class:`~repro.storage.hierarchy.StorageHierarchy`, so end-to-end
     experiments can ask "how many simulated nanoseconds did this query
-    cost, and on which tier".
+    cost, and on which tier".  The ``decode`` sub-ledger counts CPU-side
+    entry materializations on the same hierarchy.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._tiers: Dict[str, TierStats] = {}
+        self.decode = DecodeStats()
 
     def record_read(self, tier: str, nbytes: int, sim_ns: int) -> None:
         with self._lock:
@@ -103,3 +147,4 @@ class IOStats:
     def reset(self) -> None:
         with self._lock:
             self._tiers.clear()
+        self.decode.reset()

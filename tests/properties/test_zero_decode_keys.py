@@ -1,0 +1,161 @@
+"""Property tests for the zero-decode hot path.
+
+The whole point of the v2 block format is that raw sort-key slices are
+*bit-identical* to what decode + re-encode would produce, across every
+column-type combination an index definition allows.  These properties pin
+that equivalence down over random definitions and random entries, and check
+that legacy v1 blocks keep decoding (and raw-probing, via the fallback)
+to the same answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import RunBuilder
+from repro.core.definition import ColumnSpec, ColumnType, IndexDefinition
+from repro.core.entry import (
+    IndexEntry,
+    RID,
+    Zone,
+    begin_ts_of_sort_key,
+    user_key_of_sort_key,
+)
+from repro.core.run import (
+    DataBlockView,
+    decode_data_block,
+    encode_data_block,
+    encode_data_block_v1,
+)
+from repro.storage.hierarchy import StorageHierarchy
+
+_CTYPES = (
+    ColumnType.INT64,
+    ColumnType.FLOAT64,
+    ColumnType.STRING,
+    ColumnType.BYTES,
+)
+
+
+def _value_for(ctype: ColumnType, draw_int: int) -> object:
+    """A deterministic value of the column's type derived from an int."""
+    if ctype is ColumnType.INT64:
+        return draw_int
+    if ctype is ColumnType.FLOAT64:
+        return float(draw_int) / 4.0
+    if ctype is ColumnType.STRING:
+        return f"k{draw_int:04d}\x00tail" if draw_int % 3 == 0 else f"k{draw_int:04d}"
+    return draw_int.to_bytes(4, "big", signed=True) + (b"\x00" * (draw_int % 3))
+
+
+@st.composite
+def definition_and_entries(draw):
+    """A random index shape plus a random bag of entries for it."""
+    n_eq = draw(st.integers(0, 2))
+    n_sort = draw(st.integers(0 if n_eq else 1, 2))
+    n_incl = draw(st.integers(0, 2))
+    eq_types = [draw(st.sampled_from(_CTYPES)) for _ in range(n_eq)]
+    sort_types = [draw(st.sampled_from(_CTYPES)) for _ in range(n_sort)]
+    incl_types = [draw(st.sampled_from(_CTYPES)) for _ in range(n_incl)]
+    definition = IndexDefinition(
+        equality_columns=tuple(
+            ColumnSpec(f"eq{i}", t) for i, t in enumerate(eq_types)
+        ),
+        sort_columns=tuple(
+            ColumnSpec(f"sort{i}", t) for i, t in enumerate(sort_types)
+        ),
+        included_columns=tuple(
+            ColumnSpec(f"incl{i}", t) for i, t in enumerate(incl_types)
+        ),
+        hash_bits=draw(st.integers(1, 10)),
+    )
+    rows = draw(
+        st.lists(
+            st.tuples(st.integers(-500, 500), st.integers(0, 1 << 40)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    entries = []
+    for offset, (k, ts) in enumerate(rows):
+        entries.append(
+            IndexEntry.create(
+                definition,
+                tuple(_value_for(t, k + i) for i, t in enumerate(eq_types)),
+                tuple(_value_for(t, k - i) for i, t in enumerate(sort_types)),
+                tuple(_value_for(t, k * 2 + i) for i, t in enumerate(incl_types)),
+                ts,
+                RID(Zone.GROOMED, abs(k), offset),
+            )
+        )
+    return definition, entries
+
+
+class TestRawSliceEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(case=definition_and_entries())
+    def test_raw_accessors_match_decoded_entries(self, case):
+        definition, entries = case
+        builder = RunBuilder(definition, StorageHierarchy(), data_block_bytes=256)
+        run = builder.build("p", entries, Zone.GROOMED, 0, 0, 0)
+        for ordinal in range(run.entry_count):
+            entry = run.entry_at(ordinal)
+            expected_sort_key = entry.sort_key(definition)
+            assert run.sort_key_at(ordinal) == expected_sort_key
+            assert run.key_bytes_at(ordinal) == entry.key_bytes(definition)
+            assert run.begin_ts_at(ordinal) == entry.begin_ts
+            assert user_key_of_sort_key(expected_sort_key) == entry.key_bytes(
+                definition
+            )
+            assert begin_ts_of_sort_key(expected_sort_key) == entry.begin_ts
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=definition_and_entries())
+    def test_raw_slices_order_exactly_like_encoded_keys(self, case):
+        definition, entries = case
+        builder = RunBuilder(definition, StorageHierarchy(), data_block_bytes=512)
+        run = builder.build("p", entries, Zone.GROOMED, 0, 0, 0)
+        raw_keys = [run.sort_key_at(i) for i in range(run.entry_count)]
+        assert raw_keys == sorted(raw_keys)
+        assert raw_keys == sorted(e.sort_key(definition) for e in entries)
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=definition_and_entries())
+    def test_entry_blobs_round_trip(self, case):
+        definition, entries = case
+        builder = RunBuilder(definition, StorageHierarchy(), data_block_bytes=256)
+        run = builder.build("p", entries, Zone.GROOMED, 0, 0, 0)
+        for ordinal in range(run.entry_count):
+            blob = run.entry_blob_at(ordinal)
+            decoded, consumed = IndexEntry.from_bytes(definition, blob)
+            assert consumed == len(blob)
+            assert decoded == run.entry_at(ordinal)
+
+
+class TestV1Compatibility:
+    @settings(max_examples=40, deadline=None)
+    @given(case=definition_and_entries())
+    def test_v1_and_v2_blocks_decode_identically(self, case):
+        definition, entries = case
+        ordered = sorted(entries, key=lambda e: e.sort_key(definition))
+        v1 = encode_data_block_v1(definition, ordered)
+        v2 = encode_data_block(definition, ordered)
+        assert decode_data_block(definition, v1) == ordered
+        assert decode_data_block(definition, v2) == ordered
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=definition_and_entries())
+    def test_v1_raw_fallback_matches_v2_slices(self, case):
+        definition, entries = case
+        ordered = sorted(entries, key=lambda e: e.sort_key(definition))
+        view_v1 = DataBlockView(definition, encode_data_block_v1(definition, ordered))
+        view_v2 = DataBlockView(definition, encode_data_block(definition, ordered))
+        assert view_v1.version == 1
+        assert view_v2.version == 2
+        assert view_v1.count == view_v2.count == len(ordered)
+        for i in range(len(ordered)):
+            assert view_v1.sort_key_at(i) == view_v2.sort_key_at(i)
+            assert view_v1.key_bytes_at(i) == view_v2.key_bytes_at(i)
+            assert view_v1.begin_ts_at(i) == view_v2.begin_ts_at(i)
+            assert view_v1.entry_blob_at(i) == view_v2.entry_blob_at(i)
