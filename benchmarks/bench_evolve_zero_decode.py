@@ -1,0 +1,214 @@
+"""Ablation A9: zero-decode write path (streaming evolve + checksum recovery).
+
+PR 1 removed entry decodes from the read path; this ablation measures the
+two remaining wholesale-decode maintenance sites that PR 2 converts to raw
+byte streaming:
+
+* **evolve** -- migrating entries from the groomed to the post-groomed zone
+  used to materialize an :class:`IndexEntry` per record; the streaming path
+  splices the new RID into each raw entry blob (key, beginTS and include
+  bytes forwarded verbatim), so decodes per migrated entry drop from >= 1.0
+  to ~0 while producing byte-identical runs;
+* **recovery** -- re-validating runs after a crash used to require decoding
+  block contents; header v3 carries a per-block CRC32, so the clean path
+  checksums raw payloads with zero entry decodes.
+
+Set ``UMZI_BENCH_SMOKE=1`` for the CI-sized fixture.
+"""
+
+import os
+import time
+from dataclasses import replace
+
+from repro.bench.fixtures import entries_for_keys
+from repro.bench.harness import ExperimentResult, Series, measure_wall_s
+from repro.core.definition import i1_definition
+from repro.core.entry import RID, Zone
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.levels import LevelConfig
+from repro.workloads.generator import KeyMapper
+
+_SMOKE = os.environ.get("UMZI_BENCH_SMOKE") == "1"
+NUM_RUNS = 2 if _SMOKE else 8
+ENTRIES_PER_RUN = 300 if _SMOKE else 5_000
+RECOVERY_RUNS = 2 if _SMOKE else 12
+RECOVERY_ENTRIES = 300 if _SMOKE else 4_000
+
+DEF = i1_definition()
+
+
+def _build_groomed_index(name, num_runs, entries_per_run):
+    levels = LevelConfig(
+        groomed_levels=3, post_groomed_levels=2,
+        max_runs_per_level=max(num_runs + 1, 4), size_ratio=4,
+    )
+    index = UmziIndex(
+        DEF,
+        config=UmziConfig(name=name, levels=levels, data_block_bytes=4096),
+    )
+    mapper = KeyMapper(DEF)
+    ts = 1
+    for gid in range(num_runs):
+        keys = list(range(gid * entries_per_run, (gid + 1) * entries_per_run))
+        index.add_groomed_run(
+            entries_for_keys(DEF, keys, mapper, ts_start=ts, block_id=gid),
+            gid, gid,
+        )
+        ts += entries_per_run
+    return index
+
+
+def _post_groomed_rid_of(begin_ts):
+    # Deterministic relocation: versions repartition into post-groomed
+    # blocks of 1000 records (beginTS values are unique by construction).
+    return RID(Zone.POST_GROOMED, begin_ts // 1000, begin_ts % 1000)
+
+
+def _run_payloads(index, run):
+    return [
+        index.hierarchy.read(run.data_block_id(i)).payload
+        for i in range(run.header.num_data_blocks)
+    ]
+
+
+def test_evolve_streaming_vs_legacy(benchmark, reporter):
+    total = NUM_RUNS * ENTRIES_PER_RUN
+    max_gid = NUM_RUNS - 1
+
+    # Legacy path: decode every groomed entry, rebuild it with its new RID.
+    legacy = _build_groomed_index("abl-ev-legacy", NUM_RUNS, ENTRIES_PER_RUN)
+    decode = legacy.hierarchy.stats.decode
+    before = decode.snapshot()
+
+    def legacy_evolve():
+        entries = []
+        for run in legacy.run_lists[Zone.GROOMED].snapshot():
+            for entry in run.all_entries():
+                entries.append(
+                    replace(entry, rid=_post_groomed_rid_of(entry.begin_ts))
+                )
+        return legacy.evolve(1, entries, 0, max_gid)
+
+    start = time.perf_counter()
+    legacy_result = legacy_evolve()
+    legacy_s = time.perf_counter() - start
+    legacy_delta = decode.diff(before)
+    legacy_dpe = legacy_delta.entry_decodes / total
+
+    # Streaming path: raw RID splices over the groomed runs' entry blobs.
+    streaming = _build_groomed_index("abl-ev-stream", NUM_RUNS, ENTRIES_PER_RUN)
+    decode = streaming.hierarchy.stats.decode
+    before = decode.snapshot()
+    start = time.perf_counter()
+    streaming_result = streaming.evolve_streaming(
+        1, _post_groomed_rid_of, 0, max_gid
+    )
+    streaming_s = time.perf_counter() - start
+    streaming_delta = decode.diff(before)
+    streaming_dpe = streaming_delta.entry_decodes / total
+
+    # Acceptance: the streaming path decodes <= 0.1 entries per migrated
+    # entry (vs >= 1.0 on the legacy path) and produces the same run.
+    assert legacy_result.new_run_entries == total
+    assert streaming_result.new_run_entries == total
+    assert streaming_result.spliced_blobs == total
+    assert streaming_delta.evolve_blob_splices == total
+    assert legacy_dpe >= 1.0
+    assert streaming_dpe <= 0.1, (
+        f"streaming evolve decoded {streaming_delta.entry_decodes} entries "
+        f"for {total} migrations; the write path must stay zero-decode"
+    )
+    legacy_run = legacy.run_lists[Zone.POST_GROOMED].snapshot()[0]
+    streaming_run = streaming.run_lists[Zone.POST_GROOMED].snapshot()[0]
+    assert _run_payloads(streaming, streaming_run) == _run_payloads(
+        legacy, legacy_run
+    ), "streaming evolve must produce byte-identical data blocks"
+    assert streaming_run.header.synopsis == legacy_run.header.synopsis
+
+    result = ExperimentResult(
+        figure="Ablation A9",
+        title="Evolve entry decodes: streaming RID splices vs legacy rebuild",
+        x_label="metric",
+        y_label="value (time normalized to legacy path)",
+        series=[
+            Series("legacy decode+rebuild", [
+                ("decodes/entry", legacy_dpe),
+                ("time (normalized)", 1.0),
+            ]),
+            Series("streaming blob splices", [
+                ("decodes/entry", streaming_dpe),
+                ("time (normalized)", streaming_s / legacy_s),
+            ]),
+        ],
+        notes=(
+            f"{NUM_RUNS} groomed runs x {ENTRIES_PER_RUN} entries; legacy "
+            f"decoded {legacy_delta.entry_decodes}, streaming spliced "
+            f"{streaming_result.spliced_blobs} blobs with "
+            f"{streaming_delta.entry_decodes} decodes; byte-identical output"
+        ),
+        metrics={
+            "entries_migrated": float(total),
+            "legacy_decodes_per_entry": legacy_dpe,
+            "streaming_decodes_per_entry": streaming_dpe,
+            "legacy_wall_s": legacy_s,
+            "streaming_wall_s": streaming_s,
+            "streaming_entries_per_s": total / max(streaming_s, 1e-9),
+        },
+    )
+    reporter(result, "evolve_zero_decode")
+
+    def op():
+        index = _build_groomed_index("abl-ev-bench", NUM_RUNS, ENTRIES_PER_RUN)
+        return index.evolve_streaming(1, _post_groomed_rid_of, 0, max_gid)
+
+    benchmark(op)
+
+
+def test_recovery_checksum_vs_decode(reporter):
+    index = _build_groomed_index("abl-rec", RECOVERY_RUNS, RECOVERY_ENTRIES)
+    total_blocks = sum(
+        run.header.num_data_blocks for run in index.all_runs()
+    )
+    index.hierarchy.crash_local_tiers()
+
+    decode = index.hierarchy.stats.decode
+    before = decode.snapshot()
+    state = index.recover()
+    delta = decode.diff(before)
+
+    # Clean-path acceptance: every block re-validated by checksum, zero
+    # entry decodes end to end.
+    assert not state.incomplete_run_ids and not state.corrupt_run_ids
+    assert delta.checksum_validations >= total_blocks
+    assert delta.entry_decodes == 0, (
+        f"recovery decoded {delta.entry_decodes} entries on the clean "
+        "path; v3 headers must validate by checksum alone"
+    )
+    recovery_s = measure_wall_s(index.recover, repeat=2)
+
+    result = ExperimentResult(
+        figure="Ablation A9b",
+        title="Recovery validation: per-block checksums, zero entry decodes",
+        x_label="metric",
+        y_label="count / seconds",
+        series=[
+            Series("checksum recovery", [
+                ("entry decodes", float(delta.entry_decodes)),
+                ("checksum validations", float(delta.checksum_validations)),
+                ("wall seconds", recovery_s),
+            ]),
+        ],
+        notes=(
+            f"{RECOVERY_RUNS} runs x {RECOVERY_ENTRIES} entries "
+            f"({total_blocks} data blocks) revalidated after losing all "
+            "local tiers"
+        ),
+        metrics={
+            "runs": float(RECOVERY_RUNS),
+            "data_blocks": float(total_blocks),
+            "entry_decodes": float(delta.entry_decodes),
+            "checksum_validations": float(delta.checksum_validations),
+            "recovery_wall_s": recovery_s,
+        },
+    )
+    reporter(result, "recovery_zero_decode")

@@ -5,7 +5,10 @@ the parameter sweep, prints and saves the normalized series (the same
 normalization the figure uses), asserts the *shape* claims the paper makes,
 and registers a pytest-benchmark timing for the figure's core operation.
 
-Figure tables land in ``benchmarks/results/``.
+Figure tables land in ``benchmarks/results/`` as both a human-readable
+``<slug>.txt`` table and a machine-readable ``BENCH_<slug>.json`` payload
+(series points plus headline metrics) so the perf trajectory is trackable
+across PRs.
 """
 
 import os
@@ -15,13 +18,15 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def report(result) -> None:
-    """Print a figure table and persist it under benchmarks/results/."""
+def report(result, slug=None) -> None:
+    """Print a figure table; persist .txt and BENCH_*.json artifacts."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     table = result.format_table()
     print("\n" + table)
-    slug = result.figure.lower().replace(" ", "_")
+    if slug is None:
+        slug = result.figure.lower().replace(" ", "_")
     result.save(os.path.join(RESULTS_DIR, f"{slug}.txt"))
+    result.save_json(os.path.join(RESULTS_DIR, f"BENCH_{slug}.json"))
 
 
 @pytest.fixture

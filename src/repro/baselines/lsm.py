@@ -25,9 +25,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.core.builder import RunBuilder
 from repro.core.definition import IndexDefinition
 from repro.core.entry import IndexEntry, RID, Zone
-from repro.core.merge import merge_entry_streams
+from repro.core.merge import merge_entry_blob_streams
 from repro.core.query import MAX_QUERY_TS
-from repro.core.run import IndexRun
+from repro.core.run import IndexRun, Synopsis
 from repro.core.search import lookup_key_in_run, search_run
 from repro.core.encoding import prefix_successor
 from repro.storage.hierarchy import StorageHierarchy
@@ -106,6 +106,25 @@ class ClassicLSMIndex:
             max_groomed_id=0,
         )
 
+    def _merge_runs(self, inputs: List[IndexRun], level: int) -> IndexRun:
+        """Merge ``inputs`` (newest first) into one run at ``level``.
+
+        Reuses the core blob-stream K-way merge: entry bytes move from the
+        input blocks to the new run verbatim, so baseline-vs-Umzi numbers
+        compare index *designs*, not decode overhead.
+        """
+        run_id = f"{self._name}-{self._run_seq:06d}"
+        self._run_seq += 1
+        return self.builder.build_from_blobs(
+            run_id=run_id,
+            blob_pairs=merge_entry_blob_streams(self.definition, inputs),
+            synopsis=Synopsis.union([r.header.synopsis for r in inputs]),
+            zone=Zone.GROOMED,
+            level=level,
+            min_groomed_id=0,
+            max_groomed_id=0,
+        )
+
     def _install(self, run: IndexRun, level: int) -> None:
         while len(self._levels) <= level:
             self._levels.append([])
@@ -135,8 +154,7 @@ class ClassicLSMIndex:
                 self._levels[level + 1] if level + 1 < len(self._levels) else []
             )
             inputs = list(runs) + list(next_runs)
-            merged = list(merge_entry_streams(self.definition, inputs))
-            new_run = self._build_run(merged, level=level + 1)
+            new_run = self._merge_runs(inputs, level=level + 1)
             for run in inputs:
                 self.hierarchy.delete_namespace(run.run_id)
             self._levels[level] = []
@@ -153,8 +171,7 @@ class ClassicLSMIndex:
             if len(runs) < self.size_ratio:
                 level += 1
                 continue
-            merged = list(merge_entry_streams(self.definition, runs))
-            new_run = self._build_run(merged, level=level + 1)
+            new_run = self._merge_runs(list(runs), level=level + 1)
             for run in runs:
                 self.hierarchy.delete_namespace(run.run_id)
             self._levels[level] = []

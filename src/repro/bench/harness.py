@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -41,7 +42,12 @@ class Series:
 
 @dataclass
 class ExperimentResult:
-    """A figure-shaped result: several series over a shared x-axis."""
+    """A figure-shaped result: several series over a shared x-axis.
+
+    ``metrics`` holds the experiment's headline scalars (ops/s, decode
+    counts, wall seconds, ...) for the machine-readable ``BENCH_*.json``
+    artifacts that track the perf trajectory across PRs.
+    """
 
     figure: str
     title: str
@@ -49,6 +55,7 @@ class ExperimentResult:
     y_label: str
     series: List[Series]
     notes: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     def series_by_label(self, label: str) -> Series:
         for s in self.series:
@@ -64,6 +71,7 @@ class ExperimentResult:
             y_label=f"{self.y_label} (normalized)",
             series=[s.normalized(base) for s in self.series],
             notes=self.notes,
+            metrics=dict(self.metrics),
         )
 
     # -- reporting -----------------------------------------------------------------
@@ -100,6 +108,29 @@ class ExperimentResult:
     def save(self, path: str) -> None:
         with open(path, "w") as handle:
             handle.write(self.format_table() + "\n")
+
+    # -- machine-readable reporting ---------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The ``BENCH_*.json`` payload: everything the table shows, plus
+        the headline ``metrics`` scalars, in a diff-friendly shape."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "notes": self.notes,
+            "series": [
+                {"label": s.label, "points": [[x, y] for x, y in s.points]}
+                for s in self.series
+            ],
+            "metrics": dict(self.metrics),
+        }
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 # ---------------------------------------------------------------------------

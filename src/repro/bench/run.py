@@ -159,8 +159,9 @@ def main(argv=None) -> int:
             print()
             slug = result.figure.lower().replace(" ", "_")
             result.save(os.path.join(args.out, f"{slug}.txt"))
+            result.save_json(os.path.join(args.out, f"BENCH_{slug}.json"))
         print(f"[{label}] done in {time.perf_counter() - start:.1f}s\n")
-    print(f"tables written to {args.out}/")
+    print(f"tables and BENCH_*.json written to {args.out}/")
     return 0
 
 

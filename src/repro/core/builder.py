@@ -35,6 +35,7 @@ from repro.core.run import (
     IndexRun,
     RunHeader,
     Synopsis,
+    block_checksum,
     encode_data_block_from_blobs,
 )
 from repro.core.encoding import high_bits
@@ -133,9 +134,15 @@ class RunBuilder:
         6.1), optionally spilling to SSD.
         """
         definition = self.definition
-        ordered = list(entries) if presorted else self.sort_entries(entries)
-        synopsis = Synopsis.from_entries(definition, ordered)
-        pairs = [entry.to_blob(definition) for entry in ordered]
+        # Encode once: each entry serializes to (sort_key, blob) a single
+        # time and the run order comes from sorting the raw key slices --
+        # the old sort-then-serialize path encoded every sort key twice
+        # (once for the sort key function, once inside to_blob).
+        materialized = list(entries)
+        synopsis = Synopsis.from_entries(definition, materialized)
+        pairs = [entry.to_blob(definition) for entry in materialized]
+        if not presorted:
+            pairs.sort(key=lambda pair: pair[0])
         return self._build_common(
             run_id=run_id,
             blob_pairs=pairs,
@@ -275,6 +282,10 @@ class RunBuilder:
                 entry_count=len(blob_pairs),
                 first_sort_key=blob_pairs[0][0],
                 size_bytes=len(payload),
+                # Recovery re-validates the run by checksumming raw
+                # payloads against this -- no entry decodes on the clean
+                # path (and the journal uses it for torn-write detection).
+                checksum=block_checksum(payload),
             )
         )
         payloads.append(payload)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.definition import ColumnType, IndexDefinition
 from repro.core.encoding import (
@@ -93,6 +93,42 @@ def user_key_of_sort_key(sort_key: bytes) -> bytes:
 def begin_ts_of_sort_key(sort_key: bytes) -> int:
     """Decode ``beginTS`` from a raw sort key's fixed 8-byte suffix."""
     return _UINT64_MAX - int.from_bytes(sort_key[-SORT_KEY_TS_BYTES:], "big")
+
+
+# Serialized RID width; the RID is always the fixed-size suffix of an entry
+# blob (layout ``sort_key | includes | rid``), so the maintenance path can
+# splice a new RID without decoding any column.
+RID_BYTES = RID._STRUCT.size
+
+
+def reencode_sort_key(
+    blob: bytes, new_sort_key: bytes, old_sort_key_len: Optional[int] = None
+) -> bytes:
+    """Splice ``new_sort_key`` over the sort key a blob starts with.
+
+    The general zero-decode re-key primitive: an entry blob's layout is
+    ``sort_key | includes | rid``, so rewriting the key columns or beginTS
+    of an entry is a byte splice -- the include columns and RID are
+    forwarded verbatim, never decoded.  The current streaming evolve path
+    needs only the RID-suffix specialization (:func:`replace_rid_in_blob`)
+    because a record's key and beginTS survive zone migration unchanged;
+    this helper is for maintenance rewrites that *do* change the key
+    (e.g. a future beginTS-remapping groom).  ``old_sort_key_len``
+    defaults to ``len(new_sort_key)`` (same-shape keys).
+    """
+    old_len = len(new_sort_key) if old_sort_key_len is None else old_sort_key_len
+    return new_sort_key + blob[old_len:]
+
+
+def replace_rid_in_blob(blob: bytes, new_rid: "RID") -> bytes:
+    """Splice a new RID over a blob's fixed-width RID suffix.
+
+    This is what the streaming evolve path does per entry: when a record
+    moves from the groomed to the post-groomed zone its key and beginTS
+    are unchanged -- only the RID suffix differs -- so the whole re-key is
+    one slice plus a 13-byte pack.
+    """
+    return blob[: len(blob) - RID_BYTES] + new_rid.to_bytes()
 
 
 @dataclass(frozen=True)
@@ -215,8 +251,11 @@ class IndexEntry:
 __all__ = [
     "IndexEntry",
     "RID",
+    "RID_BYTES",
     "SORT_KEY_TS_BYTES",
     "Zone",
     "begin_ts_of_sort_key",
+    "reencode_sort_key",
+    "replace_rid_in_blob",
     "user_key_of_sort_key",
 ]

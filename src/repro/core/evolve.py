@@ -27,11 +27,18 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.builder import RunBuilder
-from repro.core.entry import IndexEntry, Zone
+from repro.core.entry import (
+    IndexEntry,
+    RID,
+    Zone,
+    begin_ts_of_sort_key,
+    replace_rid_in_blob,
+)
 from repro.core.ids import RunIdAllocator
 from repro.core.journal import Checkpoint, MetadataJournal
 from repro.core.levels import LevelConfig
-from repro.core.run import IndexRun
+from repro.core.merge import merge_entry_blob_streams
+from repro.core.run import IndexRun, Synopsis
 from repro.core.runlist import RunList
 from repro.storage.hierarchy import StorageHierarchy
 
@@ -64,7 +71,13 @@ class Watermark:
 
 @dataclass
 class EvolveResult:
-    """What one evolve operation did."""
+    """What one evolve operation did.
+
+    ``spliced_blobs``/``skipped_blobs`` are only populated by the
+    streaming path: spliced entries migrated as raw byte splices, skipped
+    entries fell outside the evolved PSN's coverage (already evolved by an
+    earlier operation, or groomed after this one was published).
+    """
 
     psn: int
     new_run_id: str
@@ -72,6 +85,8 @@ class EvolveResult:
     watermark_before: int
     watermark_after: int
     collected_run_ids: Tuple[str, ...]
+    spliced_blobs: int = 0
+    skipped_blobs: int = 0
 
 
 class EvolveController:
@@ -135,6 +150,83 @@ class EvolveController:
                 collected_run_ids=tuple(collected),
             )
 
+    def evolve_streaming(
+        self,
+        psn: int,
+        new_rid_of: Callable[[int], Optional[RID]],
+        min_groomed_id: int,
+        max_groomed_id: int,
+    ) -> EvolveResult:
+        """Zero-decode evolve: splice new RIDs into raw groomed entry blobs.
+
+        Instead of materializing an :class:`IndexEntry` per migrated record
+        (the legacy ``evolve`` path), this streams ``(sort_key, blob)``
+        pairs straight off the covered groomed runs' data blocks.  A
+        record's key columns and ``beginTS`` do not change when it moves to
+        the post-groomed zone -- only its RID does -- so the migration is a
+        13-byte splice over the blob's fixed-width RID suffix; include
+        columns are forwarded verbatim and the stream stays in sort order.
+
+        ``new_rid_of(begin_ts)`` maps a version's ``beginTS`` (read as a
+        raw sort-key suffix slice) to its post-groomed RID, or ``None`` for
+        entries outside this operation's coverage (already evolved, or
+        groomed after it was published) -- those are skipped, and partial
+        coverage reconciles at query time exactly like section 5.4's
+        duplicates.  ``beginTS`` values must uniquely identify record
+        versions (the groomer's ``cycle | order`` composition guarantees
+        this).  The output synopsis is the union of the inputs' synopses --
+        sound because the evolved entries are a key-identical subset.
+        """
+        with self._lock:
+            self._check_psn(psn)
+            sources = [
+                run
+                for run in self.run_lists[Zone.GROOMED].snapshot()
+                if run.min_groomed_id <= max_groomed_id
+                and run.max_groomed_id >= min_groomed_id
+            ]
+            decode_stats = self.hierarchy.stats.decode
+            counts = {"spliced": 0, "skipped": 0}
+
+            def spliced_blobs():
+                for sort_key, blob in merge_entry_blob_streams(
+                    self.builder.definition, sources
+                ):
+                    new_rid = new_rid_of(begin_ts_of_sort_key(sort_key))
+                    if new_rid is None:
+                        counts["skipped"] += 1
+                        continue
+                    counts["spliced"] += 1
+                    decode_stats.evolve_blob_splices += 1
+                    yield sort_key, replace_rid_in_blob(blob, new_rid)
+
+            if sources:
+                synopsis = Synopsis.union([r.header.synopsis for r in sources])
+            else:
+                synopsis = Synopsis(
+                    ranges=tuple(
+                        [None] * len(self.builder.definition.key_columns)
+                    )
+                )
+            new_run = self.step1_build_run_from_blobs(
+                spliced_blobs(), synopsis, min_groomed_id, max_groomed_id
+            )
+            before = self.watermark.value
+            self.step2_advance_watermark(max_groomed_id)
+            collected = self.step3_collect_obsolete()
+            self.indexed_psn = psn
+            self._checkpoint()
+            return EvolveResult(
+                psn=psn,
+                new_run_id=new_run.run_id,
+                new_run_entries=new_run.entry_count,
+                watermark_before=before,
+                watermark_after=self.watermark.value,
+                collected_run_ids=tuple(collected),
+                spliced_blobs=counts["spliced"],
+                skipped_blobs=counts["skipped"],
+            )
+
     def _check_psn(self, psn: int) -> None:
         if psn != self.indexed_psn + 1:
             raise EvolveError(
@@ -155,6 +247,29 @@ class EvolveController:
         run = self.builder.build(
             run_id=self.allocator.allocate(Zone.POST_GROOMED),
             entries=entries,
+            zone=Zone.POST_GROOMED,
+            level=level,
+            min_groomed_id=min_groomed_id,
+            max_groomed_id=max_groomed_id,
+            persisted=True,  # post-groomed runs are always durable
+            write_through_ssd=self._write_through(level),
+        )
+        self.run_lists[Zone.POST_GROOMED].push_front(run)  # atomic
+        return run
+
+    def step1_build_run_from_blobs(
+        self,
+        blob_pairs: Iterable[Tuple[bytes, bytes]],
+        synopsis: Synopsis,
+        min_groomed_id: int,
+        max_groomed_id: int,
+    ) -> IndexRun:
+        """Sub-operation 1 on the streaming path: build from raw blobs."""
+        level = self.config.first_post_groomed_level
+        run = self.builder.build_from_blobs(
+            run_id=self.allocator.allocate(Zone.POST_GROOMED),
+            blob_pairs=blob_pairs,
+            synopsis=synopsis,
             zone=Zone.POST_GROOMED,
             level=level,
             min_groomed_id=min_groomed_id,

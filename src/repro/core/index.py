@@ -192,6 +192,20 @@ class UmziIndex:
         """Index evolve after a post-groom operation (section 5.4)."""
         return self.evolver.evolve(psn, entries, min_groomed_id, max_groomed_id)
 
+    def evolve_streaming(
+        self,
+        psn: int,
+        new_rid_of,
+        min_groomed_id: int,
+        max_groomed_id: int,
+    ) -> EvolveResult:
+        """Zero-decode evolve: stream covered groomed-run blobs, splicing
+        each entry's new post-groomed RID via ``new_rid_of(begin_ts)``
+        (see :meth:`EvolveController.evolve_streaming`)."""
+        return self.evolver.evolve_streaming(
+            psn, new_rid_of, min_groomed_id, max_groomed_id
+        )
+
     @property
     def indexed_psn(self) -> int:
         return self.evolver.indexed_psn

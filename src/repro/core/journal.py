@@ -7,6 +7,11 @@ Shared storage is append-only, so the journal writes a new checkpoint block
 per evolve (monotonic ordinal within one namespace) and recovery reads the
 newest one.  Old checkpoints are trimmed opportunistically to keep the
 object small.
+
+Every checkpoint block carries a CRC32 of its own payload: a torn write
+(crash mid-append, bit rot) fails verification and ``latest`` falls back to
+the newest *valid* checkpoint instead of recovering from garbage.
+Pre-checksum blocks (4 bytes shorter) remain readable.
 """
 
 from __future__ import annotations
@@ -15,11 +20,14 @@ import struct
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.run import block_checksum
 from repro.storage.block import Block, BlockId
 from repro.storage.hierarchy import StorageHierarchy
 
 _MAGIC = b"UMZM"
 _FORMAT = ">QqQ"  # indexed_psn, watermark, checkpoint ordinal echo
+_BODY_LEN = 4 + struct.calcsize(_FORMAT)
+_CRC_LEN = 4
 
 
 @dataclass(frozen=True)
@@ -43,27 +51,46 @@ class MetadataJournal:
         return (max(bid.ordinal for bid in ids) + 1) if ids else 0
 
     def append(self, checkpoint: Checkpoint) -> None:
-        payload = _MAGIC + struct.pack(
+        body = _MAGIC + struct.pack(
             _FORMAT,
             checkpoint.indexed_psn,
             checkpoint.max_covered_groomed_id,
             self._next_ordinal,
         )
+        payload = body + struct.pack(">I", block_checksum(body))
         block = Block(BlockId(self.namespace, self._next_ordinal), payload)
         self.hierarchy.shared.write(block)
         self._next_ordinal += 1
         self._trim()
 
     def latest(self) -> Optional[Checkpoint]:
+        """The newest checkpoint that verifies; torn tails are skipped."""
         ids = self.hierarchy.shared.namespace_block_ids(self.namespace)
-        if not ids:
+        for bid in reversed(ids):
+            block = self.hierarchy.shared.read(bid)
+            if block is None:
+                continue
+            checkpoint = self._try_decode(block.payload)
+            if checkpoint is not None:
+                return checkpoint
+        return None
+
+    def _try_decode(self, payload: bytes) -> Optional[Checkpoint]:
+        if payload[:4] != _MAGIC:
             return None
-        block = self.hierarchy.shared.read(ids[-1])
-        assert block is not None
-        return self._decode(block.payload)
+        if len(payload) == _BODY_LEN + _CRC_LEN:
+            (stored,) = struct.unpack_from(">I", payload, _BODY_LEN)
+            self.hierarchy.stats.decode.checksum_validations += 1
+            if block_checksum(payload[:_BODY_LEN]) != stored:
+                return None
+        elif len(payload) != _BODY_LEN:
+            return None  # truncated or padded: a torn pre-checksum write
+        indexed_psn, watermark, _ordinal = struct.unpack_from(_FORMAT, payload, 4)
+        return Checkpoint(indexed_psn=indexed_psn, max_covered_groomed_id=watermark)
 
     @staticmethod
     def _decode(payload: bytes) -> Checkpoint:
+        """Strict decode (tests); raises instead of returning ``None``."""
         if payload[:4] != _MAGIC:
             raise ValueError("not an Umzi metadata checkpoint block")
         indexed_psn, watermark, _ordinal = struct.unpack_from(_FORMAT, payload, 4)

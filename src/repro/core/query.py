@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.definition import IndexDefinition
 from repro.core.encoding import (
@@ -34,7 +34,12 @@ from repro.core.encoding import (
     encode_uint64,
     prefix_successor,
 )
-from repro.core.entry import IndexEntry, Zone, user_key_of_sort_key
+from repro.core.entry import (
+    IndexEntry,
+    Zone,
+    begin_ts_of_sort_key,
+    user_key_of_sort_key,
+)
 from repro.core.run import IndexRun
 from repro.core.search import (
     UNBOUNDED,
@@ -240,13 +245,18 @@ class QueryExecutor:
     def _reconcile_set(
         self, runs: Sequence[IndexRun], bounds: _Bounds, query_ts: int
     ) -> List[IndexEntry]:
-        """Set approach: newest runs first, remember answered keys.
+        """Set approach: scan run by run, remember the best version per key.
 
         Works well for small ranges; keeps all intermediate results in
-        memory (the trade-off the paper calls out).
+        memory (the trade-off the paper calls out).  Versions are compared
+        by raw ``beginTS`` slices, not run recency: run order tracks when
+        entries were *indexed*, and a newer run may carry an older version
+        of a key (evolve duplicates, out-of-order grooms), so first-seen-
+        per-key would answer with the wrong version.  Runs are walked
+        newest first so identical versions surfacing from both zones keep
+        the newer zone's copy.
         """
-        seen: set = set()
-        results: List[Tuple[bytes, IndexEntry]] = []
+        best: Dict[bytes, Tuple[int, IndexEntry]] = {}
         for run in runs:  # newest -> oldest
             for sort_key, entry in search_run_raw(
                 run,
@@ -258,12 +268,11 @@ class QueryExecutor:
                 self.use_raw_keys,
             ):
                 key = user_key_of_sort_key(sort_key)
-                if key in seen:
-                    continue
-                seen.add(key)
-                results.append((key, entry))
-        results.sort(key=lambda pair: pair[0])
-        return [entry for _key, entry in results]
+                begin_ts = begin_ts_of_sort_key(sort_key)
+                current = best.get(key)
+                if current is None or begin_ts > current[0]:
+                    best[key] = (begin_ts, entry)
+        return [best[key][1] for key in sorted(best)]
 
     def range_scan_iter(
         self, query: RangeScanQuery

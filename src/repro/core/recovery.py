@@ -7,13 +7,21 @@ what shared storage holds:
 1. read the newest metadata checkpoint (IndexedPSN + watermark);
 2. enumerate run headers in shared storage; delete *incomplete* runs (a
    crash mid-build leaves a header whose data blocks are missing, or
-   orphaned data blocks without a header);
+   orphaned data blocks without a header) and *corrupt* runs (a data-block
+   payload whose CRC32 no longer matches the header's block index -- torn
+   writes, bit rot);
 3. per zone, sort runs by descending end groomed block id and add them one
    by one; "if multiple runs have overlapping groomed block IDs, the one
    with largest range is selected, while the rest are simply deleted since
    they have already been merged";
 4. groomed runs wholly below the watermark are already covered by the
    post-groomed zone and are dropped too.
+
+Payload validation is zero-decode on the clean path: header v3 records a
+per-block checksum, so re-validating a run is one CRC pass over raw bytes
+per block.  Runs written by older builders (no checksum) fall back to
+decoding every entry -- the wholesale-decode cost this format revision
+removes.
 """
 
 from __future__ import annotations
@@ -26,7 +34,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.definition import IndexDefinition
 from repro.core.entry import Zone
 from repro.core.journal import Checkpoint, MetadataJournal
-from repro.core.run import HEADER_ORDINAL, IndexRun, RunHeader
+from repro.core.run import (
+    HEADER_ORDINAL,
+    DataBlockView,
+    IndexRun,
+    RunHeader,
+    block_checksum,
+)
 from repro.storage.block import BlockId
 from repro.storage.hierarchy import StorageHierarchy
 
@@ -39,12 +53,53 @@ class RecoveredState:
     checkpoint: Optional[Checkpoint]
     deleted_run_ids: List[str] = field(default_factory=list)
     incomplete_run_ids: List[str] = field(default_factory=list)
+    # Subset of incomplete_run_ids dropped because a data-block payload
+    # failed validation (checksum mismatch / undecodable), as opposed to
+    # being absent outright.
+    corrupt_run_ids: List[str] = field(default_factory=list)
 
 
 def _is_complete(hierarchy: StorageHierarchy, header: RunHeader) -> bool:
     """All data blocks the header promises must exist in shared storage."""
     for ordinal in range(1, header.num_data_blocks + 1):
         if not hierarchy.shared.contains(BlockId(header.run_id, ordinal)):
+            return False
+    return True
+
+
+def _payloads_valid(
+    definition: IndexDefinition, hierarchy: StorageHierarchy, header: RunHeader
+) -> bool:
+    """Re-validate every data block of one run against its header.
+
+    Checksummed blocks (header v3) are verified by one CRC pass over the
+    raw payload -- zero entry decodes.  Blocks without a checksum (runs
+    written by older builders) fall back to fully decoding each entry,
+    charged to ``maintenance_entry_decodes``.  Either way a mismatch means
+    the run is dropped; its data is covered by other runs or rebuilt from
+    groomed blocks upstream.
+    """
+    stats = hierarchy.stats.decode
+    for ordinal in range(1, header.num_data_blocks + 1):
+        meta = header.block_meta[ordinal - 1]
+        block = hierarchy.shared.read(BlockId(header.run_id, ordinal))
+        if block is None or len(block.payload) != meta.size_bytes:
+            return False
+        if meta.checksum is not None:
+            stats.checksum_validations += 1
+            if block_checksum(block.payload) != meta.checksum:
+                return False
+            continue
+        # Decode fallback: structural validation only (pre-checksum runs
+        # cannot detect a flipped byte inside a value payload).
+        try:
+            view = DataBlockView(definition, block.payload, stats=stats)
+            if view.count != meta.entry_count:
+                return False
+            view.all_entries()
+            stats.maintenance_entry_decodes += view.count
+        except (ValueError, KeyError, IndexError, OverflowError,
+                UnicodeDecodeError, struct.error):
             return False
     return True
 
@@ -72,6 +127,7 @@ def recover_index_state(
 
     headers: List[RunHeader] = []
     incomplete: List[str] = []
+    corrupt: List[str] = []
     for namespace in hierarchy.shared.namespaces():
         if not namespace.startswith(run_prefix):
             continue
@@ -96,6 +152,11 @@ def recover_index_state(
             hierarchy.delete_namespace(namespace)
             incomplete.append(namespace)
             continue
+        if not _payloads_valid(definition, hierarchy, header):
+            hierarchy.delete_namespace(namespace)
+            incomplete.append(namespace)
+            corrupt.append(namespace)
+            continue
         headers.append(header)
 
     deleted: List[str] = []
@@ -106,8 +167,14 @@ def recover_index_state(
     for zone in (Zone.GROOMED, Zone.POST_GROOMED):
         zone_headers = [h for h in headers if h.zone is zone]
         # Largest coverage first: descending end id, then widest range.
+        # Entry count breaks exact-coverage ties so a replayed evolve's
+        # empty (or thinner) duplicate never shadows the populated run.
         zone_headers.sort(
-            key=lambda h: (h.max_groomed_id, h.max_groomed_id - h.min_groomed_id),
+            key=lambda h: (
+                h.max_groomed_id,
+                h.max_groomed_id - h.min_groomed_id,
+                h.entry_count,
+            ),
             reverse=True,
         )
         kept: List[RunHeader] = []
@@ -132,6 +199,7 @@ def recover_index_state(
         checkpoint=checkpoint,
         deleted_run_ids=deleted,
         incomplete_run_ids=incomplete,
+        corrupt_run_ids=corrupt,
     )
 
 

@@ -43,6 +43,7 @@ storage hierarchy like any other block.
 from __future__ import annotations
 
 import struct
+import zlib
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -68,9 +69,22 @@ from repro.storage.metrics import DecodeStats
 
 HEADER_ORDINAL = 0
 _MAGIC = b"UMZI"
-_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+# Header v3 adds a per-data-block CRC32 to the block index so recovery can
+# re-validate runs by checksumming raw payloads instead of decoding entries.
+_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 _BLOCK_MAGIC_V2 = b"UMB2"
+
+
+def block_checksum(payload: bytes) -> int:
+    """CRC32 of one raw data-block payload (the recovery checksum).
+
+    zlib's C-speed CRC32 stands in for CRC32C (the container has no
+    Castagnoli implementation and a pure-Python table would sit on the
+    write hot path); the property that matters -- any single flipped byte
+    changes the digest -- is identical.
+    """
+    return zlib.crc32(payload) & 0xFFFFFFFF
 
 _DECODERS = {
     ColumnType.INT64: decode_int64,
@@ -181,11 +195,17 @@ class Synopsis:
 
 @dataclass(frozen=True)
 class DataBlockMeta:
-    """Block-index entry: where one data block starts and how big it is."""
+    """Block-index entry: where one data block starts and how big it is.
+
+    ``checksum`` is the CRC32 of the block's raw payload (header v3);
+    ``None`` for runs written by older builders, which recovery must
+    re-validate by decoding instead.
+    """
 
     entry_count: int
     first_sort_key: bytes
     size_bytes: int
+    checksum: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -246,11 +266,15 @@ class RunHeader:
         parts.append(struct.pack(">I", len(self.offset_array)))
         if self.offset_array:
             parts.append(struct.pack(f">{len(self.offset_array)}Q", *self.offset_array))
-        # block index
+        # block index (v3: per-block payload checksum for raw revalidation)
         parts.append(struct.pack(">I", len(self.block_meta)))
         for meta in self.block_meta:
             parts.append(struct.pack(">QI", meta.entry_count, meta.size_bytes))
             parts.append(_pack_bytes(meta.first_sort_key))
+            if meta.checksum is None:
+                parts.append(b"\x00")
+            else:
+                parts.append(struct.pack(">BI", 1, meta.checksum))
         # ancestors
         parts.append(struct.pack(">I", len(self.ancestor_run_ids)))
         for rid in self.ancestor_run_ids:
@@ -310,9 +334,19 @@ class RunHeader:
             count, size_bytes = struct.unpack_from(">QI", data, pos)
             pos += struct.calcsize(">QI")
             first_key, pos = _unpack_bytes(data, pos)
+            checksum: Optional[int] = None
+            if version >= 3:
+                present = data[pos]
+                pos += 1
+                if present:
+                    (checksum,) = struct.unpack_from(">I", data, pos)
+                    pos += 4
             metas.append(
                 DataBlockMeta(
-                    entry_count=count, first_sort_key=first_key, size_bytes=size_bytes
+                    entry_count=count,
+                    first_sort_key=first_key,
+                    size_bytes=size_bytes,
+                    checksum=checksum,
                 )
             )
         (n_ancestors,) = struct.unpack_from(">I", data, pos)
@@ -771,6 +805,7 @@ __all__ = [
     "IndexRun",
     "RunHeader",
     "Synopsis",
+    "block_checksum",
     "decode_data_block",
     "encode_data_block",
     "encode_data_block_from_blobs",

@@ -72,12 +72,25 @@ class DecodeStats:
     entry_decodes: int = 0
     raw_key_probes: int = 0
     blob_copies: int = 0
+    # Maintenance/write-path counters (PR 2).  ``evolve_blob_splices``
+    # counts entries migrated across zones as raw RID/key splices (the
+    # streaming evolve path), ``checksum_validations`` counts data blocks
+    # re-validated by CRC instead of by decoding (recovery, journal), and
+    # ``maintenance_entry_decodes`` counts full entry decodes incurred by
+    # maintenance operations (evolve/recovery fallbacks) -- the number the
+    # zero-decode write path drives to ~0.
+    evolve_blob_splices: int = 0
+    checksum_validations: int = 0
+    maintenance_entry_decodes: int = 0
 
     def snapshot(self) -> "DecodeStats":
         return DecodeStats(
             entry_decodes=self.entry_decodes,
             raw_key_probes=self.raw_key_probes,
             blob_copies=self.blob_copies,
+            evolve_blob_splices=self.evolve_blob_splices,
+            checksum_validations=self.checksum_validations,
+            maintenance_entry_decodes=self.maintenance_entry_decodes,
         )
 
     def diff(self, earlier: "DecodeStats") -> "DecodeStats":
@@ -85,12 +98,20 @@ class DecodeStats:
             entry_decodes=self.entry_decodes - earlier.entry_decodes,
             raw_key_probes=self.raw_key_probes - earlier.raw_key_probes,
             blob_copies=self.blob_copies - earlier.blob_copies,
+            evolve_blob_splices=self.evolve_blob_splices - earlier.evolve_blob_splices,
+            checksum_validations=self.checksum_validations - earlier.checksum_validations,
+            maintenance_entry_decodes=(
+                self.maintenance_entry_decodes - earlier.maintenance_entry_decodes
+            ),
         )
 
     def reset(self) -> None:
         self.entry_decodes = 0
         self.raw_key_probes = 0
         self.blob_copies = 0
+        self.evolve_blob_splices = 0
+        self.checksum_validations = 0
+        self.maintenance_entry_decodes = 0
 
 
 class IOStats:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.definition import ColumnType
 from repro.core.encoding import (
@@ -69,6 +69,31 @@ class DataBlock:
         if not 0 <= offset < len(self.records):
             raise IndexError(f"offset {offset} out of range")
         return RID(zone=self.zone, block_id=self.block_id, offset=offset)
+
+    # -- batched index hand-off -------------------------------------------------
+
+    def iter_indexable(self) -> Iterator[Tuple[RID, Record]]:
+        """Yield ``(rid, record)`` pairs in offset order.
+
+        The batched hand-off for index builds: one pass over the block
+        with the zone/block-id constants bound once, instead of a
+        bounds-checked :meth:`rid_of` call per record.
+        """
+        zone = self.zone
+        block_id = self.block_id
+        for offset, record in enumerate(self.records):
+            yield RID(zone=zone, block_id=block_id, offset=offset), record
+
+    def rid_by_begin_ts(self) -> Dict[int, RID]:
+        """Map each record version's ``beginTS`` to its RID in this block.
+
+        The streaming evolve hand-off: ``beginTS`` values are unique per
+        version (the groomer composes ``groom cycle | commit order``), so
+        this is the only decoded state the indexer needs to re-point
+        groomed index entries at their post-groomed copies -- everything
+        else moves as raw blob splices.
+        """
+        return {record.begin_ts: rid for rid, record in self.iter_indexable()}
 
     def column_stats(self, schema: TableSchema, column: str) -> ColumnStats:
         position = schema.position(column)

@@ -47,6 +47,9 @@ class ShardConfig:
     umzi: UmziConfig = field(default_factory=UmziConfig)
     require_primary_index: bool = True
     groomed_block_grace_psns: int = 1
+    # Zero-decode evolve (raw RID splices over groomed entry blobs) vs the
+    # legacy per-index entry rebuild; see wildfire.indexer.
+    streaming_evolve: bool = True
     # Secondary indexes (name -> spec), maintained in lockstep with the
     # primary through every groom and evolve (paper section 10 future work).
     secondary_indexes: Optional[Dict[str, "IndexSpec"]] = None
@@ -99,6 +102,7 @@ class WildfireShard:
             self.indexes,
             self.post_groomer,
             groomed_block_grace_psns=self.config.groomed_block_grace_psns,
+            streaming_evolve=self.config.streaming_evolve,
         )
         self.maintenance = MaintenanceService(self.index.merger, self.index.cache)
         self._secondary_maintenance = [

@@ -76,8 +76,9 @@ class Groomer:
 
             block = self.catalog.store_groomed(records)
 
-            # One index run per attached index (primary + secondaries).
-            run_ids = self.indexes.build_groomed_runs(block, block.records)
+            # One index run per attached index (primary + secondaries),
+            # fed through the block's batched (rid, record) hand-off.
+            run_ids = self.indexes.build_groomed_runs(block)
             self.grooms_done += 1
             return GroomResult(
                 groom_cycle=cycle,

@@ -10,6 +10,13 @@ The daemon is deliberately decoupled from the post-groomer: it reads only
 published PSN metadata and the post-groomed blocks themselves -- the
 minimum-coordination property the paper emphasizes for loosely-coupled
 distributed processes.
+
+By default evolves run on the zero-decode streaming path: the daemon
+derives one ``beginTS -> new RID`` map from the post-groomed blocks and
+each index re-points its own groomed entry blobs by raw RID splices --
+no :class:`IndexEntry` is rebuilt per index per record.  The legacy
+rebuild-entries-per-index path remains available (``streaming_evolve=
+False``) as the ablation baseline.
 """
 
 from __future__ import annotations
@@ -17,9 +24,9 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.entry import Zone
+from repro.core.entry import RID, Zone
 from repro.core.evolve import EvolveResult
 from repro.wildfire.blockstore import BlockCatalog
 from repro.wildfire.indexes import ShardIndexes
@@ -46,12 +53,16 @@ class IndexerDaemon:
         indexes: ShardIndexes,
         post_groomer: PostGroomer,
         groomed_block_grace_psns: int = 1,
+        streaming_evolve: bool = True,
     ) -> None:
         self.schema = schema
         self.catalog = catalog
         self.indexes = indexes
         self.index = indexes.primary.index  # the primary index
         self.post_groomer = post_groomer
+        # Zero-decode evolve (RID splices over raw groomed blobs) vs the
+        # legacy per-index entry rebuild; see the module docstring.
+        self.streaming_evolve = streaming_evolve
         # Groomed blocks of PSN p are deleted only once PSN p+grace has
         # evolved, so queries that raced an evolve can still resolve
         # groomed RIDs ("eventually deleted", section 5.4).
@@ -74,28 +85,51 @@ class IndexerDaemon:
                 return None
             op = self.post_groomer.get_op(next_psn)
 
-            blocks = [
-                self.catalog.get_block(Zone.POST_GROOMED, block_id)
-                for block_id in op.post_groomed_block_ids
-            ]
+            new_rid_by_ts: Dict[int, RID] = {}
+            blocks = []
+            if self.streaming_evolve:
+                # One beginTS -> post-groomed RID map serves every index:
+                # evolve never rebuilds an entry, it splices RIDs into
+                # each index's own groomed blobs.  The map published in
+                # the PSN record spares even the block fetches; older op
+                # records without one fall back to the blocks' batched
+                # hand-off.
+                if op.rid_by_begin_ts:
+                    new_rid_by_ts = dict(op.rid_by_begin_ts)
+                else:
+                    for block_id in op.post_groomed_block_ids:
+                        block = self.catalog.get_block(
+                            Zone.POST_GROOMED, block_id
+                        )
+                        new_rid_by_ts.update(block.rid_by_begin_ts())
+            else:
+                blocks = [
+                    self.catalog.get_block(Zone.POST_GROOMED, block_id)
+                    for block_id in op.post_groomed_block_ids
+                ]
             primary_result: Optional[EvolveResult] = None
             secondary_results: List[EvolveResult] = []
             for shard_index in self.indexes.all():
                 if shard_index.index.indexed_psn >= next_psn:
                     continue  # already evolved (e.g. resumed after crash)
-                entries = []
-                for block in blocks:
-                    for offset, record in enumerate(block.records):
-                        eq, sort, incl = shard_index.extract(record.values)
-                        entries.append(
-                            shard_index.index.make_entry(
-                                eq, sort, incl, record.begin_ts,
-                                block.rid_of(offset),
+                if self.streaming_evolve:
+                    result = shard_index.index.evolve_streaming(
+                        op.psn, new_rid_by_ts.get,
+                        op.min_groomed_id, op.max_groomed_id,
+                    )
+                else:
+                    entries = []
+                    for block in blocks:
+                        for rid, record in block.iter_indexable():
+                            eq, sort, incl = shard_index.extract(record.values)
+                            entries.append(
+                                shard_index.index.make_entry(
+                                    eq, sort, incl, record.begin_ts, rid
+                                )
                             )
-                        )
-                result = shard_index.index.evolve(
-                    op.psn, entries, op.min_groomed_id, op.max_groomed_id
-                )
+                    result = shard_index.index.evolve(
+                        op.psn, entries, op.min_groomed_id, op.max_groomed_id
+                    )
                 if shard_index.name == "primary":
                     primary_result = result
                 else:

@@ -116,18 +116,20 @@ class ShardIndexes:
 
     # -- lifecycle fan-out ---------------------------------------------------------
 
-    def build_groomed_runs(self, block, records) -> Dict[str, str]:
-        """One index run per index over one newly groomed block."""
+    def build_groomed_runs(self, block) -> Dict[str, str]:
+        """One index run per index over one newly groomed block.
+
+        Uses the block's batched ``(rid, record)`` hand-off; each entry is
+        then serialized exactly once by the run builder's encode-once path.
+        """
         run_ids: Dict[str, str] = {}
         for shard_index in self.all():
-            entries = []
-            for offset, record in enumerate(records):
-                eq, sort, incl = shard_index.extract(record.values)
-                entries.append(
-                    shard_index.index.make_entry(
-                        eq, sort, incl, record.begin_ts, block.rid_of(offset)
-                    )
-                )
+            make_entry = shard_index.index.make_entry
+            extract = shard_index.extract
+            entries = [
+                make_entry(*extract(record.values), record.begin_ts, rid)
+                for rid, record in block.iter_indexable()
+            ]
             run = shard_index.index.add_groomed_run(
                 entries,
                 min_groomed_id=block.block_id,

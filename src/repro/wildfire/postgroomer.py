@@ -22,8 +22,8 @@ only) is exactly the paper's Figure 5.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.encoding import KeyValue
 from repro.core.entry import RID, Zone
@@ -35,13 +35,21 @@ from repro.wildfire.schema import IndexSpec, TableSchema
 
 @dataclass(frozen=True)
 class PostGroomOp:
-    """Published metadata of one post-groom operation (the PSN record)."""
+    """Published metadata of one post-groom operation (the PSN record).
+
+    ``rid_by_begin_ts`` maps each migrated version's ``beginTS`` to its
+    new post-groomed RID.  The post-groomer computes every new RID anyway
+    while stitching version chains, so publishing the map costs nothing
+    extra -- and it lets the indexer's streaming evolve splice RIDs into
+    raw groomed entry blobs without fetching a single post-groomed block.
+    """
 
     psn: int
     min_groomed_id: int
     max_groomed_id: int
     post_groomed_block_ids: Tuple[int, ...]
     record_count: int
+    rid_by_begin_ts: Mapping[int, RID] = field(default_factory=dict)
 
 
 class PostGroomer:
@@ -100,7 +108,7 @@ class PostGroomer:
                 return None
 
             records = self._collect_groomed_records(first_gid, last_gid)
-            block_ids = self._repartition_and_write(records)
+            block_ids, rid_by_begin_ts = self._repartition_and_write(records)
 
             psn = self._max_psn + 1
             op = PostGroomOp(
@@ -109,6 +117,7 @@ class PostGroomer:
                 max_groomed_id=last_gid,
                 post_groomed_block_ids=tuple(block_ids),
                 record_count=len(records),
+                rid_by_begin_ts=rid_by_begin_ts,
             )
             self._ops[psn] = op
             self._last_post_groomed_gid = last_gid
@@ -128,14 +137,18 @@ class PostGroomer:
             records.extend(block.records)
         return records
 
-    def _repartition_and_write(self, records: List[Record]) -> List[int]:
+    def _repartition_and_write(
+        self, records: List[Record]
+    ) -> Tuple[List[int], Dict[int, RID]]:
         """Partition, resolve version chains, and write post-groomed blocks.
 
         Block ids are *reserved* before writing so every record's eventual
         RID is known up front; that lets intra-batch ``prevRID`` chains (a
         key updated more than once since the last post-groom) be stitched
         into the immutable records.  Previous versions outside the batch
-        are found through the post-groomed portion of the index.
+        are found through the post-groomed portion of the index.  Returns
+        the written block ids plus the ``beginTS -> new RID`` map published
+        for the indexer's streaming evolve.
         """
         # Partition into buckets; records stay in beginTS order per bucket.
         buckets: Dict[int, List[Record]] = {}
@@ -154,6 +167,7 @@ class PostGroomer:
 
         # Resolve version chains in global beginTS order (= batch order).
         last_rid: Dict[Tuple[KeyValue, ...], RID] = {}
+        rid_by_begin_ts: Dict[int, RID] = {}
         for record, (bucket, offset) in zip(records, placement):
             key = self.schema.primary_key_of(record.values)
             prev_rid = last_rid.get(key)
@@ -169,6 +183,7 @@ class PostGroomer:
             new_rid = RID(Zone.POST_GROOMED, block_id_of[bucket], offset)
             buckets[bucket][offset] = record.with_prev_rid(prev_rid)
             last_rid[key] = new_rid
+            rid_by_begin_ts[record.begin_ts] = new_rid
 
         block_ids: List[int] = []
         for bucket in sorted_buckets:
@@ -176,7 +191,7 @@ class PostGroomer:
                 buckets[bucket], block_id=block_id_of[bucket]
             )
             block_ids.append(block.block_id)
-        return block_ids
+        return block_ids, rid_by_begin_ts
 
     def _bucket_of(self, record: Record) -> int:
         if not self._partition_positions:

@@ -69,6 +69,34 @@ class TestExperimentResult:
         r.save(path)
         assert "Figure T" in open(path).read()
 
+    def test_json_payload_shape(self):
+        r = ExperimentResult(
+            figure="Figure T", title="test", x_label="x", y_label="y",
+            series=[Series("a", [(1, 1.0), (2, 2.5)])],
+            metrics={"ops_per_s": 123.0, "decodes": 0.0},
+        )
+        payload = r.to_json_dict()
+        assert payload["figure"] == "Figure T"
+        assert payload["series"] == [
+            {"label": "a", "points": [[1, 1.0], [2, 2.5]]}
+        ]
+        assert payload["metrics"] == {"ops_per_s": 123.0, "decodes": 0.0}
+
+    def test_save_json_roundtrip(self, tmp_path):
+        import json
+
+        r = result_with([Series("a", [(1, 1.0)])])
+        r.metrics["wall_s"] = 0.5
+        path = os.path.join(tmp_path, "BENCH_t.json")
+        r.save_json(path)
+        with open(path) as handle:
+            assert json.load(handle) == r.to_json_dict()
+
+    def test_normalize_all_keeps_metrics(self):
+        r = result_with([Series("a", [(1, 2.0)])])
+        r.metrics["decodes"] = 7.0
+        assert r.normalize_all(2.0).metrics == {"decodes": 7.0}
+
 
 class TestShapeAssertions:
     def test_monotone_increase_accepts_noise(self):
