@@ -19,6 +19,16 @@ queries to locate data blocks".
 
 ``set_cache_level`` provides the manual override the paper uses for the
 purge experiment (Figure 14).
+
+**Scan resistance (maintenance-aware extension).**  Background maintenance
+-- streaming evolve, merges, recovery validation -- reads entire purged
+levels exactly once.  Those touches carry ``ReadIntent.MAINTENANCE``
+through the hierarchy, which (in the default ``"intent"`` mode) refuses to
+promote them into the SSD; symmetrically, the cache manager's
+query-accounting entry points (:meth:`CacheManager.load_run`,
+:meth:`CacheManager.release_after_query`) treat maintenance touches as
+no-ops, so a purged level stays purged across an evolve instead of being
+churned in and out of the cache.
 """
 
 from __future__ import annotations
@@ -31,10 +41,21 @@ from repro.core.levels import LevelConfig
 from repro.core.run import IndexRun
 from repro.core.runlist import RunList
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.metrics import ReadIntent
 
 
 class CacheManager:
-    """Level-based purge/load policy over the storage hierarchy."""
+    """Level-based purge/load policy over the storage hierarchy.
+
+    The manager owns *which runs* live in the SSD cache (the paper's
+    level-based purge/load policy); the hierarchy owns *how blocks get
+    admitted* on the read path.  Both sides are read-intent aware: query
+    touches participate in the usual load/release accounting, while
+    maintenance touches (``ReadIntent.MAINTENANCE``) bypass it entirely --
+    they neither load purged runs into the cache nor release blocks they
+    never admitted (``maintenance_bypasses`` counts such bypassed calls for
+    observability).
+    """
 
     def __init__(
         self,
@@ -55,6 +76,9 @@ class CacheManager:
         self._current_cached_level = config.total_levels - 1
         self._manual = False
         self._lock = threading.Lock()
+        # Scan-resistance observability: maintenance touches that skipped
+        # the load/release accounting.
+        self.maintenance_bypasses = 0
 
     # -- state inspection ---------------------------------------------------------
 
@@ -97,8 +121,24 @@ class CacheManager:
             self.hierarchy.load_into_cache(header_id)
         return dropped
 
-    def load_run(self, run: IndexRun) -> bool:
-        """Fetch a run's data blocks from shared storage into the SSD."""
+    def load_run(
+        self, run: IndexRun, intent: Optional[ReadIntent] = None
+    ) -> bool:
+        """Fetch a run's data blocks from shared storage into the SSD.
+
+        Maintenance touches bypass the load entirely (scan-resistant
+        admission): a one-pass evolve or merge over a purged run must not
+        pull that run into the cache as a side effect.  The call still
+        reports success -- the caller can read the blocks through the
+        hierarchy; they just will not be admitted.  ``intent=None``
+        resolves through the hierarchy's ``reading_as`` scope, so calls
+        issued from inside maintenance machinery bypass automatically.
+        """
+        if intent is None:
+            intent = self.hierarchy.current_read_intent()
+        if intent is ReadIntent.MAINTENANCE:
+            self.maintenance_bypasses += 1
+            return True
         if not run.header.persisted:
             return True  # already local by definition
         total_needed = sum(
@@ -114,8 +154,27 @@ class CacheManager:
                 self.hierarchy.load_into_cache(block_id)
         return True
 
-    def release_after_query(self, touched_purged_runs: Iterable[IndexRun]) -> None:
-        """Drop transient blocks a query pulled in from purged runs."""
+    def release_after_query(
+        self,
+        touched_purged_runs: Iterable[IndexRun],
+        intent: Optional[ReadIntent] = None,
+    ) -> None:
+        """Drop transient blocks a query pulled in from purged runs.
+
+        Maintenance touches are skipped symmetrically to :meth:`load_run`:
+        under the intent-aware read mode a maintenance scan never admitted
+        anything, so there is nothing to release -- and blindly dropping a
+        touched run's blocks here could evict blocks a concurrent *query*
+        had legitimately warmed.  ``intent=None`` resolves through the
+        hierarchy's ``reading_as`` scope, so a query-machinery path driven
+        by maintenance (a ``reading_as(MAINTENANCE)`` caller with
+        ``on_query_done`` wired) cannot evict query-warmed blocks.
+        """
+        if intent is None:
+            intent = self.hierarchy.current_read_intent()
+        if intent is ReadIntent.MAINTENANCE:
+            self.maintenance_bypasses += 1
+            return
         for run in touched_purged_runs:
             if self.is_purged_level(run.level):
                 for i in range(run.header.num_data_blocks):
@@ -176,7 +235,11 @@ class CacheManager:
             all_cached = True
             for run in runs:  # newest first
                 if not self.is_run_cached(run):
-                    if not self.load_run(run):
+                    # Policy-driven admission, pinned to QUERY intent: the
+                    # load pass is the cache manager deliberately warming
+                    # the cache, and must not dissolve into a no-op just
+                    # because a maintenance scope happens to be ambient.
+                    if not self.load_run(run, intent=ReadIntent.QUERY):
                         return  # out of space; stop loading
                     if self.hierarchy.ssd.utilization() >= self.low_watermark:
                         all_cached = self.is_run_cached(run) and run is runs[-1]
@@ -203,7 +266,8 @@ class CacheManager:
                     self.purge_run(run)
             for lvl in range(0, level + 1):
                 for run in self._runs_at_level(lvl):
-                    self.load_run(run)
+                    # Deliberate policy admission (see _load_pass).
+                    self.load_run(run, intent=ReadIntent.QUERY)
 
     def resume_dynamic_policy(self) -> None:
         with self._lock:

@@ -41,6 +41,7 @@ from repro.core.merge import merge_entry_blob_streams
 from repro.core.run import IndexRun, Synopsis
 from repro.core.runlist import RunList
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.metrics import ReadIntent
 
 
 class EvolveError(RuntimeError):
@@ -90,7 +91,16 @@ class EvolveResult:
 
 
 class EvolveController:
-    """Executes evolve operations in PSN order for one index instance."""
+    """Executes evolve operations in PSN order for one index instance.
+
+    Evolve is maintenance: the streaming path reads every covered groomed
+    run end to end exactly once, so those block fetches carry
+    ``ReadIntent.MAINTENANCE`` -- under the default maintenance-aware cache
+    policy they are served from whatever tier holds them but are never
+    promoted into the SSD cache and never evict query-hot blocks of a
+    purged level (``maintenance_read_mode="legacy"`` on the hierarchy
+    restores the old promote-everything behaviour for ablations).
+    """
 
     def __init__(
         self,
@@ -189,8 +199,13 @@ class EvolveController:
             counts = {"spliced": 0, "skipped": 0}
 
             def spliced_blobs():
+                # Maintenance intent: the one-pass stream over the covered
+                # groomed runs (possibly purged levels) must not thrash the
+                # SSD cache that concurrent queries depend on.
                 for sort_key, blob in merge_entry_blob_streams(
-                    self.builder.definition, sources
+                    self.builder.definition,
+                    sources,
+                    intent=ReadIntent.MAINTENANCE,
                 ):
                     new_rid = new_rid_of(begin_ts_of_sort_key(sort_key))
                     if new_rid is None:

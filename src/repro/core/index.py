@@ -34,6 +34,7 @@ from repro.core.runlist import RunList
 from repro.core.stats import IndexStats, LevelStats
 from repro.core.encoding import KeyValue
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.metrics import ReadIntent
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,14 @@ class UmziConfig:
     cache_high_watermark: float = 0.85
     cache_low_watermark: float = 0.60
     release_purged_blocks_after_query: bool = True
+    # Maintenance-aware cache admission: "intent" (default) means
+    # MAINTENANCE-intent reads (evolve streams, merges, recovery
+    # validation) never promote blocks into the SSD cache; "legacy" is the
+    # promote-everything ablation baseline.  Applied only when the index
+    # constructs its own hierarchy -- an externally supplied hierarchy
+    # keeps its owner's policy (e.g. ShardConfig.maintenance_read_mode).
+    # See storage.metrics.ReadIntent.
+    maintenance_read_mode: str = "intent"
 
 
 class UmziIndex:
@@ -71,7 +80,16 @@ class UmziIndex:
     ) -> None:
         self.definition = definition
         self.config = config if config is not None else UmziConfig()
-        self.hierarchy = hierarchy if hierarchy is not None else StorageHierarchy()
+        if hierarchy is None:
+            self.hierarchy = StorageHierarchy(
+                maintenance_read_mode=self.config.maintenance_read_mode
+            )
+        else:
+            # An externally supplied hierarchy may serve several indexes
+            # (one per shard); cache-admission policy belongs to its owner
+            # (e.g. ShardConfig.maintenance_read_mode via WildfireShard),
+            # so a per-index config must not stomp it.
+            self.hierarchy = hierarchy
 
         self._run_prefix = f"{self.config.name}-run"
         self.allocator = RunIdAllocator(prefix=self._run_prefix)
@@ -348,7 +366,10 @@ class UmziIndex:
         Used by the post-groomer (paper section 2.1: the post-groom
         operation "utilizes the post-groomed portion of the indexes to
         collect the RIDs of the already post-groomed records that will be
-        replaced").
+        replaced").  Although it reuses the ordinary query machinery, the
+        caller is background maintenance, so the whole lookup runs under a
+        ``ReadIntent.MAINTENANCE`` scope: blocks it pulls from purged
+        post-groomed levels are not admitted into the SSD cache.
         """
         executor = QueryExecutor(
             self.definition,
@@ -357,9 +378,10 @@ class UmziIndex:
             use_offset_array=self.config.use_offset_array,
             use_raw_keys=self.config.use_raw_keys,
         )
-        return executor.point_lookup(
-            PointLookup(tuple(equality_values), tuple(sort_values), query_ts)
-        )
+        with self.hierarchy.reading_as(ReadIntent.MAINTENANCE):
+            return executor.point_lookup(
+                PointLookup(tuple(equality_values), tuple(sort_values), query_ts)
+            )
 
     def all_runs(self) -> List[IndexRun]:
         """Every run in both lists (no watermark filtering); newest first."""

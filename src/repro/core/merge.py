@@ -41,6 +41,7 @@ from repro.core.levels import LevelConfig
 from repro.core.run import IndexRun, Synopsis
 from repro.core.runlist import RunList
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.metrics import ReadIntent
 
 
 @dataclass
@@ -61,6 +62,7 @@ def merge_entry_blob_streams(
     definition,
     runs_newest_first: Sequence[IndexRun],
     retention_ts: Optional[int] = None,
+    intent: ReadIntent = ReadIntent.MAINTENANCE,
 ) -> Iterable[Tuple[bytes, bytes]]:
     """Zero-decode K-way merge: yields ``(sort_key, entry_blob)`` pairs.
 
@@ -80,11 +82,17 @@ def merge_entry_blob_streams(
     Anything older is unreachable and dropped during the merge.  Both the
     user key and ``beginTS`` needed for that decision are raw slices of
     the sort key (beginTS is its fixed 8-byte suffix).
+
+    Every caller is background machinery (merges, streaming evolve, the
+    classic-LSM baseline), so input blocks are read with
+    ``ReadIntent.MAINTENANCE`` by default: a one-pass stream over
+    potentially purged runs must not flood the SSD cache with blocks no
+    query will touch again.
     """
     def stream(run: IndexRun, recency: int):
         # recency is bound per stream so duplicate sort keys across runs
         # tie-break on run recency instead of comparing raw blobs.
-        for sort_key, blob in run.iter_raw():
+        for sort_key, blob in run.iter_raw(intent=intent):
             yield sort_key, recency, blob
 
     streams = [
@@ -116,6 +124,7 @@ def merge_entry_streams(
     definition,
     runs_newest_first: Sequence[IndexRun],
     retention_ts: Optional[int] = None,
+    intent: ReadIntent = ReadIntent.MAINTENANCE,
 ) -> Iterable[IndexEntry]:
     """Decoded-entry view of :func:`merge_entry_blob_streams`.
 
@@ -124,7 +133,7 @@ def merge_entry_streams(
     :meth:`RunBuilder.build_from_blobs`.
     """
     for _sort_key, blob in merge_entry_blob_streams(
-        definition, runs_newest_first, retention_ts
+        definition, runs_newest_first, retention_ts, intent=intent
     ):
         entry, _ = IndexEntry.from_bytes(definition, blob)
         yield entry
@@ -249,8 +258,13 @@ class MergeController:
         # the new run verbatim; the output synopsis is the union of the
         # input synopses (sound over-approximation -- merged entries are a
         # subset of the inputs', and over-approximation only costs pruning).
+        # Input blocks are maintenance reads: each is consumed exactly once
+        # and must not displace query-hot blocks from the SSD cache.
         merged_blobs = merge_entry_blob_streams(
-            self.builder.definition, inputs, self._retention_provider()
+            self.builder.definition,
+            inputs,
+            self._retention_provider(),
+            intent=ReadIntent.MAINTENANCE,
         )
         new_run_id = self.allocator.allocate(zone)
         persisted = config.is_persisted(target_level)

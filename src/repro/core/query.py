@@ -191,6 +191,16 @@ class QueryExecutor:
     filtered by the evolve watermark (see
     :meth:`repro.core.index.UmziIndex._collect_candidate_runs` for the
     publication-order argument).
+
+    **Read intent.**  Block fetches issued by the executor carry
+    ``ReadIntent.QUERY`` by default: a shared-storage miss promotes the
+    block into the SSD cache so subsequent queries over the same (purged)
+    run hit locally, and ``on_query_done`` releases those transient blocks
+    afterwards when the cache manager asks for it.  When an executor is
+    driven by background machinery instead (the post-groomer's
+    ``post_groomed_lookup``), the caller wraps the call in
+    ``hierarchy.reading_as(ReadIntent.MAINTENANCE)`` -- the same code path
+    then neither promotes nor perturbs the query-path hit/miss counters.
     """
 
     def __init__(

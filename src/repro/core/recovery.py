@@ -43,6 +43,7 @@ from repro.core.run import (
 )
 from repro.storage.block import BlockId
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.metrics import ReadIntent
 
 
 @dataclass
@@ -82,7 +83,12 @@ def _payloads_valid(
     stats = hierarchy.stats.decode
     for ordinal in range(1, header.num_data_blocks + 1):
         meta = header.block_meta[ordinal - 1]
-        block = hierarchy.shared.read(BlockId(header.run_id, ordinal))
+        # Recovery validates the durable copy (never a possibly-stale local
+        # one) and is maintenance: the scan must not flood the SSD cache
+        # that queries will need the moment the index is back.
+        block = hierarchy.read_shared(
+            BlockId(header.run_id, ordinal), intent=ReadIntent.MAINTENANCE
+        )
         if block is None or len(block.payload) != meta.size_bytes:
             return False
         if meta.checksum is not None:
@@ -131,7 +137,9 @@ def recover_index_state(
     for namespace in hierarchy.shared.namespaces():
         if not namespace.startswith(run_prefix):
             continue
-        header_block = hierarchy.shared.read(BlockId(namespace, HEADER_ORDINAL))
+        header_block = hierarchy.read_shared(
+            BlockId(namespace, HEADER_ORDINAL), intent=ReadIntent.MAINTENANCE
+        )
         if header_block is None:
             # Orphaned data blocks without a header: a crash before the
             # header write can't happen (header goes first), but a partial

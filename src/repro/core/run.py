@@ -65,7 +65,7 @@ from repro.core.entry import (
 )
 from repro.storage.block import Block, BlockId
 from repro.storage.hierarchy import StorageHierarchy
-from repro.storage.metrics import DecodeStats
+from repro.storage.metrics import DecodeStats, ReadIntent
 
 HEADER_ORDINAL = 0
 _MAGIC = b"UMZI"
@@ -627,21 +627,48 @@ class IndexRun:
             self.data_block_id(i) for i in range(self.header.num_data_blocks)
         ]
 
-    def block_view(self, block_index: int) -> DataBlockView:
+    def block_view(
+        self, block_index: int, intent: Optional[ReadIntent] = None
+    ) -> DataBlockView:
         """Fetch one data block as a lazy view (cached per handle).
 
         The storage read (and its tier latency) happens once per block;
         entry decoding happens per *probed* entry, so binary-search probes
         stay cheap regardless of block size.
+
+        ``intent`` is the cache-admission signal passed down to
+        :meth:`StorageHierarchy.read` (``None`` resolves through the
+        hierarchy's scoped default).  An *explicitly* MAINTENANCE-intent
+        fetch additionally skips the per-handle view cache (when the
+        hierarchy runs the ``"intent"`` admission mode): the explicit
+        intent is only passed by one-pass streams -- merges and streaming
+        evolves touch each block exactly once, so memoizing their views
+        would only retain dead payloads on a handle queries share.
+        Scope-*inherited* maintenance reads (e.g. the post-groomer's point
+        lookups under ``reading_as``) keep memoizing: binary-search probes
+        revisit the same block many times, and re-fetching it per probe
+        would multiply their I/O.
         """
         cached = self._views.get(block_index)
         if cached is not None:
             return cached
-        block = self.hierarchy.read(self.data_block_id(block_index))
+        effective = (
+            intent
+            if intent is not None
+            else self.hierarchy.current_read_intent()
+        )
+        block = self.hierarchy.read(
+            self.data_block_id(block_index), intent=effective
+        )
         view = DataBlockView(
             self.definition, block.payload, stats=self.hierarchy.stats.decode
         )
-        self._views[block_index] = view
+        transient = (
+            intent is ReadIntent.MAINTENANCE
+            and self.hierarchy.maintenance_read_mode == "intent"
+        )
+        if not transient:
+            self._views[block_index] = view
         return view
 
     def read_block(self, block_index: int) -> List[IndexEntry]:
@@ -712,32 +739,35 @@ class IndexRun:
             yield from view.iter_from(start)
 
     def iter_positions(
-        self, start_ordinal: int = 0
+        self, start_ordinal: int = 0, intent: Optional[ReadIntent] = None
     ) -> Iterator[Tuple[DataBlockView, int]]:
         """Yield ``(block_view, in_block_index)`` in sort-key order.
 
         The raw-slice iteration primitive: callers probe
         ``view.sort_key_at(i)`` / ``view.begin_ts_at(i)`` and decode an
-        entry only when they actually emit it.
+        entry only when they actually emit it.  ``intent`` flows to
+        :meth:`block_view` (maintenance scans pass
+        ``ReadIntent.MAINTENANCE`` so streamed blocks bypass cache
+        admission).
         """
         if start_ordinal >= self.entry_count:
             return
         block_index, in_block = self.locate(start_ordinal)
         for bi in range(block_index, self.header.num_data_blocks):
-            view = self.block_view(bi)
+            view = self.block_view(bi, intent=intent)
             start = in_block if bi == block_index else 0
             for i in range(start, view.count):
                 yield view, i
 
     def iter_raw(
-        self, start_ordinal: int = 0
+        self, start_ordinal: int = 0, intent: Optional[ReadIntent] = None
     ) -> Iterator[Tuple[bytes, bytes]]:
         """Yield ``(sort_key, entry_blob)`` pairs in sort-key order.
 
         The zero-decode merge input: blobs stream out verbatim, keys are
         payload slices (on v2 blocks).
         """
-        for view, i in self.iter_positions(start_ordinal):
+        for view, i in self.iter_positions(start_ordinal, intent=intent):
             yield view.sort_key_at(i), view.entry_blob_at(i)
 
     def all_entries(self) -> List[IndexEntry]:

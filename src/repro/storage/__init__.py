@@ -21,7 +21,7 @@ reproducible run-to-run independent of host noise.
 from repro.storage.block import Block, BlockId
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.memory import MemoryTier
-from repro.storage.metrics import IOStats, TierStats
+from repro.storage.metrics import IntentStats, IOStats, ReadIntent, TierStats
 from repro.storage.shared import SharedStorage, SharedStorageError
 from repro.storage.ssd import SSDTier
 from repro.storage.tier import LatencyModel, StorageTier, TierName
@@ -29,7 +29,9 @@ from repro.storage.tier import LatencyModel, StorageTier, TierName
 __all__ = [
     "Block",
     "BlockId",
+    "IntentStats",
     "IOStats",
+    "ReadIntent",
     "LatencyModel",
     "MemoryTier",
     "SSDTier",

@@ -17,13 +17,17 @@ Write paths (sections 6.1-6.2):
 
 from __future__ import annotations
 
-from typing import List, Optional
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from repro.storage.block import Block, BlockId
 from repro.storage.memory import MemoryTier
-from repro.storage.metrics import IOStats
+from repro.storage.metrics import IOStats, ReadIntent
 from repro.storage.shared import SharedStorage
 from repro.storage.ssd import SSDTier
+
+MAINTENANCE_READ_MODES = ("intent", "legacy")
 
 
 class BlockNotFoundError(KeyError):
@@ -31,7 +35,29 @@ class BlockNotFoundError(KeyError):
 
 
 class StorageHierarchy:
-    """Memory + SSD + shared storage with Umzi's read/write policies."""
+    """Memory + SSD + shared storage with Umzi's read/write policies.
+
+    Every read carries a :class:`ReadIntent` that drives cache admission:
+
+    * ``ReadIntent.QUERY`` (the default) -- a shared-storage miss promotes
+      the block into the SSD cache (the paper's block-basis transfer), so
+      repeated queries over the same purged run warm up;
+    * ``ReadIntent.MAINTENANCE`` -- background machinery (streaming evolve,
+      merges, the post-groomer, recovery validation) streams each block
+      once; under the default ``maintenance_read_mode="intent"`` those
+      reads **never** promote into the memory or SSD tiers and never evict
+      query-hot blocks.  ``maintenance_read_mode="legacy"`` restores the
+      promote-everything behaviour as an ablation baseline
+      (``ShardConfig.maintenance_read_mode`` threads the flag down from the
+      engine).
+
+    The intent is either passed explicitly to :meth:`read`/:meth:`read_many`
+    or installed for a whole call tree with the :meth:`reading_as` scope
+    (thread-local), which is how deep paths like the post-groomer's
+    index lookups inherit MAINTENANCE without plumbing a parameter through
+    every search routine.  Per-intent hit/miss/promotion counters land in
+    ``stats.intents`` (:class:`~repro.storage.metrics.IntentStats`).
+    """
 
     def __init__(
         self,
@@ -39,6 +65,7 @@ class StorageHierarchy:
         ssd: Optional[SSDTier] = None,
         shared: Optional[SharedStorage] = None,
         stats: Optional[IOStats] = None,
+        maintenance_read_mode: str = "intent",
     ) -> None:
         self.stats = stats if stats is not None else IOStats()
         self.memory = memory if memory is not None else MemoryTier(stats=self.stats)
@@ -49,6 +76,51 @@ class StorageHierarchy:
         self.memory.stats = self.stats
         self.ssd.stats = self.stats
         self.shared.stats = self.stats
+        self.set_maintenance_read_mode(maintenance_read_mode)
+        self._intent_local = threading.local()
+
+    # -- read-intent policy ----------------------------------------------------
+
+    @property
+    def maintenance_read_mode(self) -> str:
+        """``"intent"`` (maintenance never promotes) or ``"legacy"``."""
+        return self._maintenance_read_mode
+
+    def set_maintenance_read_mode(self, mode: str) -> None:
+        if mode not in MAINTENANCE_READ_MODES:
+            raise ValueError(
+                f"maintenance_read_mode must be one of "
+                f"{MAINTENANCE_READ_MODES}; got {mode!r}"
+            )
+        self._maintenance_read_mode = mode
+
+    def current_read_intent(self) -> ReadIntent:
+        """The effective intent for reads that do not pass one explicitly."""
+        scoped = getattr(self._intent_local, "intent", None)
+        return scoped if scoped is not None else ReadIntent.QUERY
+
+    @contextmanager
+    def reading_as(self, intent: ReadIntent) -> Iterator["StorageHierarchy"]:
+        """Scope a default read intent over a call tree (thread-local).
+
+        Used by maintenance drivers whose reads funnel through code shared
+        with the query path (e.g. the post-groomer's ``post_groomed_lookup``
+        runs an ordinary :class:`QueryExecutor`); everything under the scope
+        that does not pass an explicit intent inherits this one.
+        """
+        previous = getattr(self._intent_local, "intent", None)
+        self._intent_local.intent = intent
+        try:
+            yield self
+        finally:
+            self._intent_local.intent = previous
+
+    def _admits(self, intent: ReadIntent) -> bool:
+        """Does a shared-storage miss with this intent admit into the SSD?"""
+        return (
+            intent is ReadIntent.QUERY
+            or self._maintenance_read_mode == "legacy"
+        )
 
     # -- write paths ---------------------------------------------------------
 
@@ -71,29 +143,74 @@ class StorageHierarchy:
 
     # -- read path -----------------------------------------------------------
 
-    def read(self, block_id: BlockId, promote: bool = True) -> Block:
+    def read(
+        self,
+        block_id: BlockId,
+        promote: bool = True,
+        intent: Optional[ReadIntent] = None,
+    ) -> Block:
         """Read through memory -> SSD -> shared storage.
 
-        On a shared-storage hit the block is promoted into the SSD cache
-        (when ``promote``), reproducing the paper's block-basis transfer of
-        purged runs.  Raises :class:`BlockNotFoundError` if absent everywhere.
+        On a shared-storage hit the block is promoted into the SSD cache,
+        reproducing the paper's block-basis transfer of purged runs --
+        but only when ``promote`` is set *and* the read intent admits
+        (QUERY always; MAINTENANCE only in ``maintenance_read_mode=
+        "legacy"``).  ``intent=None`` resolves through the
+        :meth:`reading_as` scope, defaulting to QUERY.  Raises
+        :class:`BlockNotFoundError` if the block is absent everywhere.
         """
+        if intent is None:
+            intent = self.current_read_intent()
+        istats = self.stats.intents[intent]
+        istats.reads += 1
         block = self.memory.read(block_id)
         if block is not None:
+            istats.memory_hits += 1
             return block
         block = self.ssd.read(block_id)
         if block is not None:
+            istats.ssd_hits += 1
             return block
         block = self.shared.read(block_id)
         if block is None:
             raise BlockNotFoundError(block_id)
-        if promote:
+        istats.shared_reads += 1
+        if promote and self._admits(intent):
             if self.ssd.would_fit(block.size):
                 self.ssd.write(block)
+                istats.promotions += 1
         return block
 
-    def read_many(self, block_ids: List[BlockId], promote: bool = True) -> List[Block]:
-        return [self.read(bid, promote=promote) for bid in block_ids]
+    def read_many(
+        self,
+        block_ids: List[BlockId],
+        promote: bool = True,
+        intent: Optional[ReadIntent] = None,
+    ) -> List[Block]:
+        return [
+            self.read(bid, promote=promote, intent=intent) for bid in block_ids
+        ]
+
+    def read_shared(
+        self,
+        block_id: BlockId,
+        intent: ReadIntent = ReadIntent.MAINTENANCE,
+    ) -> Optional[Block]:
+        """Read the durable shared-storage copy only; never promotes.
+
+        Recovery validation must check the copy that survives a node crash,
+        not whatever a local tier happens to hold (and must *not* resurrect
+        non-persisted runs whose only blocks live locally), so it bypasses
+        the local tiers entirely.  The read is still attributed to
+        ``intent`` in the per-intent counters.  Returns ``None`` when the
+        shared copy is absent.
+        """
+        istats = self.stats.intents[intent]
+        istats.reads += 1
+        block = self.shared.read(block_id)
+        if block is not None:
+            istats.shared_reads += 1
+        return block
 
     # -- cache-management primitives ------------------------------------------
 

@@ -12,9 +12,85 @@ paper uses.
 
 from __future__ import annotations
 
+import enum
 import threading
 from dataclasses import dataclass, field
 from typing import Dict
+
+
+class ReadIntent(enum.Enum):
+    """Why a block is being read -- the cache-admission signal.
+
+    ``QUERY`` reads serve user-facing lookups and scans: on a shared-storage
+    miss the block is promoted into the SSD cache so future queries hit
+    locally (the paper's block-basis transfer).  ``MAINTENANCE`` reads come
+    from background machinery -- streaming evolve, within-zone merges, the
+    post-groomer's groomed-block scans, crash-recovery validation -- that
+    touches each block once and never again; admitting those blocks would
+    only displace query-hot data from a bounded cache (classic scan
+    thrashing).  Under the default ``maintenance_read_mode="intent"``
+    policy, MAINTENANCE reads never promote into the memory or SSD tiers;
+    the ``"legacy"`` ablation mode restores promote-everything behaviour.
+    """
+
+    QUERY = "query"
+    MAINTENANCE = "maintenance"
+
+
+@dataclass
+class IntentStats:
+    """Per-:class:`ReadIntent` cache-path counters.
+
+    One instance exists per intent on each :class:`IOStats` ledger.
+    ``reads`` counts :meth:`StorageHierarchy.read` calls attributed to the
+    intent; ``memory_hits``/``ssd_hits`` are local-tier hits,
+    ``shared_reads`` are misses that went to shared storage, and
+    ``promotions`` counts blocks written into the SSD cache as a result of
+    such a miss.  A healthy maintenance-aware configuration shows
+    ``promotions == 0`` for the MAINTENANCE intent while query promotions
+    continue to warm the cache.
+
+    Counters are plain ints incremented without the ledger lock (same
+    rationale as :class:`DecodeStats`: they sit on the per-block read path
+    and the GIL makes the increments adequate for benchmark/test usage).
+    """
+
+    reads: int = 0
+    memory_hits: int = 0
+    ssd_hits: int = 0
+    shared_reads: int = 0
+    promotions: int = 0
+
+    def snapshot(self) -> "IntentStats":
+        return IntentStats(
+            reads=self.reads,
+            memory_hits=self.memory_hits,
+            ssd_hits=self.ssd_hits,
+            shared_reads=self.shared_reads,
+            promotions=self.promotions,
+        )
+
+    def diff(self, earlier: "IntentStats") -> "IntentStats":
+        return IntentStats(
+            reads=self.reads - earlier.reads,
+            memory_hits=self.memory_hits - earlier.memory_hits,
+            ssd_hits=self.ssd_hits - earlier.ssd_hits,
+            shared_reads=self.shared_reads - earlier.shared_reads,
+            promotions=self.promotions - earlier.promotions,
+        )
+
+    def local_hit_rate(self) -> float:
+        """Fraction of reads served by a local tier (1.0 when no reads)."""
+        if self.reads == 0:
+            return 1.0
+        return (self.memory_hits + self.ssd_hits) / self.reads
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.memory_hits = 0
+        self.ssd_hits = 0
+        self.shared_reads = 0
+        self.promotions = 0
 
 
 @dataclass
@@ -128,6 +204,24 @@ class IOStats:
         self._lock = threading.Lock()
         self._tiers: Dict[str, TierStats] = {}
         self.decode = DecodeStats()
+        # Per-intent cache-path counters (see ReadIntent): who read blocks,
+        # where the reads were served, and which reads admitted blocks into
+        # the SSD cache.
+        self.intents: Dict[ReadIntent, IntentStats] = {
+            ReadIntent.QUERY: IntentStats(),
+            ReadIntent.MAINTENANCE: IntentStats(),
+        }
+
+    def for_intent(self, intent: ReadIntent) -> IntentStats:
+        """The live (mutable) counter object for one read intent."""
+        return self.intents[intent]
+
+    def intent_snapshot(self) -> Dict[str, IntentStats]:
+        """Snapshot of both intents' counters, keyed by intent value."""
+        return {
+            intent.value: stats.snapshot()
+            for intent, stats in self.intents.items()
+        }
 
     def record_read(self, tier: str, nbytes: int, sim_ns: int) -> None:
         with self._lock:
@@ -169,3 +263,5 @@ class IOStats:
         with self._lock:
             self._tiers.clear()
         self.decode.reset()
+        for stats in self.intents.values():
+            stats.reset()

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.core.entry import RID, Zone
 from repro.storage.block import Block, BlockId
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.metrics import ReadIntent
 from repro.wildfire.columnar import DataBlock
 from repro.wildfire.record import Record
 from repro.wildfire.schema import TableSchema
@@ -110,13 +111,28 @@ class BlockCatalog:
 
     # -- reads ------------------------------------------------------------------------
 
-    def get_block(self, zone: Zone, block_id: int) -> DataBlock:
+    def get_block(
+        self,
+        zone: Zone,
+        block_id: int,
+        intent: Optional[ReadIntent] = None,
+    ) -> DataBlock:
+        """Fetch and decode one record block.
+
+        ``intent`` is the cache-admission signal forwarded to the storage
+        hierarchy: record fetches on behalf of queries promote on a miss,
+        while maintenance scans (the post-groomer collecting groomed
+        records, the indexer's block-map fallback) pass
+        ``ReadIntent.MAINTENANCE`` and leave the SSD cache untouched.
+        """
         with self._lock:
             cached = self._decoded.get((zone, block_id))
         if cached is not None:
             return cached
         try:
-            raw = self.hierarchy.read(BlockId(self._namespace(zone, block_id), 0))
+            raw = self.hierarchy.read(
+                BlockId(self._namespace(zone, block_id), 0), intent=intent
+            )
         except KeyError as exc:
             raise BlockNotFound(f"{zone.name} block {block_id}") from exc
         block = DataBlock.from_bytes(self.schema, raw.payload)

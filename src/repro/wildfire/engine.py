@@ -40,7 +40,14 @@ from repro.wildfire.txlog import CommittedLog
 
 @dataclass(frozen=True)
 class ShardConfig:
-    """Lifecycle cadence and component tunables for one shard."""
+    """Lifecycle cadence and component tunables for one shard.
+
+    Most fields mirror a knob of the paper's deployment (groom/post-groom
+    cadence, partition buckets); the two ablation-style flags are
+    ``streaming_evolve`` (zero-decode evolve vs legacy rebuild) and
+    ``maintenance_read_mode`` (maintenance-aware cache admission vs the
+    legacy promote-everything read path).
+    """
 
     post_groom_every: int = 20  # groom cycles per post-groom (paper: 1s vs 20s)
     partition_buckets: int = 4
@@ -50,6 +57,15 @@ class ShardConfig:
     # Zero-decode evolve (raw RID splices over groomed entry blobs) vs the
     # legacy per-index entry rebuild; see wildfire.indexer.
     streaming_evolve: bool = True
+    # Maintenance-aware cache admission for the whole shard: "intent"
+    # (default) makes MAINTENANCE-intent reads -- evolve streams, merges,
+    # post-groomer scans, recovery validation -- bypass SSD-cache promotion
+    # so background churn never evicts query-hot blocks; "legacy" restores
+    # the promote-everything behaviour as an ablation baseline.  Applied
+    # only when the shard constructs its own hierarchy; an externally
+    # supplied hierarchy keeps its owner's policy.  See
+    # storage.metrics.ReadIntent and benchmarks/bench_cache_maintenance.py.
+    maintenance_read_mode: str = "intent"
     # Secondary indexes (name -> spec), maintained in lockstep with the
     # primary through every groom and evolve (paper section 10 future work).
     secondary_indexes: Optional[Dict[str, "IndexSpec"]] = None
@@ -70,6 +86,7 @@ class WildfireShard:
         self.config = config if config is not None else ShardConfig()
         if self.config.require_primary_index:
             index_spec.validate_primary(schema)
+        self._owns_hierarchy = hierarchy is None
         self.hierarchy = hierarchy if hierarchy is not None else StorageHierarchy()
 
         self.clock = HybridClock()
@@ -86,6 +103,15 @@ class WildfireShard:
             require_primary=self.config.require_primary_index,
         )
         self.index = self.indexes.primary.index  # the primary Umzi index
+        # One hierarchy serves every index of the shard, so cache-admission
+        # policy is decided once, by whoever owns the hierarchy: the shard
+        # applies its flag only to a hierarchy it constructed itself; an
+        # externally supplied one keeps its owner's policy (the same rule
+        # UmziIndex follows).
+        if self._owns_hierarchy:
+            self.hierarchy.set_maintenance_read_mode(
+                self.config.maintenance_read_mode
+            )
         self.groomer = Groomer(
             schema, self.clock, self.committed_log, self.catalog, self.indexes
         )

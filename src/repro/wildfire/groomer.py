@@ -14,6 +14,7 @@ import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.storage.metrics import ReadIntent
 from repro.wildfire.blockstore import BlockCatalog
 from repro.wildfire.clock import HybridClock, compose_begin_ts
 from repro.wildfire.indexes import ShardIndexes
@@ -54,8 +55,16 @@ class Groomer:
         self.grooms_done = 0
 
     def groom(self) -> Optional[GroomResult]:
-        """One groom operation; returns ``None`` if the live zone is empty."""
-        with self._lock:
+        """One groom operation; returns ``None`` if the live zone is empty.
+
+        Runs under a ``ReadIntent.MAINTENANCE`` scope: grooming is a write
+        operation, but any block reads it triggers (e.g. re-reading a block
+        it just stored while building index runs) are background work and
+        must not count as -- or be admitted like -- query traffic.
+        """
+        with self._lock, self.catalog.hierarchy.reading_as(
+            ReadIntent.MAINTENANCE
+        ):
             transactions = self.committed_log.drain()
             if not transactions:
                 return None

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.entry import RID, Zone
 from repro.core.evolve import EvolveResult
+from repro.storage.metrics import ReadIntent
 from repro.wildfire.blockstore import BlockCatalog
 from repro.wildfire.indexes import ShardIndexes
 from repro.wildfire.postgroomer import PostGroomer
@@ -71,6 +72,10 @@ class IndexerDaemon:
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.evolves_applied = 0
+        # PSNs that had to fall back from the streaming splice path to the
+        # legacy entry rebuild because beginTS values were not unique (see
+        # step(): a collapsed beginTS -> RID map would mis-point entries).
+        self.streaming_fallbacks = 0
 
     # -- polling ------------------------------------------------------------------
 
@@ -87,24 +92,42 @@ class IndexerDaemon:
 
             new_rid_by_ts: Dict[int, RID] = {}
             blocks = []
-            if self.streaming_evolve:
+            use_streaming = self.streaming_evolve
+            if use_streaming:
                 # One beginTS -> post-groomed RID map serves every index:
                 # evolve never rebuilds an entry, it splices RIDs into
                 # each index's own groomed blobs.  The map published in
                 # the PSN record spares even the block fetches; older op
                 # records without one fall back to the blocks' batched
-                # hand-off.
+                # hand-off (a maintenance read: the blocks are consumed
+                # once, not query traffic).
                 if op.rid_by_begin_ts:
                     new_rid_by_ts = dict(op.rid_by_begin_ts)
                 else:
                     for block_id in op.post_groomed_block_ids:
                         block = self.catalog.get_block(
-                            Zone.POST_GROOMED, block_id
+                            Zone.POST_GROOMED, block_id,
+                            intent=ReadIntent.MAINTENANCE,
                         )
                         new_rid_by_ts.update(block.rid_by_begin_ts())
-            else:
+                # Streaming evolve keys its RID map by beginTS, which is
+                # only sound when beginTS values uniquely identify record
+                # versions (the groomer's `cycle | order` composition
+                # guarantees that; an alternative ingest front-end might
+                # not).  Duplicates collapse in the map -- the key count
+                # falls short of the migrated record count -- and splicing
+                # from a collapsed map would silently point several index
+                # entries at one record.  Detect that and fall back to the
+                # legacy per-index entry rebuild for this PSN.
+                if len(new_rid_by_ts) < op.record_count:
+                    use_streaming = False
+                    self.streaming_fallbacks += 1
+            if not use_streaming:
                 blocks = [
-                    self.catalog.get_block(Zone.POST_GROOMED, block_id)
+                    self.catalog.get_block(
+                        Zone.POST_GROOMED, block_id,
+                        intent=ReadIntent.MAINTENANCE,
+                    )
                     for block_id in op.post_groomed_block_ids
                 ]
             primary_result: Optional[EvolveResult] = None
@@ -112,7 +135,7 @@ class IndexerDaemon:
             for shard_index in self.indexes.all():
                 if shard_index.index.indexed_psn >= next_psn:
                     continue  # already evolved (e.g. resumed after crash)
-                if self.streaming_evolve:
+                if use_streaming:
                     result = shard_index.index.evolve_streaming(
                         op.psn, new_rid_by_ts.get,
                         op.min_groomed_id, op.max_groomed_id,

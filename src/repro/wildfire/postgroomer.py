@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.encoding import KeyValue
 from repro.core.entry import RID, Zone
 from repro.core.index import UmziIndex
+from repro.storage.metrics import ReadIntent
 from repro.wildfire.blockstore import BlockCatalog
 from repro.wildfire.record import Record
 from repro.wildfire.schema import IndexSpec, TableSchema
@@ -130,10 +131,17 @@ class PostGroomer:
     def _collect_groomed_records(
         self, first_gid: int, last_gid: int
     ) -> List[Record]:
-        """Scan the newly groomed blocks in beginTS (= block, offset) order."""
+        """Scan the newly groomed blocks in beginTS (= block, offset) order.
+
+        A maintenance scan: each groomed block is consumed once and then
+        deprecated, so the reads must not displace query-hot blocks from
+        the SSD cache.
+        """
         records: List[Record] = []
         for gid in range(first_gid, last_gid + 1):
-            block = self.catalog.get_block(Zone.GROOMED, gid)
+            block = self.catalog.get_block(
+                Zone.GROOMED, gid, intent=ReadIntent.MAINTENANCE
+            )
             records.extend(block.records)
         return records
 

@@ -1,0 +1,31 @@
+"""Tier-1 wrapper around the docs smoke checks (tools/check_docs.py).
+
+The CI `docs` job runs the same script standalone; having it in tier-1
+means a PR cannot break README/docs links, code blocks, or doctests
+without the local test run noticing.
+"""
+
+import importlib.util
+import pathlib
+
+_TOOL = (
+    pathlib.Path(__file__).resolve().parents[2] / "tools" / "check_docs.py"
+)
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("check_docs", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_are_healthy():
+    tool = load_tool()
+    errors = []
+    for path in tool.DOC_FILES:
+        assert path.exists(), f"missing documentation file: {path}"
+        errors += tool.check_links(path)
+        errors += tool.check_python_blocks(path)
+        errors += tool.check_doctests(path)
+    assert not errors, "\n".join(errors)

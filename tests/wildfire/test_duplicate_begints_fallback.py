@@ -1,0 +1,99 @@
+"""Duplicate ``beginTS`` values must force the legacy-evolve fallback.
+
+Streaming evolve keys its RID map by ``beginTS``; the groomer's
+``cycle | order`` composition keeps those unique, but an alternative ingest
+front-end might not (the ROADMAP edge case).  Duplicates collapse in the
+published ``rid_by_begin_ts`` map, and splicing from a collapsed map would
+silently point several index entries at one record.  The indexer must
+detect the collapse (map smaller than the migrated record count) and fall
+back to the legacy per-index entry rebuild for that PSN.
+"""
+
+from repro.core.definition import ColumnSpec
+from repro.core.entry import Zone
+from repro.wildfire.blockstore import BlockCatalog
+from repro.wildfire.engine import ShardConfig, WildfireShard
+from repro.wildfire.indexer import IndexerDaemon
+from repro.wildfire.postgroomer import PostGroomer
+from repro.wildfire.record import Record
+from repro.wildfire.schema import IndexSpec, TableSchema
+
+
+def make_shard(**overrides):
+    schema = TableSchema(
+        name="dup",
+        columns=(ColumnSpec("k"), ColumnSpec("v")),
+        primary_key=("k",),
+        sharding_key=("k",),
+    )
+    spec = IndexSpec(("k",), (), ("v",))
+    return WildfireShard(
+        schema, spec, config=ShardConfig(streaming_evolve=True, **overrides)
+    )
+
+
+def groom_block_with_duplicate_ts(shard, rows, begin_ts_of):
+    """Store one groomed block with caller-chosen (possibly duplicate)
+    beginTS values -- standing in for a non-groomer ingest front-end --
+    and build the index runs over it, as the groomer would."""
+    records = [
+        Record(values=row, begin_ts=begin_ts_of(i))
+        for i, row in enumerate(rows)
+    ]
+    block = shard.catalog.store_groomed(records)
+    shard.indexes.build_groomed_runs(block)
+    return block
+
+
+class TestDuplicateBeginTsFallback:
+    def test_collapsed_map_forces_legacy_rebuild(self):
+        shard = make_shard()
+        # Two distinct keys share beginTS=7: the rid_by_begin_ts map the
+        # post-groomer publishes can only keep one of them.
+        rows = [(1, 100), (2, 200), (3, 300)]
+        groom_block_with_duplicate_ts(
+            shard, rows, begin_ts_of=lambda i: 7 if i < 2 else 9
+        )
+        op = shard.post_groomer.post_groom()
+        assert op is not None
+        assert op.record_count == 3
+        assert len(op.rid_by_begin_ts) == 2, "duplicates must collapse"
+
+        result = shard.indexer.step()
+        assert result is not None
+        assert shard.indexer.streaming_fallbacks == 1
+        # The legacy rebuild indexed every record, duplicates included.
+        assert result.evolve.new_run_entries == 3
+        assert result.evolve.spliced_blobs == 0, (
+            "fallback must not run the splice path"
+        )
+        # Every key resolves to its own post-groomed record -- no two index
+        # entries were collapsed onto one RID.
+        rids = set()
+        for k, v in rows:
+            entry = shard.index.lookup((k,))
+            assert entry is not None
+            assert entry.rid.zone is Zone.POST_GROOMED
+            assert shard.catalog.fetch_record(entry.rid).values == (k, v)
+            rids.add(entry.rid)
+        assert len(rids) == 3
+
+    def test_unique_ts_stays_on_streaming_path(self):
+        shard = make_shard()
+        rows = [(1, 100), (2, 200), (3, 300)]
+        groom_block_with_duplicate_ts(shard, rows, begin_ts_of=lambda i: 5 + i)
+        op = shard.post_groomer.post_groom()
+        assert len(op.rid_by_begin_ts) == op.record_count == 3
+        result = shard.indexer.step()
+        assert result is not None
+        assert shard.indexer.streaming_fallbacks == 0
+        assert result.evolve.spliced_blobs == 3
+
+    def test_real_groomer_never_needs_the_fallback(self):
+        shard = make_shard(post_groom_every=2)
+        for batch in range(4):
+            shard.ingest([(k, batch * 10 + k) for k in range(5)])
+            shard.tick()
+        shard.run_cycles(2)
+        assert shard.indexer.evolves_applied > 0
+        assert shard.indexer.streaming_fallbacks == 0

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Documentation smoke checks (the CI `docs` job).
+
+Three layers, cheapest first:
+
+1. every relative path referenced by a markdown link in README.md /
+   docs/*.md must exist in the repo (stale pointers are the fastest way
+   for docs to rot);
+2. every fenced ```python code block must at least compile;
+3. every ``>>>`` doctest example in those files must pass
+   (``doctest.testfile`` runs markdown files fine -- it only looks at
+   the interactive-prompt lines).
+
+Run from the repo root:  PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [REPO_ROOT / "README.md"] + sorted(
+    (REPO_ROOT / "docs").glob("*.md")
+)
+
+LINK_RE = re.compile(r"\]\(([^)]+)\)")
+FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def check_links(path: Path) -> list[str]:
+    errors = []
+    for target in LINK_RE.findall(path.read_text()):
+        if "://" in target:  # external URL; not checked offline
+            continue
+        file_part = target.split("#", 1)[0]  # drop the anchor fragment
+        if not file_part:  # same-document anchor
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.name}: broken link -> {target}")
+    return errors
+
+
+def check_python_blocks(path: Path) -> list[str]:
+    errors = []
+    for i, block in enumerate(FENCE_RE.findall(path.read_text())):
+        # Doctest-style blocks are validated by doctest below, not compile.
+        if block.lstrip().startswith(">>>"):
+            continue
+        try:
+            compile(block, f"{path.name}[python block {i}]", "exec")
+        except SyntaxError as exc:
+            errors.append(f"{path.name}: python block {i} does not compile: {exc}")
+    return errors
+
+
+def check_doctests(path: Path) -> list[str]:
+    failures, _ = doctest.testfile(
+        str(path), module_relative=False, verbose=False
+    )
+    if failures:
+        return [f"{path.name}: {failures} doctest example(s) failed"]
+    return []
+
+
+def main() -> int:
+    errors: list[str] = []
+    for path in DOC_FILES:
+        if not path.exists():
+            errors.append(f"missing documentation file: {path}")
+            continue
+        errors += check_links(path)
+        errors += check_python_blocks(path)
+        errors += check_doctests(path)
+    if errors:
+        print("docs check FAILED:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(f"docs check OK: {len(DOC_FILES)} files "
+          "(links, python blocks, doctests)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
