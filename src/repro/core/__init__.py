@@ -20,6 +20,7 @@ ordinary use -- see ``examples/quickstart.py``.
 
 from repro.core.definition import ColumnSpec, ColumnType, IndexDefinition
 from repro.core.entry import IndexEntry, RID, Zone
+from repro.core.epoch import RunLifecycle, RunListVersion
 from repro.core.index import UmziIndex, UmziConfig
 from repro.core.levels import LevelConfig
 from repro.core.query import PointLookup, RangeScanQuery, ReconcileStrategy
@@ -38,6 +39,8 @@ __all__ = [
     "RangeScanQuery",
     "ReconcileStrategy",
     "RID",
+    "RunLifecycle",
+    "RunListVersion",
     "UmziConfig",
     "UmziIndex",
     "Zone",

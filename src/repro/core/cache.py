@@ -34,7 +34,7 @@ churned in and out of the cache.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.entry import Zone
 from repro.core.levels import LevelConfig
@@ -64,6 +64,7 @@ class CacheManager:
         run_lists: Dict[Zone, RunList],
         high_watermark: float = 0.85,
         low_watermark: float = 0.60,
+        pin_checker: Optional[Callable[[str], bool]] = None,
     ) -> None:
         if not 0.0 < low_watermark <= high_watermark <= 1.0:
             raise ValueError("need 0 < low_watermark <= high_watermark <= 1")
@@ -72,6 +73,13 @@ class CacheManager:
         self.run_lists = run_lists
         self.high_watermark = high_watermark
         self.low_watermark = low_watermark
+        # pin_checker(run_id) -> is some live query snapshot still holding
+        # the run?  Supplied by the epoch run lifecycle; eviction paths
+        # (purge_run, release_after_query) skip pinned runs so a block is
+        # never dropped out from under an in-flight iterator.
+        self._pin_checker = (
+            pin_checker if pin_checker is not None else lambda _run_id: False
+        )
         # Everything cached initially; levels above this are purged.
         self._current_cached_level = config.total_levels - 1
         self._manual = False
@@ -106,9 +114,15 @@ class CacheManager:
         """Drop a run's data blocks from the local tiers; keep the header.
 
         Non-persisted runs cannot be purged (the local copy is the only
-        copy); they return 0.
+        copy); they return 0.  So do runs pinned by a live query snapshot:
+        evicting mid-read would stall the query on shared-storage refetches
+        (and invalidate the decoded views it is iterating), so the purge
+        pass simply revisits the run on a later cycle.
         """
         if not run.header.persisted:
+            return 0
+        if self._pin_checker(run.run_id):
+            self.hierarchy.stats.epochs.eviction_pin_skips += 1
             return 0
         dropped = 0
         for i in range(run.header.num_data_blocks):
@@ -176,6 +190,15 @@ class CacheManager:
             self.maintenance_bypasses += 1
             return
         for run in touched_purged_runs:
+            if self._pin_checker(run.run_id):
+                # Another query's pinned snapshot still holds this run:
+                # dropping its blocks (and decoded views) now would yank
+                # them out from under that query's live iterator.  The
+                # next query to touch the run releases them; until then a
+                # bounded SSD reclaims them through the ordinary purge
+                # pass under pressure.
+                self.hierarchy.stats.epochs.eviction_pin_skips += 1
+                continue
             if self.is_purged_level(run.level):
                 for i in range(run.header.num_data_blocks):
                     self.hierarchy.drop_from_cache(run.data_block_id(i))
@@ -204,25 +227,37 @@ class CacheManager:
         ]
 
     def _purge_pass(self) -> None:
-        """Purge oldest-first until below the high watermark."""
+        """Purge oldest-first until below the high watermark.
+
+        Pinned runs are skipped (never evicted mid-read) without wedging
+        the pass: the scan keeps descending to lower levels looking for
+        evictable space, and ``_current_cached_level`` is only decremented
+        when a level is genuinely fully purged -- no pinned holdouts.
+        Empty runs (zero data blocks) are trivially purged and never count
+        as holdouts.
+        """
+        level = self._current_cached_level
         while (
             self.hierarchy.ssd.utilization() >= self.high_watermark
-            and self._current_cached_level >= 0
+            and level >= 0
         ):
-            runs = self._runs_at_level(self._current_cached_level)
+            runs = self._runs_at_level(level)
             # Oldest runs first (tail of the newest-first list order).
-            progress = False
+            blocked = False
             for run in reversed(runs):
                 if run.header.persisted and self.is_run_cached(run):
-                    self.purge_run(run)
-                    progress = True
-                    if self.hierarchy.ssd.utilization() < self.high_watermark:
-                        return
-            if not progress:
-                # Level fully purged: decrement the current cached level.
-                if self._current_cached_level == 0:
-                    return  # never purge below level 0 entirely automatically
+                    if self.purge_run(run) > 0:
+                        if self.hierarchy.ssd.utilization() < self.high_watermark:
+                            return
+                    elif run.header.num_data_blocks > 0:
+                        # A non-empty cached run that would not purge is a
+                        # pinned holdout: this level is not fully purged.
+                        blocked = True
+            if level == 0:
+                return  # never purge below level 0 entirely automatically
+            if not blocked and level == self._current_cached_level:
                 self._current_cached_level -= 1
+            level -= 1
 
     def _load_pass(self) -> None:
         """Load recent-first in the reverse direction of purging."""

@@ -1,0 +1,478 @@
+"""Epoch-pinned run lifecycle: safe reclamation under live queries.
+
+The paper runs grooming, post-grooming, evolution and merging *concurrently*
+with lock-free queries over one multi-zone index.  Unlinking a run from a
+run list is an atomic pointer publication (``runlist.py``), so readers never
+see a torn list -- but unlinking is only half the story.  The other half is
+**reclamation**: once a merge or evolve has replaced a span of runs, their
+data blocks are freed from shared storage and every local tier.  A query
+that snapshotted the lists a microsecond earlier still holds handles to
+those runs and will fault (``BlockNotFoundError``) when it reaches them.
+
+This module closes that race with the classic epoch-based-reclamation
+design LSM engines use (the LevelDB/RocksDB version-set lineage):
+
+* a query **pins** an immutable :class:`RunListVersion` for its whole
+  lifetime (entering an epoch);
+* maintenance publishes new versions atomically and **retires** unlinked
+  runs into a deferred-reclamation list instead of freeing them inline;
+* retired runs are **reclaimed** -- cache blocks released, decoded-view
+  caches invalidated, shared-storage namespaces deleted -- only once no
+  live pin references them.
+
+The pin ledger is a per-run refcount (exact, strictly stronger than epoch
+granularity: a run is reclaimable the moment its last reader exits, not
+when a whole epoch drains).  Publication order makes the check sound: a
+run is always unlinked from its list *before* it is retired, and pinning
+snapshots the published lists under the lifecycle mutex, so a pin either
+registered the run before the retire check (deferral) or can no longer
+see it at all.
+
+``mode="legacy"`` preserves the pre-epoch behaviour as the ablation
+baseline: retirement reclaims immediately, and an (unprotected) in-flight
+query counter records how often that freed storage under a live query
+(``EpochStats.reclaimed_while_pinned`` -- the hazard rate the benchmark
+``benchmarks/bench_concurrent_throughput.py`` quantifies).
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.run import IndexRun
+from repro.storage.metrics import EpochStats
+
+RUN_LIFECYCLE_MODES = ("epoch", "legacy")
+
+# Cyclic-GC detection for finalizer-safe releases.  The collector can run
+# at any allocation -- including one made while the current thread holds a
+# non-reentrant lock anywhere in the storage stack (tier mutexes, the
+# IOStats ledger, the lifecycle mutex itself).  A pin release executed
+# from a GC finalizer must therefore never acquire locks or run reclaim
+# actions inline; while the flag is set, releases park on the lifecycle's
+# pending list instead (GIL-atomic append; a list resize during GC cannot
+# re-enter the collector).  Refcount-driven finalization (non-cyclic) runs
+# at the decref site in executor/user code, where no storage lock is held.
+_gc_active = threading.local()
+
+
+def _note_gc(phase: str, _info: dict) -> None:
+    _gc_active.flag = phase == "start"
+
+
+gc.callbacks.append(_note_gc)
+
+
+def _in_gc_finalizer() -> bool:
+    """Is the cyclic garbage collector running on this thread right now?"""
+    return getattr(_gc_active, "flag", False)
+
+
+@dataclass(frozen=True)
+class RunListVersion:
+    """One immutable, query-visible snapshot of an index's run lists.
+
+    ``groomed`` holds only the *visible* groomed runs (the watermark filter
+    of section 5.4 already applied -- the filter is part of the atomic
+    collection, see :meth:`repro.core.index.UmziIndex._collect_version`),
+    so ``candidates()`` is exactly the newest-first run set a query
+    searches.  ``version_id`` is the lifecycle's publication sequence
+    number at collection time.
+    """
+
+    version_id: int
+    groomed: Tuple[IndexRun, ...]
+    post_groomed: Tuple[IndexRun, ...]
+    watermark: int
+
+    def candidates(self) -> List[IndexRun]:
+        """Candidate runs, newest first (visible groomed + post-groomed)."""
+        return list(self.groomed) + list(self.post_groomed)
+
+
+class QueryPin:
+    """A query's membership in an epoch: holds one pinned run snapshot.
+
+    Released exactly once, by :meth:`RunLifecycle.release` (normally from
+    the query executor's ``finally``); ``__del__`` is a backstop so a pin
+    captured by a generator that is created but never iterated still exits
+    its epoch when the generator is garbage-collected.
+    """
+
+    __slots__ = ("version", "runs", "_lifecycle", "_released", "__weakref__")
+
+    def __init__(
+        self,
+        lifecycle: "RunLifecycle",
+        version: Optional[RunListVersion],
+        runs: Tuple[IndexRun, ...],
+    ) -> None:
+        self.version = version
+        self.runs = runs
+        self._lifecycle = lifecycle
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        self._lifecycle.release(self)
+
+    def __enter__(self) -> "QueryPin":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+class _RetiredRun:
+    """One parked reclamation: the run id plus the deferred free action."""
+
+    __slots__ = ("run_id", "reclaim")
+
+    def __init__(self, run_id: str, reclaim: Callable[[], None]) -> None:
+        self.run_id = run_id
+        self.reclaim = reclaim
+
+
+class RunLifecycle:
+    """Pin/retire/reclaim coordinator for one index instance.
+
+    * Queries call :meth:`pin` with a collector callback; the collector
+      runs under the lifecycle mutex so the snapshot it takes and the pin
+      registration are one atomic step with respect to :meth:`retire`.
+    * Maintenance calls :meth:`retire` *after* atomically unlinking the run
+      from its list; the reclaim action executes immediately when nothing
+      pins the run, and is parked otherwise, draining on pin release.
+    * The cache manager consults :meth:`is_pinned` before evicting.
+
+    All counters land on the shared :class:`EpochStats` ledger
+    (``IOStats.epochs``), so benchmarks can counter-assert "zero
+    reclaim-while-pinned events" the same way they assert I/O costs.
+    """
+
+    def __init__(self, stats: EpochStats, mode: str = "epoch") -> None:
+        if mode not in RUN_LIFECYCLE_MODES:
+            raise ValueError(
+                f"run_lifecycle must be one of {RUN_LIFECYCLE_MODES}; "
+                f"got {mode!r}"
+            )
+        self.mode = mode
+        self.stats = stats
+        self._lock = threading.Lock()
+        # Owner thread of `_lock`, for finalizer re-entrancy detection: a
+        # cyclic-GC pass can run at any allocation, including one made
+        # *inside* a locked section, and may finalize an abandoned
+        # iterator whose cleanup calls release().  The lock is
+        # non-reentrant, so such a release must park instead of acquiring
+        # (see `_pending_releases`).
+        self._owner: Optional[int] = None
+        self._version_seq = 0
+        # run_id -> number of live pins whose snapshot contains the run.
+        self._pin_counts: Dict[str, int] = {}
+        self._retired: List[_RetiredRun] = []
+        # Releases parked by a finalizer (cyclic GC, or re-entering this
+        # thread's own locked section), together with their deferred
+        # post-release hooks; GIL-atomic appends, drained under the lock
+        # by the next lifecycle operation.
+        self._pending_releases: List[
+            Tuple[QueryPin, Optional[Callable[[], None]]]
+        ] = []
+        # Legacy mode: deliberately unprotected in-flight query counter --
+        # just enough bookkeeping to *measure* the hazard, none to stop it.
+        self._inflight = 0
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        # get_ident() before acquire: the int allocation could trigger
+        # cyclic GC, and a finalizer release() must never observe this
+        # thread as lock-holder-with-unset-owner.  The store itself
+        # replaces a pre-existing instance-dict entry (set in __init__),
+        # so it cannot allocate -- there is no window between acquiring
+        # and publishing ownership in which GC can run.
+        ident = threading.get_ident()
+        self._lock.acquire()
+        self._owner = ident
+        try:
+            yield
+        finally:
+            self._owner = None
+            self._lock.release()
+
+    # -- version publication -----------------------------------------------------
+
+    def note_publish(self) -> int:
+        """Record one atomic run-list publication; returns the sequence."""
+        with self._locked():
+            self._version_seq += 1
+            self.stats.versions_published += 1
+            return self._version_seq
+
+    @property
+    def version_seq(self) -> int:
+        return self._version_seq
+
+    # -- the query side ----------------------------------------------------------
+
+    def pin(
+        self,
+        collect: Callable[[], Union[RunListVersion, Sequence[IndexRun]]],
+    ) -> QueryPin:
+        """Enter an epoch: snapshot via ``collect`` and pin every run in it.
+
+        ``collect`` may return a :class:`RunListVersion` (the index facade
+        does) or a plain newest-first run sequence (ad-hoc executors).  In
+        epoch mode it runs under the lifecycle mutex, making snapshot +
+        registration atomic against :meth:`retire`.
+        """
+        if self.mode == "legacy":
+            self._inflight += 1  # unprotected on purpose (the ablation)
+            self.stats.pins_entered += 1
+            return QueryPin(self, *self._unpack(collect()))
+        with self._locked():
+            hooks = self._drain_pending_locked()
+            version, runs = self._unpack(collect())
+            for run in runs:
+                self._pin_counts[run.run_id] = (
+                    self._pin_counts.get(run.run_id, 0) + 1
+                )
+            self.stats.pins_entered += 1
+            pin = QueryPin(self, version, runs)
+            ready = self._drain_locked()
+        self._run_hooks(hooks)
+        self._reclaim(ready)
+        return pin
+
+    @staticmethod
+    def _unpack(
+        collected: Union[RunListVersion, Sequence[IndexRun]],
+    ) -> Tuple[Optional[RunListVersion], Tuple[IndexRun, ...]]:
+        if isinstance(collected, RunListVersion):
+            return collected, tuple(collected.candidates())
+        return None, tuple(collected)
+
+    def release(
+        self,
+        pin: QueryPin,
+        after: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Exit the pin's epoch; drain any reclamations it was blocking.
+
+        ``after`` runs once the pin no longer counts (the query executor's
+        purged-block release hook) -- outside the lifecycle mutex.
+
+        Safe to call from finalizers: a release initiated while the cyclic
+        collector is running (an abandoned iterator's ``finally``, or
+        :meth:`QueryPin.__del__`) may be interrupting a thread that holds
+        *any* non-reentrant lock -- the lifecycle mutex, a storage-tier
+        mutex, the stats ledger -- so it must neither acquire locks nor
+        run reclaim actions or hooks inline.  Such releases (and any
+        release that re-enters this thread's own locked section) park on a
+        GIL-atomic pending list, drained by the next lifecycle operation.
+        """
+        if pin._released:
+            return
+        pin._released = True
+        if self.mode == "legacy":
+            # The unprotected ablation: no lock, no parking (matches the
+            # pre-epoch behaviour it exists to measure).
+            self._inflight -= 1
+            self.stats.pins_exited += 1
+            if after is not None:
+                after()
+            return
+        if _in_gc_finalizer() or self._owner == threading.get_ident():
+            self._pending_releases.append((pin, after))
+            return
+        ready: List[_RetiredRun] = []
+        with self._locked():
+            hooks = self._drain_pending_locked()
+            self._release_counts_locked(pin)
+            ready = self._drain_locked()
+        self._run_hooks(hooks)
+        self._reclaim(ready)
+        if after is not None:
+            after()
+
+    def _release_counts_locked(self, pin: QueryPin) -> None:
+        for run in pin.runs:
+            count = self._pin_counts.get(run.run_id, 0) - 1
+            if count > 0:
+                self._pin_counts[run.run_id] = count
+            else:
+                self._pin_counts.pop(run.run_id, None)
+        self.stats.pins_exited += 1
+
+    def _drain_pending_locked(self) -> List[Callable[[], None]]:
+        """Apply releases parked by finalizers (see :meth:`release`).
+
+        Returns their deferred post-release hooks, to be run by the caller
+        *outside* the lifecycle mutex.
+        """
+        hooks: List[Callable[[], None]] = []
+        while self._pending_releases:
+            parked, after = self._pending_releases.pop()
+            self._release_counts_locked(parked)
+            if after is not None:
+                hooks.append(after)
+        return hooks
+
+    @staticmethod
+    def _run_hooks(hooks: List[Callable[[], None]]) -> None:
+        for hook in hooks:
+            hook()
+
+    # -- the maintenance side ----------------------------------------------------
+
+    def retire(self, run_id: str, reclaim: Callable[[], None]) -> None:
+        """Hand an unlinked run's free action to the lifecycle.
+
+        Must be called only *after* the run has been atomically removed
+        from every published run list (so no new pin can acquire it).
+        Reclaims inline when unpinned; parks behind the live pins
+        otherwise.
+        """
+        if self.mode == "legacy":
+            # The pre-epoch behaviour: free immediately, queries be damned.
+            self.stats.runs_retired += 1
+            if self._inflight > 0:
+                self.stats.reclaimed_while_pinned += 1
+            reclaim()
+            self.stats.runs_reclaimed += 1
+            return
+        inline = False
+        ready: List[_RetiredRun] = []
+        with self._locked():
+            hooks = self._drain_pending_locked()
+            ready = self._drain_locked()
+            self.stats.runs_retired += 1
+            if self._pin_counts.get(run_id, 0) > 0:
+                self.stats.reclaims_deferred += 1
+                self._retired.append(_RetiredRun(run_id, reclaim))
+            else:
+                inline = True
+        self._run_hooks(hooks)
+        self._reclaim(ready)
+        if inline:
+            # No pin held the run at the (locked) check, and none can
+            # appear: the run is gone from every published list.  Free
+            # outside the mutex so storage-tier work never serializes pin
+            # entry/exit.
+            reclaim()
+            self.stats.runs_reclaimed += 1
+
+    def _drain_locked(self) -> List[_RetiredRun]:
+        """Pop every retired run whose last pin just went away."""
+        if not self._retired:
+            return []
+        ready = [
+            item
+            for item in self._retired
+            if self._pin_counts.get(item.run_id, 0) == 0
+        ]
+        if ready:
+            self._retired = [
+                item
+                for item in self._retired
+                if self._pin_counts.get(item.run_id, 0) > 0
+            ]
+        return ready
+
+    def _reclaim(self, ready: List[_RetiredRun]) -> None:
+        for item in ready:
+            item.reclaim()
+            self.stats.runs_reclaimed += 1
+
+    # -- inspection --------------------------------------------------------------
+
+    def is_pinned(self, run_id: str) -> bool:
+        """Is the run referenced by any live pin right now?
+
+        In legacy mode always ``False``: nothing tracks per-run pins, which
+        is precisely the ablation's hazard.
+        """
+        if self.mode == "legacy":
+            return False
+        with self._locked():
+            # No pending-drain here: this runs inside cache eviction
+            # passes, which must not execute drained release hooks.  A
+            # parked (not yet drained) release just keeps the run looking
+            # pinned a little longer -- the safe direction.
+            return self._pin_counts.get(run_id, 0) > 0
+
+    def pinned_run_ids(self) -> List[str]:
+        with self._locked():
+            hooks = self._drain_pending_locked()
+            ids = sorted(self._pin_counts)
+        self._run_hooks(hooks)  # cache-release hooks; do not alter pins
+        return ids
+
+    def retired_backlog(self) -> int:
+        """Retired-but-not-yet-reclaimed run count (0 when idle)."""
+        ready: List[_RetiredRun] = []
+        with self._locked():
+            # Parked finalizer releases may have just unblocked reclaims;
+            # apply them so the reported backlog reflects live pins only.
+            hooks = self._drain_pending_locked()
+            ready = self._drain_locked()
+            backlog = len(self._retired)
+        self._run_hooks(hooks)
+        self._reclaim(ready)
+        return backlog
+
+
+# ---------------------------------------------------------------------------
+# reclaim-action factories (shared by the merge and evolve controllers)
+# ---------------------------------------------------------------------------
+
+
+def delete_run_action(hierarchy, run: IndexRun) -> Callable[[], None]:
+    """Full reclamation: shared-storage namespace + decoded-view cache."""
+
+    def free() -> None:
+        hierarchy.delete_namespace(run.run_id)
+        run.drop_decode_cache()
+
+    return free
+
+
+def delete_namespace_action(hierarchy, run_id: str) -> Callable[[], None]:
+    """Namespace-only reclamation (ancestor runs known by id alone)."""
+
+    def free() -> None:
+        hierarchy.delete_namespace(run_id)
+
+    return free
+
+
+def drop_cache_action(hierarchy, run: IndexRun) -> Callable[[], None]:
+    """Local-tier-only reclamation (ancestor-protected shared copies)."""
+
+    def free() -> None:
+        for block_id in run.all_block_ids():
+            hierarchy.drop_from_cache(block_id)
+        run.drop_decode_cache()
+
+    return free
+
+
+__all__ = [
+    "QueryPin",
+    "RUN_LIFECYCLE_MODES",
+    "RunLifecycle",
+    "RunListVersion",
+    "delete_namespace_action",
+    "delete_run_action",
+    "drop_cache_action",
+]

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.builder import RunBuilder
+from repro.core.epoch import delete_run_action, drop_cache_action
 from repro.core.entry import (
     IndexEntry,
     RID,
@@ -113,6 +114,8 @@ class EvolveController:
         journal: Optional[MetadataJournal] = None,
         write_through: Optional[Callable[[int], bool]] = None,
         ancestor_protector: Optional[Callable[[str], bool]] = None,
+        reclaimer: Optional[Callable[[str, Callable[[], None]], None]] = None,
+        structure_lock: Optional[threading.Lock] = None,
     ) -> None:
         self.config = config
         self.builder = builder
@@ -125,8 +128,20 @@ class EvolveController:
         self._ancestor_protector = (
             ancestor_protector if ancestor_protector is not None else lambda _: False
         )
+        # reclaimer(run_id, free) routes physical frees of unlinked runs
+        # through the run lifecycle (epoch mode defers them while queries
+        # pin the run); the default executes immediately (legacy).
+        self._reclaim = (
+            reclaimer if reclaimer is not None else lambda _run_id, free: free()
+        )
         self.indexed_psn = 0  # PSNs start at 1; 0 means "nothing evolved yet"
-        self._lock = threading.Lock()
+        # Serializes evolves among themselves AND against merges when the
+        # index supplies its shared maintenance structure mutex (an evolve's
+        # step 3 unlinks groomed runs a concurrent merge may have selected
+        # as victims).  Queries never take this lock.
+        self._lock = (
+            structure_lock if structure_lock is not None else threading.Lock()
+        )
 
     # -- the full operation ------------------------------------------------------------
 
@@ -305,6 +320,13 @@ class EvolveController:
         A groomed run may be *partially* covered when post-groom boundaries
         do not align with run boundaries; such runs stay, and the resulting
         physical duplicates are reconciled away at query time (section 5.4).
+
+        Physical frees go through the reclaimer: the runs were atomically
+        unlinked by ``remove_where`` (no *new* query can see them), but a
+        query that pinned its snapshot before this evolve may still be
+        reading their blocks -- under the epoch lifecycle the free is
+        deferred until that pin exits.  The returned ids are the runs
+        *scheduled* for deletion (immediately executed when unpinned).
         """
         watermark_value = self.watermark.value
         groomed = self.run_lists[Zone.GROOMED]
@@ -316,10 +338,9 @@ class EvolveController:
             if self._ancestor_protector(run.run_id):
                 # Some live non-persisted run still derives from this one;
                 # keep the shared copy, just free the local cache.
-                for block_id in run.all_block_ids():
-                    self.hierarchy.drop_from_cache(block_id)
+                self._reclaim(run.run_id, drop_cache_action(self.hierarchy, run))
                 continue
-            self.hierarchy.delete_namespace(run.run_id)
+            self._reclaim(run.run_id, delete_run_action(self.hierarchy, run))
             collected.append(run.run_id)
         return collected
 

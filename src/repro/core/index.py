@@ -9,13 +9,15 @@ concurrent evolve operations.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.builder import DEFAULT_DATA_BLOCK_BYTES, RunBuilder
 from repro.core.cache import CacheManager
 from repro.core.definition import IndexDefinition
 from repro.core.entry import IndexEntry, RID, Zone
+from repro.core.epoch import RunLifecycle, RunListVersion
 from repro.core.evolve import EvolveController, EvolveResult, Watermark
 from repro.core.ids import RunIdAllocator
 from repro.core.journal import MetadataJournal
@@ -67,6 +69,12 @@ class UmziConfig:
     # keeps its owner's policy (e.g. ShardConfig.maintenance_read_mode).
     # See storage.metrics.ReadIntent.
     maintenance_read_mode: str = "intent"
+    # Run lifecycle under concurrent maintenance: "epoch" (default) pins an
+    # immutable RunListVersion per query and defers physical reclamation of
+    # retired runs until no pin holds them; "legacy" is the unprotected
+    # pre-epoch ablation (retired runs are freed inline, racing in-flight
+    # queries).  See repro.core.epoch.
+    run_lifecycle: str = "epoch"
 
 
 class UmziIndex:
@@ -93,9 +101,21 @@ class UmziIndex:
 
         self._run_prefix = f"{self.config.name}-run"
         self.allocator = RunIdAllocator(prefix=self._run_prefix)
+        # Epoch-pinned run lifecycle: queries pin immutable run-list
+        # versions; maintenance retires unlinked runs through it so frees
+        # defer until no pin holds them (see repro.core.epoch).
+        self.lifecycle = RunLifecycle(
+            self.hierarchy.stats.epochs, mode=self.config.run_lifecycle
+        )
         self.run_lists: Dict[Zone, RunList] = {
-            Zone.GROOMED: RunList(f"{self.config.name}-groomed"),
-            Zone.POST_GROOMED: RunList(f"{self.config.name}-post-groomed"),
+            Zone.GROOMED: RunList(
+                f"{self.config.name}-groomed",
+                on_publish=self.lifecycle.note_publish,
+            ),
+            Zone.POST_GROOMED: RunList(
+                f"{self.config.name}-post-groomed",
+                on_publish=self.lifecycle.note_publish,
+            ),
         }
         self.watermark = Watermark()
         self.journal = MetadataJournal(
@@ -111,8 +131,12 @@ class UmziIndex:
             self.run_lists,
             high_watermark=self.config.cache_high_watermark,
             low_watermark=self.config.cache_low_watermark,
+            pin_checker=self.lifecycle.is_pinned,
         )
         self._retention_ts: Optional[int] = None
+        # One structure mutex serializes evolve vs merge on this index's
+        # run lists (maintenance-only; queries stay lock-free).
+        self._maintenance_mutex = threading.Lock()
         self.merger = MergeController(
             self.config.levels,
             self.builder,
@@ -122,6 +146,8 @@ class UmziIndex:
             write_through=self.cache.write_through,
             ancestor_protector=self._is_live_ancestor,
             retention_provider=lambda: self._retention_ts,
+            reclaimer=self.lifecycle.retire,
+            structure_lock=self._maintenance_mutex,
         )
         self.evolver = EvolveController(
             self.config.levels,
@@ -133,10 +159,12 @@ class UmziIndex:
             journal=self.journal,
             write_through=self.cache.write_through,
             ancestor_protector=self._is_live_ancestor,
+            reclaimer=self.lifecycle.retire,
+            structure_lock=self._maintenance_mutex,
         )
         self.executor = QueryExecutor(
             definition,
-            collect_runs=self._collect_candidate_runs,
+            collect_runs=self._collect_version,
             use_synopsis=self.config.use_synopsis,
             use_offset_array=self.config.use_offset_array,
             use_raw_keys=self.config.use_raw_keys,
@@ -146,6 +174,7 @@ class UmziIndex:
                 if self.config.release_purged_blocks_after_query
                 else None
             ),
+            lifecycle=self.lifecycle,
         )
         self._build_lock = threading.Lock()
 
@@ -327,8 +356,8 @@ class UmziIndex:
     # candidate-run collection
     # ------------------------------------------------------------------------------
 
-    def _collect_candidate_runs(self) -> List[IndexRun]:
-        """Snapshot the index for one query, newest runs first.
+    def _collect_version(self) -> RunListVersion:
+        """Snapshot the index for one query as an immutable version.
 
         Publication-order argument for correctness against a concurrent
         evolve (whose sub-steps are: 1. add post-groomed run, 2. advance
@@ -346,14 +375,53 @@ class UmziIndex:
         * groomed runs at or below the watermark are dropped ("automatically
           ignored by queries", section 5.4); remaining overlap between the
           zones yields physical duplicates, which reconciliation removes.
+
+        Each per-list snapshot is one atomic tuple read (see
+        :meth:`RunList.snapshot`); the composed version is immutable, and
+        when collected through :meth:`RunLifecycle.pin` the whole
+        collect-and-register step is atomic against run retirement.
         """
         groomed = self.run_lists[Zone.GROOMED].snapshot()
         watermark_value = self.watermark.value
         post_groomed = self.run_lists[Zone.POST_GROOMED].snapshot()
-        visible_groomed = [
+        visible_groomed = tuple(
             run for run in groomed if run.max_groomed_id > watermark_value
-        ]
-        return visible_groomed + post_groomed
+        )
+        return RunListVersion(
+            version_id=self.lifecycle.version_seq,
+            groomed=visible_groomed,
+            post_groomed=tuple(post_groomed),
+            watermark=watermark_value,
+        )
+
+    def _collect_candidate_runs(self) -> List[IndexRun]:
+        """Candidate runs, newest first (list view of the current version)."""
+        return self._collect_version().candidates()
+
+    @contextmanager
+    def snapshot_view(self) -> Iterator[QueryExecutor]:
+        """Pin the current :class:`RunListVersion` for repeatable reads.
+
+        Yields a :class:`QueryExecutor` whose every query answers from the
+        pinned version, no matter how many evolves or merges commit in the
+        meantime -- the epoch pin keeps the version's runs alive until the
+        scope exits.  (Individual queries outside this scope already pin
+        per-query; this is for callers that need *several* queries over one
+        consistent snapshot.)
+        """
+        pin = self.lifecycle.pin(self._collect_version)
+        executor = QueryExecutor(
+            self.definition,
+            collect_runs=lambda: list(pin.runs),
+            use_synopsis=self.config.use_synopsis,
+            use_offset_array=self.config.use_offset_array,
+            use_raw_keys=self.config.use_raw_keys,
+            per_key_batch_pruning=self.config.per_key_batch_pruning,
+        )
+        try:
+            yield executor
+        finally:
+            pin.release()
 
     def post_groomed_lookup(
         self,
@@ -377,6 +445,9 @@ class UmziIndex:
             use_synopsis=self.config.use_synopsis,
             use_offset_array=self.config.use_offset_array,
             use_raw_keys=self.config.use_raw_keys,
+            # The post-groomer's lookup races concurrent merges of the
+            # post-groomed zone like any query does; pin its snapshot too.
+            lifecycle=self.lifecycle,
         )
         with self.hierarchy.reading_as(ReadIntent.MAINTENANCE):
             return executor.point_lookup(

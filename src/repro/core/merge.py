@@ -30,6 +30,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.builder import RunBuilder
+from repro.core.epoch import (
+    delete_namespace_action,
+    delete_run_action,
+    drop_cache_action,
+)
 from repro.core.entry import (
     IndexEntry,
     Zone,
@@ -157,6 +162,8 @@ class MergeController:
         write_through: Optional[Callable[[int], bool]] = None,
         ancestor_protector: Optional[Callable[[str], bool]] = None,
         retention_provider: Optional[Callable[[], Optional[int]]] = None,
+        reclaimer: Optional[Callable[[str, Callable[[], None]], None]] = None,
+        structure_lock: Optional[threading.Lock] = None,
     ) -> None:
         self.config = config
         self.builder = builder
@@ -176,8 +183,23 @@ class MergeController:
         self._retention_provider = (
             retention_provider if retention_provider is not None else lambda: None
         )
+        # reclaimer(run_id, free) routes physical frees of unlinked runs
+        # through the run lifecycle (epoch mode defers them while queries
+        # pin the run); the default executes immediately (legacy).
+        self._reclaim = (
+            reclaimer if reclaimer is not None else lambda _run_id, free: free()
+        )
         self._active: Dict[int, Optional[str]] = {}
         self._lock = threading.Lock()
+        # Maintenance *structure* mutex, shared with the evolve controller
+        # of the same index: a merge's victim selection, input streaming and
+        # span splice must not interleave with an evolve's garbage
+        # collection of the same list (the evolve could unlink a victim
+        # mid-merge, breaking the contiguous span -- or delete blocks the
+        # merge is still streaming).  Queries never take this lock.
+        self._structure_lock = (
+            structure_lock if structure_lock is not None else threading.Lock()
+        )
 
     # -- policy inspection --------------------------------------------------------
 
@@ -207,11 +229,18 @@ class MergeController:
     # -- execution -------------------------------------------------------------------
 
     def merge_step(self, zone: Zone) -> Optional[MergeResult]:
-        """Perform one merge in ``zone`` if the policy calls for one."""
-        level = self.level_needing_merge(zone)
-        if level is None:
-            return None
-        return self.merge_level(zone, level)
+        """Perform one merge in ``zone`` if the policy calls for one.
+
+        Policy check and execution run under the structure mutex as one
+        step: a concurrent evolve may garbage-collect the level's runs
+        between an unlocked check and the merge, which is how the daemons
+        used to race (victim span no longer contiguous).
+        """
+        with self._structure_lock:
+            level = self.level_needing_merge(zone)
+            if level is None:
+                return None
+            return self._merge_level_locked(zone, level)
 
     def merge_until_stable(self, zone: Zone, max_steps: int = 64) -> List[MergeResult]:
         """Run merge steps until the policy is satisfied (tests/benches)."""
@@ -225,6 +254,10 @@ class MergeController:
 
     def merge_level(self, zone: Zone, level: int) -> MergeResult:
         """Merge level ``level``'s K oldest inactive runs into ``level+1``."""
+        with self._structure_lock:
+            return self._merge_level_locked(zone, level)
+
+    def _merge_level_locked(self, zone: Zone, level: int) -> MergeResult:
         config = self.config
         target_level = level + 1
         if target_level > config.last_level_of(zone):
@@ -334,29 +367,46 @@ class MergeController:
     def _garbage_collect_inputs(
         self, inputs: Sequence[IndexRun], new_run: IndexRun
     ) -> List[str]:
-        """Physically delete what can be deleted after a merge."""
+        """Schedule physical deletion of what a merge made obsolete.
+
+        Every free goes through the reclaimer: the inputs were atomically
+        spliced out of the run list (no new query can reach them), but a
+        query pinned on an older snapshot may still be streaming their
+        blocks -- the epoch lifecycle parks these frees until that pin
+        exits.  The returned ids are the runs scheduled for deletion.
+        """
         deleted: List[str] = []
         output_persisted = new_run.header.persisted
         for run in inputs:
             if run.header.persisted:
                 if output_persisted:
                     # Normal LSM GC: data now lives in the durable new run.
-                    self.hierarchy.delete_namespace(run.run_id)
+                    self._reclaim(
+                        run.run_id, delete_run_action(self.hierarchy, run)
+                    )
                     deleted.append(run.run_id)
                 else:
                     # Ancestor retention: keep the shared copy, free cache.
-                    for block_id in run.all_block_ids():
-                        self.hierarchy.drop_from_cache(block_id)
+                    self._reclaim(
+                        run.run_id, drop_cache_action(self.hierarchy, run)
+                    )
             else:
                 # Non-persisted input: local blocks are garbage now ...
-                self.hierarchy.delete_namespace(run.run_id)
+                self._reclaim(
+                    run.run_id, delete_run_action(self.hierarchy, run)
+                )
                 deleted.append(run.run_id)
                 if output_persisted:
                     # ... and its recorded ancestors are finally safe to drop
                     # (unless some other live run still needs them).
                     for ancestor_id in run.header.ancestor_run_ids:
                         if not self._ancestor_protector(ancestor_id):
-                            self.hierarchy.delete_namespace(ancestor_id)
+                            self._reclaim(
+                                ancestor_id,
+                                delete_namespace_action(
+                                    self.hierarchy, ancestor_id
+                                ),
+                            )
                             deleted.append(ancestor_id)
         return deleted
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.definition import IndexDefinition
+from repro.core.epoch import QueryPin, RunLifecycle
 from repro.core.encoding import (
     KeyValue,
     UINT64_MAX,
@@ -201,6 +202,15 @@ class QueryExecutor:
     ``post_groomed_lookup``), the caller wraps the call in
     ``hierarchy.reading_as(ReadIntent.MAINTENANCE)`` -- the same code path
     then neither promotes nor perturbs the query-path hit/miss counters.
+
+    **Epoch pinning.**  When a ``lifecycle`` (:class:`RunLifecycle`) is
+    supplied, every query enters an epoch before collecting its runs and
+    exits it in a ``finally`` once the last result is out: the snapshot is
+    *pinned*, so concurrent evolve/merge retirement defers the physical
+    frees of any run the query still holds.  The pin is released *before*
+    ``on_query_done`` fires, so the cache manager's release pass sees only
+    pins held by *other* in-flight queries.  Without a lifecycle the
+    executor behaves exactly as before (the legacy unprotected mode).
     """
 
     def __init__(
@@ -212,9 +222,11 @@ class QueryExecutor:
         use_raw_keys: bool = True,
         per_key_batch_pruning: bool = False,
         on_query_done: Optional[Callable[[List[IndexRun]], None]] = None,
+        lifecycle: Optional[RunLifecycle] = None,
     ) -> None:
         self.definition = definition
         self.collect_runs = collect_runs
+        self._lifecycle = lifecycle
         self.use_synopsis = use_synopsis
         self.use_offset_array = use_offset_array
         # Ablation hook: False restores the legacy decode-per-probe run
@@ -230,6 +242,36 @@ class QueryExecutor:
         # Hook for the cache manager: release transient blocks of purged runs.
         self._on_query_done = on_query_done
 
+    # -- query scope (epoch pin + release hooks) -----------------------------------
+
+    def _enter_query(self) -> Tuple[Optional[QueryPin], List[IndexRun]]:
+        """Collect the run snapshot, pinning it when a lifecycle is wired."""
+        if self._lifecycle is None:
+            return None, self.collect_runs()
+        pin = self._lifecycle.pin(self.collect_runs)
+        return pin, list(pin.runs)
+
+    def _exit_query(
+        self, pin: Optional[QueryPin], touched: List[IndexRun]
+    ) -> None:
+        """Epoch exit, then block release -- in that order (see class doc).
+
+        The block-release hook rides through the lifecycle as the pin's
+        ``after`` action: it runs once the pin no longer counts, and when
+        the exit happens inside a GC finalizer (abandoned iterator in a
+        reference cycle) both the unpin and the hook are parked and run by
+        the next lifecycle operation -- a finalizer must not take
+        storage-tier locks.
+        """
+        after: Optional[Callable[[], None]] = None
+        if self._on_query_done is not None:
+            hook = self._on_query_done
+            after = lambda: hook(touched)  # noqa: E731 - tiny closure
+        if pin is not None:
+            self._lifecycle.release(pin, after=after)
+        elif after is not None:
+            after()
+
     # -- range scan ----------------------------------------------------------------
 
     def range_scan(
@@ -239,18 +281,21 @@ class QueryExecutor:
     ) -> List[IndexEntry]:
         """Newest visible version of every key in the range, key-ordered."""
         bounds = compute_scan_bounds(self.definition, query)
-        candidates = [
-            run
-            for run in self.collect_runs()
-            if run_may_contain(run, query, self.use_synopsis)
-        ]
+        pin, runs = self._enter_query()
+        # Everything after the pin runs under the finally, so an exception
+        # anywhere (even in candidate filtering) cannot leak the epoch.
+        candidates: List[IndexRun] = []
         try:
+            candidates = [
+                run
+                for run in runs
+                if run_may_contain(run, query, self.use_synopsis)
+            ]
             if strategy is ReconcileStrategy.SET:
                 return self._reconcile_set(candidates, bounds, query.query_ts)
             return self._reconcile_priority_queue(candidates, bounds, query.query_ts)
         finally:
-            if self._on_query_done is not None:
-                self._on_query_done(candidates)
+            self._exit_query(pin, candidates)
 
     def _reconcile_set(
         self, runs: Sequence[IndexRun], bounds: _Bounds, query_ts: int
@@ -291,17 +336,34 @@ class QueryExecutor:
 
         Yields the newest visible version per key in key order without
         materializing the result set -- the point of the priority-queue
-        approach (section 7.1.2).  The run snapshot is taken once, at call
-        time; note that purged-block release hooks do not fire for
-        abandoned iterators.
+        approach (section 7.1.2).  The run snapshot is taken (and pinned)
+        once, at call time.  Cleanup -- epoch exit and purged-block
+        release -- runs in the generator's ``finally``, which fires on
+        exhaustion, on an explicit ``close()``, *and* when an abandoned
+        iterator is garbage-collected (CPython calls ``close()`` from the
+        generator's finalizer); a pin captured by a never-started iterator
+        is released by the pin's own finalizer backstop.
         """
         bounds = compute_scan_bounds(self.definition, query)
-        candidates = [
-            run
-            for run in self.collect_runs()
-            if run_may_contain(run, query, self.use_synopsis)
-        ]
-        return self._merge_runs_iter(candidates, bounds, query.query_ts)
+        pin, runs = self._enter_query()
+        try:
+            candidates = [
+                run
+                for run in runs
+                if run_may_contain(run, query, self.use_synopsis)
+            ]
+            inner = self._merge_runs_iter(candidates, bounds, query.query_ts)
+        except BaseException:
+            self._exit_query(pin, [])
+            raise
+
+        def guarded() -> Iterator[IndexEntry]:
+            try:
+                yield from inner
+            finally:
+                self._exit_query(pin, candidates)
+
+        return guarded()
 
     def _reconcile_priority_queue(
         self, runs: Sequence[IndexRun], bounds: _Bounds, query_ts: int
@@ -351,12 +413,14 @@ class QueryExecutor:
             sort_upper=lookup.sort_values or None,
             query_ts=lookup.query_ts,
         )
-        candidates = [
-            run
-            for run in self.collect_runs()
-            if run_may_contain(run, probe, self.use_synopsis)
-        ]
+        pin, runs = self._enter_query()
+        candidates: List[IndexRun] = []
         try:
+            candidates = [
+                run
+                for run in runs
+                if run_may_contain(run, probe, self.use_synopsis)
+            ]
             for run in candidates:
                 if not run.may_contain_key(bounds.lower_key):
                     continue  # Bloom filter says definitely absent
@@ -372,8 +436,7 @@ class QueryExecutor:
                     return entry
             return None
         finally:
-            if self._on_query_done is not None:
-                self._on_query_done(candidates)
+            self._exit_query(pin, candidates)
 
     def batch_lookup(
         self, lookups: Sequence[PointLookup]
@@ -397,9 +460,30 @@ class QueryExecutor:
 
         results: List[Optional[IndexEntry]] = [None] * len(lookups)
         unresolved = list(range(len(encoded)))  # indexes into `encoded`
-        candidates = self.collect_runs()
-        batch_box = self._batch_bounding_box(lookups) if self.use_synopsis else None
+        pin, candidates = self._enter_query()
         touched: List[IndexRun] = []
+        try:
+            batch_box = (
+                self._batch_bounding_box(lookups) if self.use_synopsis else None
+            )
+            self._batch_lookup_runs(
+                candidates, encoded, lookups, unresolved, results,
+                batch_box, touched,
+            )
+        finally:
+            self._exit_query(pin, touched)
+        return results
+
+    def _batch_lookup_runs(
+        self,
+        candidates: Sequence[IndexRun],
+        encoded: List[Tuple[bytes, int, int]],
+        lookups: Sequence[PointLookup],
+        unresolved: List[int],
+        results: List[Optional[IndexEntry]],
+        batch_box,
+        touched: List[IndexRun],
+    ) -> None:
         for run in candidates:  # newest -> oldest
             if not unresolved:
                 break
@@ -442,9 +526,6 @@ class QueryExecutor:
                     results[encoded[slot][2]] = entry
                     resolved_slots.add(slot)
             unresolved = [i for i in unresolved if i not in resolved_slots]
-        if self._on_query_done is not None:
-            self._on_query_done(touched)
-        return results
 
     def _batch_bounding_box(self, lookups: Sequence[PointLookup]):
         """Per-column (min, max) over the whole batch, plus the max TS."""

@@ -14,12 +14,21 @@ atomic pointers.  Readers traverse without any lock and always observe a
 valid (possibly momentarily stale or duplicate-containing) list; mutators
 serialize among themselves with a short-duration lock, exactly as in the
 paper ("these locks never block any index queries").
+
+On top of the linked chain every mutation also **publishes an immutable
+tuple snapshot** (one atomic reference assignment of ``_published``).
+:meth:`RunList.snapshot` reads that tuple, so a query's run collection is
+a true point-in-time version of the list: a half-applied ``replace`` can
+never surface as "old span *and* new run" the way a mid-mutation traversal
+of the chain could.  The tuple is what the epoch-pinned run lifecycle
+(:mod:`repro.core.epoch`) pins; ``on_publish`` lets the lifecycle stamp
+each publication with a version sequence number.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.run import IndexRun
 
@@ -41,11 +50,19 @@ class _Node:
 class RunList:
     """A zone's chain of runs, newest first."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, on_publish: Optional[Callable[[], object]] = None
+    ) -> None:
         self.name = name
         self._head: Optional[_Node] = None
         # Mutator-only lock; readers never touch it.
         self._mutation_lock = threading.Lock()
+        # Immutable (version, runs) snapshot republished as ONE atomic
+        # reference assignment at the end of every mutation; what
+        # snapshot() and the epoch lifecycle read.
+        self._published: Tuple[int, Tuple[IndexRun, ...]] = (0, ())
+        # Publication hook (the run lifecycle's version/stats stamp).
+        self.on_publish = on_publish
 
     # -- reader side (lock-free) ------------------------------------------------
 
@@ -64,8 +81,23 @@ class RunList:
             node = node.next
 
     def snapshot(self) -> List[IndexRun]:
-        """Materialized lock-free traversal."""
-        return list(self.iter_runs())
+        """Point-in-time version of the list (one atomic tuple read).
+
+        Unlike a chain traversal -- which can interleave with a concurrent
+        ``replace`` and observe a momentarily duplicate-containing view --
+        the published tuple is immutable, so the snapshot is torn-free by
+        construction.
+        """
+        return list(self._published[1])
+
+    def published(self) -> Tuple[int, Tuple[IndexRun, ...]]:
+        """The current ``(version, runs)`` publication (one atomic read)."""
+        return self._published
+
+    @property
+    def version(self) -> int:
+        """Monotonic count of publications this list has made."""
+        return self._published[0]
 
     def head_run(self) -> Optional[IndexRun]:
         node = self._head
@@ -89,6 +121,7 @@ class RunList:
         with self._mutation_lock:
             node = _Node(run, self._head)
             self._head = node  # the one atomic publication
+            self._publish_locked()
 
     def replace(self, old_run_ids: Sequence[str], new_run: IndexRun) -> None:
         """Replace a *contiguous* span of runs with one merged run (Fig. 4).
@@ -120,6 +153,7 @@ class RunList:
                 self._head = new_node  # step 2 (atomic publication)
             else:
                 prev.next = new_node  # step 2 (atomic publication)
+            self._publish_locked()
 
     def remove(self, run_id: str) -> IndexRun:
         """Unlink one run (garbage collection after evolve, section 5.4).
@@ -136,6 +170,7 @@ class RunList:
                 self._head = node.next
             else:
                 prev.next = node.next
+            self._publish_locked()
             return node.run
 
     def remove_where(self, predicate: Callable[[IndexRun], bool]) -> List[IndexRun]:
@@ -155,11 +190,14 @@ class RunList:
                 else:
                     prev = node
                     node = node.next
+            if removed:
+                self._publish_locked()
         return removed
 
     def clear(self) -> None:
         with self._mutation_lock:
             self._head = None
+            self._publish_locked()
 
     def rebuild(self, runs_newest_first: Sequence[IndexRun]) -> None:
         """Recovery path: atomically install a whole new chain."""
@@ -168,8 +206,21 @@ class RunList:
             head = _Node(run, head)
         with self._mutation_lock:
             self._head = head
+            self._publish_locked()
 
     # -- internals ---------------------------------------------------------------
+
+    def _publish_locked(self) -> None:
+        """Publish the post-mutation snapshot (one atomic assignment)."""
+        version = self._published[0] + 1
+        runs: List[IndexRun] = []
+        node = self._head
+        while node is not None:
+            runs.append(node.run)
+            node = node.next
+        self._published = (version, tuple(runs))
+        if self.on_publish is not None:
+            self.on_publish()
 
     def _find_span_start(
         self, run_id: str

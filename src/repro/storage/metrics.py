@@ -94,6 +94,74 @@ class IntentStats:
 
 
 @dataclass
+class EpochStats:
+    """Counters for the epoch-pinned run lifecycle (``core.epoch``).
+
+    Queries *pin* an immutable run-list version for their whole lifetime;
+    maintenance *retires* runs it unlinked from the lists and the
+    lifecycle *reclaims* them (cache blocks released, view caches
+    invalidated, shared-storage namespace freed) only once no pin still
+    references them.  ``reclaims_deferred`` counts retirements that had to
+    park behind a live pin; ``reclaimed_while_pinned`` counts reclaim
+    actions that executed while some query still held the run -- the
+    hazard the epoch mode exists to eliminate (it must stay 0 under
+    ``run_lifecycle="epoch"``; the ``"legacy"`` ablation mode reclaims
+    immediately and reports how often it fired under live queries).
+    ``eviction_pin_skips`` counts cache purge/release decisions that were
+    skipped because the target run was pinned.
+
+    Counters are plain ints incremented without a lock where noted (same
+    rationale as :class:`DecodeStats`); the lifecycle increments the
+    pin/retire/reclaim counters under its own mutex.
+    """
+
+    pins_entered: int = 0
+    pins_exited: int = 0
+    versions_published: int = 0
+    runs_retired: int = 0
+    runs_reclaimed: int = 0
+    reclaims_deferred: int = 0
+    reclaimed_while_pinned: int = 0
+    eviction_pin_skips: int = 0
+
+    def snapshot(self) -> "EpochStats":
+        return EpochStats(
+            pins_entered=self.pins_entered,
+            pins_exited=self.pins_exited,
+            versions_published=self.versions_published,
+            runs_retired=self.runs_retired,
+            runs_reclaimed=self.runs_reclaimed,
+            reclaims_deferred=self.reclaims_deferred,
+            reclaimed_while_pinned=self.reclaimed_while_pinned,
+            eviction_pin_skips=self.eviction_pin_skips,
+        )
+
+    def diff(self, earlier: "EpochStats") -> "EpochStats":
+        return EpochStats(
+            pins_entered=self.pins_entered - earlier.pins_entered,
+            pins_exited=self.pins_exited - earlier.pins_exited,
+            versions_published=self.versions_published - earlier.versions_published,
+            runs_retired=self.runs_retired - earlier.runs_retired,
+            runs_reclaimed=self.runs_reclaimed - earlier.runs_reclaimed,
+            reclaims_deferred=self.reclaims_deferred - earlier.reclaims_deferred,
+            reclaimed_while_pinned=(
+                self.reclaimed_while_pinned - earlier.reclaimed_while_pinned
+            ),
+            eviction_pin_skips=self.eviction_pin_skips - earlier.eviction_pin_skips,
+        )
+
+    def reset(self) -> None:
+        self.pins_entered = 0
+        self.pins_exited = 0
+        self.versions_published = 0
+        self.runs_retired = 0
+        self.runs_reclaimed = 0
+        self.reclaims_deferred = 0
+        self.reclaimed_while_pinned = 0
+        self.eviction_pin_skips = 0
+
+
+@dataclass
 class TierStats:
     """Counters for a single storage tier."""
 
@@ -204,6 +272,9 @@ class IOStats:
         self._lock = threading.Lock()
         self._tiers: Dict[str, TierStats] = {}
         self.decode = DecodeStats()
+        # Epoch-pinned run lifecycle counters (see core.epoch): query pins,
+        # atomic version publications, and retire/reclaim progress.
+        self.epochs = EpochStats()
         # Per-intent cache-path counters (see ReadIntent): who read blocks,
         # where the reads were served, and which reads admitted blocks into
         # the SSD cache.
@@ -263,5 +334,6 @@ class IOStats:
         with self._lock:
             self._tiers.clear()
         self.decode.reset()
+        self.epochs.reset()
         for stats in self.intents.values():
             stats.reset()

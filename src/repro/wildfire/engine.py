@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.encoding import KeyValue
@@ -66,6 +66,14 @@ class ShardConfig:
     # supplied hierarchy keeps its owner's policy.  See
     # storage.metrics.ReadIntent and benchmarks/bench_cache_maintenance.py.
     maintenance_read_mode: str = "intent"
+    # Run lifecycle for every index of the shard: "epoch" (default) pins an
+    # immutable run-list version per query and defers physical reclamation
+    # of evolved/merged-away runs until no query pins them -- what makes
+    # `start_daemons` safe for concurrent readers; "legacy" is the
+    # unprotected pre-epoch ablation (see repro.core.epoch and
+    # benchmarks/bench_concurrent_throughput.py).  Overrides the nested
+    # `umzi.run_lifecycle` so one flag governs primary and secondaries.
+    run_lifecycle: str = "epoch"
     # Secondary indexes (name -> spec), maintained in lockstep with the
     # primary through every groom and evolve (paper section 10 future work).
     secondary_indexes: Optional[Dict[str, "IndexSpec"]] = None
@@ -94,11 +102,28 @@ class WildfireShard:
             self.hierarchy, namespace=f"{schema.name}-live-log"
         )
         self.catalog = BlockCatalog(schema, self.hierarchy)
+        # One lifecycle flag governs every index of the shard (primary and
+        # secondaries evolve in lockstep, so their reclamation discipline
+        # must match too).  Refuse a conflicting nested setting rather than
+        # silently stamping over it.
+        if self.config.umzi.run_lifecycle not in (
+            "epoch", self.config.run_lifecycle
+        ):
+            raise ValueError(
+                "ShardConfig.run_lifecycle="
+                f"{self.config.run_lifecycle!r} conflicts with "
+                f"umzi.run_lifecycle={self.config.umzi.run_lifecycle!r}; "
+                "set the shard-level flag (it governs every index of the "
+                "shard)"
+            )
+        umzi_config = replace(
+            self.config.umzi, run_lifecycle=self.config.run_lifecycle
+        )
         self.indexes = ShardIndexes(
             schema,
             index_spec,
             self.hierarchy,
-            self.config.umzi,
+            umzi_config,
             secondary_specs=self.config.secondary_indexes,
             require_primary=self.config.require_primary_index,
         )
@@ -206,6 +231,14 @@ class WildfireShard:
         post-groomer fires every ``config.post_groom_every`` grooms, as in
         the paper's 1s/20s cadence.  ``post_groom_enabled=False`` is the
         Figure 15 ablation (no post-groom, hence no index evolution).
+
+        **Query safety.**  With the default ``run_lifecycle="epoch"`` it is
+        safe to issue point/range/batch queries from any number of threads
+        while the daemons run: each query pins an immutable run-list
+        version, and runs retired by concurrent evolves/merges are only
+        physically reclaimed once no query pins them.  Under
+        ``run_lifecycle="legacy"`` (the ablation) a query can race a
+        reclamation and observe missing blocks.
         """
         if self._daemon_threads:
             raise RuntimeError("daemons already running")
@@ -421,6 +454,7 @@ class WildfireShard:
             "indexed_psn": self.index.indexed_psn,
             "index": self.index.stats(),
             "io": self.hierarchy.stats.snapshot(),
+            "epochs": self.hierarchy.stats.epochs.snapshot(),
         }
 
 

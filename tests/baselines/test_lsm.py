@@ -145,6 +145,79 @@ class TestFixedRIDWeakness:
 
         assert index.rebuild_with_rids(remap) == 2
 
+    def test_raw_rebuild_matches_decoded_rebuild(self):
+        """The raw (sort_key, blob) remap API must produce the same index
+        state as the legacy decoded-entry API."""
+        from repro.core.entry import RID_BYTES, begin_ts_of_sort_key
+
+        def build():
+            index = ClassicLSMIndex(DEF, memtable_limit=4)
+            for k in range(16):
+                index.insert(make_entry(DEF, k, k + 1))
+            index.flush()
+            return index
+
+        def remap_entry(entry):
+            if entry.begin_ts <= 8:
+                return RID(Zone.POST_GROOMED, 100, entry.rid.offset)
+            return None
+
+        def remap_raw(sort_key, blob):
+            if begin_ts_of_sort_key(sort_key) <= 8:
+                old_rid, _ = RID.from_bytes(blob, len(blob) - RID_BYTES)
+                return RID(Zone.POST_GROOMED, 100, old_rid.offset)
+            return None
+
+        decoded = build()
+        raw = build()
+        assert (
+            decoded.rebuild_with_rids(remap_entry)
+            == raw.rebuild_with_rids(remap_raw=remap_raw)
+            == 8
+        )
+        assert raw.entry_count() == decoded.entry_count() == 16
+        for k in range(16):
+            a = decoded.lookup(key_bytes(k))
+            b = raw.lookup(key_bytes(k))
+            assert a.rid == b.rid and a.begin_ts == b.begin_ts
+
+    def test_raw_rebuild_is_zero_decode(self):
+        """Raw rebuild must not materialize any IndexEntry (the last
+        wholesale-decode maintenance site named in ROADMAP)."""
+        index = ClassicLSMIndex(DEF, memtable_limit=4)
+        for k in range(16):
+            index.insert(make_entry(DEF, k, k + 1))
+        index.flush()
+        decode = index.hierarchy.stats.decode
+        before = decode.snapshot()
+        rewritten = index.rebuild_with_rids(
+            remap_raw=lambda sort_key, blob: RID(Zone.POST_GROOMED, 7, 0)
+        )
+        assert rewritten == 16
+        assert decode.diff(before).entry_decodes == 0
+        hit = index.lookup(key_bytes(3))
+        assert hit.rid.zone is Zone.POST_GROOMED
+
+    def test_raw_rebuild_flushes_memtable_first(self):
+        index = ClassicLSMIndex(DEF, memtable_limit=100)
+        for k in range(4):
+            index.insert(make_entry(DEF, k, k + 1))
+        # Nothing flushed yet: the raw path must still cover these rows.
+        assert index.rebuild_with_rids(
+            remap_raw=lambda sk, blob: RID(Zone.POST_GROOMED, 1, 0)
+        ) == 4
+        assert index.entry_count() == 4
+        assert index.lookup(key_bytes(0)).rid.zone is Zone.POST_GROOMED
+
+    def test_rebuild_requires_exactly_one_callback(self):
+        index = ClassicLSMIndex(DEF, memtable_limit=4)
+        with pytest.raises(ValueError):
+            index.rebuild_with_rids()
+        with pytest.raises(ValueError):
+            index.rebuild_with_rids(
+                remap=lambda e: None, remap_raw=lambda sk, b: None
+            )
+
 
 class TestValidation:
     def test_bad_parameters(self):

@@ -6,6 +6,18 @@ from typing import List, Optional, Sequence, Tuple
 
 import pytest
 
+
+def pytest_configure(config):
+    # CI installs pytest-timeout and enforces @pytest.mark.timeout as a
+    # hard per-test limit (the concurrency stress test relies on it so a
+    # livelock cannot hang tier-1).  Locally the plugin may be absent;
+    # register the marker so the suite stays warning-free either way.
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): hard per-test time limit (pytest-timeout in CI)",
+    )
+    config.addinivalue_line("markers", "slow: long-running soak tests")
+
 from repro.core.definition import (
     ColumnSpec,
     ColumnType,

@@ -1,0 +1,422 @@
+"""Unit tests for the epoch-pinned run lifecycle (repro.core.epoch)."""
+
+import gc
+
+import pytest
+
+from repro.core.definition import i1_definition
+from repro.core.entry import Zone
+from repro.core.epoch import RunLifecycle, RunListVersion
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.levels import LevelConfig
+from repro.core.query import RangeScanQuery
+from repro.core.runlist import RunList
+from repro.storage.hierarchy import BlockNotFoundError
+from repro.storage.metrics import EpochStats
+
+from tests.conftest import make_entries, key_of
+
+DEF = i1_definition()
+
+
+def build_index(mode="epoch", runs=4, per_run=10):
+    levels = LevelConfig(groomed_levels=3, post_groomed_levels=2,
+                         max_runs_per_level=8, size_ratio=4)
+    index = UmziIndex(
+        DEF,
+        config=UmziConfig(name=f"ep-{mode}", levels=levels,
+                          data_block_bytes=2048, run_lifecycle=mode),
+    )
+    for gid in range(runs):
+        index.add_groomed_run(
+            make_entries(DEF, range(gid * per_run, (gid + 1) * per_run),
+                         gid * per_run + 1),
+            gid, gid,
+        )
+    return index
+
+
+class FakeRun:
+    """Minimal stand-in: the lifecycle only reads ``run_id``."""
+
+    def __init__(self, run_id):
+        self.run_id = run_id
+
+
+class TestRunLifecycleUnit:
+    def test_retire_unpinned_reclaims_immediately(self):
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats)
+        freed = []
+        lifecycle.retire("r1", lambda: freed.append("r1"))
+        assert freed == ["r1"]
+        assert stats.runs_retired == stats.runs_reclaimed == 1
+        assert stats.reclaims_deferred == 0
+        assert lifecycle.retired_backlog() == 0
+
+    def test_retire_pinned_defers_until_release(self):
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats)
+        run = FakeRun("r1")
+        freed = []
+        pin = lifecycle.pin(lambda: [run])
+        assert lifecycle.is_pinned("r1")
+        lifecycle.retire("r1", lambda: freed.append("r1"))
+        assert freed == []  # parked behind the pin
+        assert stats.reclaims_deferred == 1
+        assert lifecycle.retired_backlog() == 1
+        pin.release()
+        assert freed == ["r1"]
+        assert stats.runs_reclaimed == 1
+        assert stats.reclaimed_while_pinned == 0
+        assert lifecycle.retired_backlog() == 0
+
+    def test_overlapping_pins_block_until_last_exit(self):
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats)
+        run = FakeRun("r1")
+        freed = []
+        pin_a = lifecycle.pin(lambda: [run])
+        pin_b = lifecycle.pin(lambda: [run])
+        lifecycle.retire("r1", lambda: freed.append("r1"))
+        pin_a.release()
+        assert freed == []  # pin_b still holds it
+        pin_b.release()
+        assert freed == ["r1"]
+
+    def test_release_is_idempotent(self):
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats)
+        pin = lifecycle.pin(lambda: [FakeRun("r1")])
+        pin.release()
+        pin.release()
+        assert stats.pins_entered == stats.pins_exited == 1
+
+    def test_pin_after_retire_cannot_resurrect(self):
+        """A pin taken after retirement does not defer the (already
+        executed) reclaim -- retired runs are gone from the published
+        lists, so the new pin simply does not contain them."""
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats)
+        freed = []
+        lifecycle.retire("r1", lambda: freed.append("r1"))
+        pin = lifecycle.pin(lambda: [])  # snapshot no longer holds r1
+        assert freed == ["r1"]
+        pin.release()
+
+    def test_legacy_mode_reclaims_inline_and_counts_hazards(self):
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats, mode="legacy")
+        run = FakeRun("r1")
+        freed = []
+        pin = lifecycle.pin(lambda: [run])
+        assert not lifecycle.is_pinned("r1")  # nothing tracks pins
+        lifecycle.retire("r1", lambda: freed.append("r1"))
+        assert freed == ["r1"]  # freed under a live query: the hazard
+        assert stats.reclaimed_while_pinned == 1
+        pin.release()
+        lifecycle.retire("r2", lambda: freed.append("r2"))
+        assert stats.reclaimed_while_pinned == 1  # no query in flight
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            RunLifecycle(EpochStats(), mode="yolo")
+
+    def test_release_during_gc_parks_and_defers_hook(self):
+        """A release fired while the cyclic collector runs must neither
+        take locks nor run reclaims/hooks inline (the interrupted thread
+        may hold any storage lock); it parks and drains on the next op."""
+        import repro.core.epoch as epoch_mod
+
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats)
+        run = FakeRun("r1")
+        freed, hooked = [], []
+        pin = lifecycle.pin(lambda: [run])
+        lifecycle.retire("r1", lambda: freed.append("r1"))
+        epoch_mod._gc_active.flag = True  # simulate: collector running
+        try:
+            lifecycle.release(pin, after=lambda: hooked.append(1))
+            assert freed == [] and hooked == []  # parked, nothing inline
+            assert lifecycle._pending_releases
+        finally:
+            epoch_mod._gc_active.flag = False
+        # Next lifecycle operation drains: hook runs, reclaim unblocks.
+        other = lifecycle.pin(lambda: [])
+        assert hooked == [1] and freed == ["r1"]
+        other.release()
+        assert stats.pins_entered == stats.pins_exited == 2
+
+    def test_counters_are_monotonic(self):
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats)
+        observed = []
+        for i in range(5):
+            pin = lifecycle.pin(lambda: [FakeRun(f"r{i}")])
+            lifecycle.retire(f"r{i}", lambda: None)
+            pin.release()
+            observed.append((stats.runs_retired, stats.runs_reclaimed))
+        assert observed == sorted(observed)
+        assert observed[-1] == (5, 5)
+
+
+class TestRunListPublication:
+    def test_every_mutation_publishes_a_version(self):
+        index = build_index(runs=0)
+        run_list = index.run_lists[Zone.GROOMED]
+        assert run_list.version == 0
+        index.add_groomed_run(make_entries(DEF, range(5), 1), 0, 0)
+        assert run_list.version == 1
+        version, runs = run_list.published()
+        assert version == 1 and len(runs) == 1
+        assert index.hierarchy.stats.epochs.versions_published >= 1
+
+    def test_snapshot_is_the_published_tuple(self):
+        run_list = RunList("t")
+        assert run_list.snapshot() == []
+        run = FakeRun("a")
+        # RunList only needs run_id on this path.
+        run_list.push_front(run)
+        snap = run_list.snapshot()
+        run_list.remove("a")
+        assert snap == [run]           # old snapshot unaffected
+        assert run_list.snapshot() == []
+
+
+class TestIndexEpochIntegration:
+    def test_evolve_defers_deletion_while_snapshot_pinned(self):
+        index = build_index(runs=4)
+        groomed_before = index.run_lists[Zone.GROOMED].snapshot()
+        assert len(groomed_before) == 4
+        with index.snapshot_view() as view:
+            query = RangeScanQuery(equality_values=(12,))
+            before = view.range_scan(query)
+            assert len(before) == 1
+            # Evolve covers every groomed run: step 3 unlinks them all.
+            entries = make_entries(DEF, range(40), 1, Zone.POST_GROOMED, 100)
+            result = index.evolve(1, entries, 0, 3)
+            assert len(result.collected_run_ids) == 4
+            assert index.run_lists[Zone.GROOMED].snapshot() == []
+            # ... but their blocks must survive while the view pins them.
+            assert index.lifecycle.retired_backlog() == 4
+            for run in groomed_before:
+                for block_id in run.all_block_ids():
+                    index.hierarchy.read(block_id)  # must not raise
+            after = view.range_scan(query)
+            assert [e.rid for e in after] == [e.rid for e in before]
+        # Pin released: the deferred deletions drain.
+        assert index.lifecycle.retired_backlog() == 0
+        with pytest.raises(BlockNotFoundError):
+            index.hierarchy.read(groomed_before[0].data_block_id(0))
+
+    def test_unpinned_evolve_deletes_immediately(self):
+        index = build_index(runs=2)
+        groomed = index.run_lists[Zone.GROOMED].snapshot()
+        entries = make_entries(DEF, range(20), 1, Zone.POST_GROOMED, 100)
+        index.evolve(1, entries, 0, 1)
+        assert index.lifecycle.retired_backlog() == 0
+        with pytest.raises(BlockNotFoundError):
+            index.hierarchy.read(groomed[0].data_block_id(0))
+
+    def test_merge_defers_input_deletion_while_pinned(self):
+        levels = LevelConfig(groomed_levels=3, post_groomed_levels=2,
+                             max_runs_per_level=2, size_ratio=2)
+        index = UmziIndex(
+            DEF, config=UmziConfig(name="ep-mg", levels=levels,
+                                   data_block_bytes=2048),
+        )
+        for gid in range(2):
+            index.add_groomed_run(
+                make_entries(DEF, range(gid * 10, (gid + 1) * 10),
+                             gid * 10 + 1),
+                gid, gid,
+            )
+        inputs = index.run_lists[Zone.GROOMED].snapshot()
+        with index.snapshot_view() as view:
+            results = index.run_maintenance()
+            assert results, "fixture must trigger a merge"
+            assert index.lifecycle.retired_backlog() > 0
+            hits = view.range_scan(RangeScanQuery(equality_values=(3,)))
+            assert len(hits) == 1
+        assert index.lifecycle.retired_backlog() == 0
+        with pytest.raises(BlockNotFoundError):
+            index.hierarchy.read(inputs[0].data_block_id(0))
+
+    def test_snapshot_view_ignores_later_writes(self):
+        index = build_index(runs=2)
+        with index.snapshot_view() as view:
+            missing = RangeScanQuery(equality_values=(25,))
+            assert view.range_scan(missing) == []
+            index.add_groomed_run(make_entries(DEF, range(20, 30), 100), 2, 2)
+            assert view.range_scan(missing) == []          # pinned version
+        assert len(index.scan((25,), (25,), (25,))) == 1    # live index sees it
+
+    def test_query_version_ids_advance_with_publications(self):
+        index = build_index(runs=1)
+        v1 = index._collect_version()
+        index.add_groomed_run(make_entries(DEF, range(10, 20), 20), 1, 1)
+        v2 = index._collect_version()
+        assert isinstance(v1, RunListVersion)
+        assert v2.version_id > v1.version_id
+        assert len(v2.candidates()) == len(v1.candidates()) + 1
+
+    def test_legacy_index_mode_frees_under_live_pin(self):
+        index = build_index(mode="legacy", runs=2)
+        groomed = index.run_lists[Zone.GROOMED].snapshot()
+        with index.snapshot_view():
+            entries = make_entries(DEF, range(20), 1, Zone.POST_GROOMED, 100)
+            index.evolve(1, entries, 0, 1)
+            # Legacy: freed immediately, even though a view is pinned.
+            with pytest.raises(BlockNotFoundError):
+                index.hierarchy.read(groomed[0].data_block_id(0))
+        assert index.hierarchy.stats.epochs.reclaimed_while_pinned > 0
+
+
+class TestCachePinAwareness:
+    def test_purge_skips_pinned_runs(self):
+        index = build_index(runs=2)
+        run = index.run_lists[Zone.GROOMED].snapshot()[0]
+        with index.snapshot_view():
+            assert index.cache.purge_run(run) == 0
+            assert index.hierarchy.stats.epochs.eviction_pin_skips >= 1
+            assert index.cache.is_run_cached(run)
+        # No pins: the purge proceeds.
+        assert index.cache.purge_run(run) > 0
+
+    def test_release_after_query_skips_runs_pinned_by_others(self):
+        index = build_index(runs=2)
+        # Force every groomed level purged so release_after_query would
+        # normally drop the touched blocks.
+        index.cache.set_cache_level(-1)
+        run = index.run_lists[Zone.GROOMED].snapshot()[0]
+        index.cache.load_run(run)
+        with index.snapshot_view():
+            skips_before = index.hierarchy.stats.epochs.eviction_pin_skips
+            index.cache.release_after_query([run])
+            assert (
+                index.hierarchy.stats.epochs.eviction_pin_skips
+                == skips_before + 1
+            )
+            assert index.cache.is_run_cached(run)
+        index.cache.release_after_query([run])
+        assert not index.cache.is_run_cached(run)
+
+
+class TestPurgePassUnderPins:
+    def test_purge_pass_returns_instead_of_spinning_on_pinned_level(self):
+        """Regression: a purge pass whose candidate runs are all pinned
+        must give up and retry later, not busy-loop (purge_run's pin skip
+        used to count as progress) nor falsely decrement the level."""
+        index = build_index(runs=3, per_run=20)
+        runs = index.run_lists[Zone.GROOMED].snapshot()
+        # Bound the SSD so utilization sits above the high watermark.
+        used = index.hierarchy.ssd.used_bytes
+        index.hierarchy.ssd.capacity_bytes = int(used / 0.95)
+        with index.snapshot_view():
+            index.cache.maintain()  # must return promptly, not busy-loop
+            # The pinned runs' blocks all survived the pass.
+            assert all(index.cache.is_run_cached(run) for run in runs)
+            assert index.hierarchy.stats.epochs.eviction_pin_skips > 0
+        # Pins gone: the same pass now makes real progress.
+        index.cache.maintain()
+        assert index.hierarchy.ssd.utilization() < index.cache.high_watermark
+        assert any(not index.cache.is_run_cached(run) for run in runs)
+
+    @pytest.mark.timeout(60)
+    def test_empty_run_does_not_wedge_purge_pass(self):
+        """A zero-data-block persisted run is 'cached' vacuously and purges
+        nothing; the purge pass must not loop on it forever when the SSD
+        stays above the high watermark (header blocks are never purged)."""
+        index = build_index(runs=2, per_run=10)
+        index.add_groomed_run([], 2, 2)  # empty persisted run at level 0
+        # Purge everything once so only header blocks remain, then bound
+        # the capacity so those alone keep utilization above the watermark.
+        for run in index.run_lists[Zone.GROOMED].snapshot():
+            index.cache.purge_run(run)
+        headers_only = index.hierarchy.ssd.used_bytes
+        index.cache.load_run(index.run_lists[Zone.GROOMED].snapshot()[1])
+        index.hierarchy.ssd.capacity_bytes = int(headers_only / 0.9) + 1
+        index.cache.maintain()  # must terminate
+        assert index.hierarchy.ssd.utilization() >= index.cache.high_watermark
+
+
+class TestShardLifecycleConfig:
+    def test_conflicting_nested_run_lifecycle_rejected(self):
+        from repro.core.definition import ColumnSpec
+        from repro.wildfire.engine import ShardConfig, WildfireShard
+        from repro.wildfire.schema import IndexSpec, TableSchema
+
+        schema = TableSchema(
+            name="cfg",
+            columns=(ColumnSpec("a"), ColumnSpec("b"), ColumnSpec("c")),
+            primary_key=("a", "b"),
+            sharding_key=("a",),
+            partition_key=("b",),
+        )
+        spec = IndexSpec(("a",), ("b",), ("c",))
+        with pytest.raises(ValueError, match="run_lifecycle"):
+            WildfireShard(
+                schema, spec,
+                config=ShardConfig(
+                    umzi=UmziConfig(run_lifecycle="legacy")  # shard says epoch
+                ),
+            )
+        # Agreement (or the shard-level flag alone) is fine.
+        shard = WildfireShard(
+            schema, spec, config=ShardConfig(run_lifecycle="legacy")
+        )
+        assert shard.index.lifecycle.mode == "legacy"
+
+
+class TestAbandonedIterators:
+    def test_abandoned_iterator_releases_its_pin(self):
+        """Regression (ISSUE 4 satellite): epoch exit and purged-block
+        release must fire for iterators dropped mid-stream."""
+        index = build_index(runs=3, per_run=10)
+        iterator = index.range_scan_iter(RangeScanQuery(equality_values=(12,)))
+        next(iterator)
+        assert index.lifecycle.pinned_run_ids()  # mid-scan: pinned
+        del iterator
+        gc.collect()
+        assert index.lifecycle.pinned_run_ids() == []
+        stats = index.hierarchy.stats.epochs
+        assert stats.pins_entered == stats.pins_exited
+
+    def test_never_started_iterator_releases_on_gc(self):
+        index = build_index(runs=2)
+        iterator = index.range_scan_iter(RangeScanQuery(equality_values=(3,)))
+        assert index.lifecycle.pinned_run_ids()
+        del iterator
+        gc.collect()
+        assert index.lifecycle.pinned_run_ids() == []
+
+    def test_abandoned_iterator_unblocks_reclamation(self):
+        index = build_index(runs=2)
+        iterator = index.range_scan_iter(RangeScanQuery(equality_values=(3,)))
+        next(iterator)
+        entries = make_entries(DEF, range(20), 1, Zone.POST_GROOMED, 100)
+        index.evolve(1, entries, 0, 1)
+        assert index.lifecycle.retired_backlog() > 0
+        iterator.close()
+        assert index.lifecycle.retired_backlog() == 0
+
+    def test_exhausted_iterator_releases_inline(self):
+        index = build_index(runs=2)
+        list(index.range_scan_iter(RangeScanQuery(equality_values=(3,))))
+        assert index.lifecycle.pinned_run_ids() == []
+
+    def test_abandoned_iterator_releases_purged_blocks(self):
+        """The documented leak: purged blocks pulled in by a scan must be
+        released even when the iterator never runs to completion."""
+        index = build_index(runs=2, per_run=30)
+        index.cache.set_cache_level(-1)  # everything purged
+        runs = index.run_lists[Zone.GROOMED].snapshot()
+        run = next(r for r in runs if r.min_groomed_id == 0)
+        iterator = index.range_scan_iter(RangeScanQuery(equality_values=(5,)))
+        next(iterator)
+        # The scan warmed purged blocks through the QUERY read path.
+        del iterator
+        gc.collect()
+        # finally ran: on_query_done released the transient blocks.
+        assert not index.cache.is_run_cached(run)
+        assert index.lifecycle.pinned_run_ids() == []
