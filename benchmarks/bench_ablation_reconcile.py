@@ -1,9 +1,15 @@
 """Ablation A1: set vs priority-queue reconciliation (paper section 7.1.2).
 
 The paper describes both but does not compare them.  Expectations: both
-return identical results (tested in tests/core/test_query.py); the set
-approach must materialize intermediate results, so the priority-queue
-approach stays competitive as ranges grow.
+return identical results, and both drive exactly the same run-search work
+-- the strategies differ only in reconciliation structure (materialized
+per-key dict vs streaming heap merge).
+
+Assertions are on deterministic simulated counters, never on wall-clock
+ratios: this test used to assert a timing ratio with ``repeat=1`` and
+flaked on busy hosts exactly the way A2 once did (ROADMAP flagged it;
+``tools/check_flaky.py`` now guards the whole benchmark tree against the
+pattern).  Wall time is still *plotted* for the figure.
 """
 
 from repro.bench.ablations import ablation_reconcile_strategies
@@ -13,22 +19,43 @@ from repro.core.query import ReconcileStrategy
 from repro.workloads.generator import KeyMapper, KeyMode
 from repro.workloads.queries import QueryBatchGenerator
 
+SCAN_RANGES = (10, 100, 1_000, 10_000)
+
 
 def test_ablation_reconcile(benchmark, reporter):
     result = ablation_reconcile_strategies(
-        scan_ranges=(10, 100, 1_000, 10_000),
+        scan_ranges=SCAN_RANGES,
         num_runs=10,
         entries_per_run=3_000,
-        repeat=1,
+        repeat=1,  # counter-asserted: wall time is plotted, never asserted
     )
     reporter(result)
 
-    set_ys = result.series_by_label("set").ys()
-    pq_ys = result.series_by_label("priority_queue").ys()
-    # Both must scale with range; neither pathologically worse.
-    for s, p in zip(set_ys, pq_ys):
-        ratio = max(s, p) / max(min(s, p), 1e-12)
-        assert ratio < 6.0, f"strategies diverged {ratio:.1f}x"
+    # Deterministic claim 1: both strategies reconcile to the exact same
+    # answer at every range.
+    for scan_range in SCAN_RANGES:
+        assert result.metrics[f"results_identical_range{scan_range}"] == 1.0
+
+    # Deterministic claim 2: the run-search cost is strategy-independent
+    # -- identical raw sort-key probe counts at every range (reconciling
+    # differently must not change which slices are probed).
+    for scan_range in SCAN_RANGES:
+        set_probes = result.metrics[f"raw_key_probes_set_range{scan_range}"]
+        pq_probes = result.metrics[
+            f"raw_key_probes_priority_queue_range{scan_range}"
+        ]
+        assert set_probes == pq_probes, (
+            f"range {scan_range}: set probed {set_probes}, "
+            f"priority_queue probed {pq_probes}"
+        )
+
+    # Deterministic claim 3: probe counts grow with the scan range (the
+    # scaling the figure visualizes, asserted on the simulated counter).
+    probes_by_range = [
+        result.metrics[f"raw_key_probes_set_range{r}"] for r in SCAN_RANGES
+    ]
+    assert probes_by_range == sorted(probes_by_range)
+    assert probes_by_range[-1] > probes_by_range[0]
 
     # Benchmark the primitive: a large PQ scan.
     definition = i1_definition()

@@ -1,22 +1,31 @@
 """Ablation A11: multi-threaded query throughput under live daemons.
 
-The first *honest* concurrency benchmark of the reproduction: N query
-threads hammer point lookups, range scans and batch lookups while the
-groomer, post-groomer, indexer and per-zone merge daemons run for real
+The honest concurrency benchmark of the reproduction: N query threads
+hammer point lookups, range scans and batch lookups while the groomer,
+post-groomer, indexer and per-zone merge daemons run for real
 (``WildfireShard.start_daemons``) -- the deployment shape of paper
 section 3, not a deterministic tick loop.
 
-Compared modes (``ShardConfig.run_lifecycle``):
+Compared modes (``ShardConfig.run_lifecycle``), three-way since ISSUE 5:
 
-* ``"epoch"`` (default) -- queries pin immutable run-list versions;
-  retired runs are reclaimed only once unpinned.  Acceptance (ISSUE 4):
-  **zero** reclaim-while-pinned events and **zero** query errors, counter-
-  asserted, while maintenance keeps retiring runs underneath.
-* ``"legacy"`` -- the unprotected pre-epoch ablation: reclamation is
+* ``"versionset"`` (default) -- queries pin the current immutable
+  run-list version with a single Ref and release it with a single Unref.
+  Acceptance (ISSUE 5), counter-asserted: **zero** reclaim-while-pinned
+  events, **zero** query errors, and **exactly 2 version-refcount
+  operations per query independent of run count** (the deterministic
+  scaling probe below pins 4-vs-16-run indexes to prove it).
+* ``"epoch"`` -- the PR 4 per-run-refcount ledger, kept as an ablation:
+  identical safety, but every pin entry/exit walks the snapshot --
+  ``2 * runs`` refcount updates per query (``EpochStats.run_ref_ops``),
+  O(runs) growth the scaling probe counter-asserts on the same workload.
+* ``"legacy"`` -- the unprotected pre-lifecycle ablation: reclamation is
   inline, and the ``reclaimed_while_pinned`` counter records every free
-  that raced an in-flight query (each one a potential missing-block read;
-  any errors queries do hit are tolerated and *counted* instead of
+  that raced an in-flight query (each one a potential missing-block
+  read; any errors queries do hit are tolerated and *counted* instead of
   crashing the harness).
+
+All acceptance assertions are on deterministic counters -- never on
+wall-clock ratios (see ``tools/check_flaky.py``).
 
 Set ``UMZI_BENCH_SMOKE=1`` for the CI-sized fixture.
 """
@@ -26,18 +35,23 @@ import random
 import threading
 import time
 
+from repro.bench.fixtures import entries_for_keys
 from repro.bench.harness import ExperimentResult, Series
-from repro.core.definition import ColumnSpec
-from repro.core.index import UmziConfig
+from repro.core.definition import ColumnSpec, i1_definition
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.levels import LevelConfig
 from repro.wildfire.engine import ShardConfig, WildfireShard
 from repro.wildfire.schema import IndexSpec, TableSchema
 
 _SMOKE = os.environ.get("UMZI_BENCH_SMOKE") == "1"
+MODES = ("versionset", "epoch", "legacy")
 THREAD_COUNTS = (2,) if _SMOKE else (1, 2, 4)
 DURATION_S = 0.25 if _SMOKE else 0.8
 BASELINE_DEVICES = 4
 BASELINE_MSGS = 16
 GROOM_INTERVAL_S = 0.002
+SCALING_RUN_COUNTS = (4, 16)
+SCALING_QUERIES = 50
 
 
 def _make_shard(mode: str) -> WildfireShard:
@@ -104,6 +118,7 @@ def _query_worker(shard, seed, stop, counters, lock):
 def _run_mode(mode: str, num_threads: int):
     shard = _make_shard(mode)
     epochs = shard.hierarchy.stats.epochs
+    before = epochs.snapshot()
     stop = threading.Event()
     counters = {"ops": 0, "errors": 0}
     lock = threading.Lock()
@@ -138,21 +153,62 @@ def _run_mode(mode: str, num_threads: int):
         for w in workers:
             w.join(timeout=10.0)
         shard.stop_daemons()
+    # Drain any release a GC finalizer may have parked, so the refcount
+    # deltas below are settled.
+    shard.index.lifecycle.pinned_run_ids()
+    delta = epochs.diff(before)
     return {
         "ops_per_s": counters["ops"] / elapsed,
+        "ops": counters["ops"],
         "errors": counters["errors"],
-        "runs_retired": epochs.runs_retired,
-        "runs_reclaimed": epochs.runs_reclaimed,
-        "reclaims_deferred": epochs.reclaims_deferred,
-        "reclaimed_while_pinned": epochs.reclaimed_while_pinned,
+        "runs_retired": delta.runs_retired,
+        "runs_reclaimed": delta.runs_reclaimed,
+        "reclaims_deferred": delta.reclaims_deferred,
+        "reclaimed_while_pinned": delta.reclaimed_while_pinned,
+        "version_refs": delta.version_refs,
+        "version_unrefs": delta.version_unrefs,
+        "versions_reclaimed": delta.versions_reclaimed,
+        "run_ref_ops": delta.run_ref_ops,
     }
+
+
+def _refcount_scaling(mode: str, num_runs: int) -> float:
+    """Deterministic probe: refcount operations per query at ``num_runs``.
+
+    Single-threaded, fixed fixture, no daemons -- the counter is exact:
+    versionset pays 2 version ops per query at any run count; epoch pays
+    ``2 * num_runs`` per-run ledger updates.
+    """
+    definition = i1_definition()
+    levels = LevelConfig(groomed_levels=3, post_groomed_levels=2,
+                         max_runs_per_level=num_runs * 2, size_ratio=4)
+    index = UmziIndex(
+        definition,
+        config=UmziConfig(name=f"a11-{mode}-{num_runs}", levels=levels,
+                          data_block_bytes=2048, run_lifecycle=mode),
+    )
+    for gid in range(num_runs):
+        index.add_groomed_run(
+            entries_for_keys(definition, list(range(gid * 10, (gid + 1) * 10)),
+                             ts_start=gid * 10 + 1, block_id=gid),
+            gid, gid,
+        )
+    epochs = index.hierarchy.stats.epochs
+    before = epochs.snapshot()
+    for k in range(SCALING_QUERIES):
+        index.lookup((k,), (k,))
+    delta = epochs.diff(before)
+    total_ops = (
+        delta.version_refs + delta.version_unrefs + delta.run_ref_ops
+    )
+    return total_ops / SCALING_QUERIES
 
 
 def test_concurrent_throughput(benchmark, reporter):
     series = []
     metrics = {}
     outcomes = {}
-    for mode in ("epoch", "legacy"):
+    for mode in MODES:
         line = Series(f"{mode} mode (queries/s)")
         for n in THREAD_COUNTS:
             outcome = _run_mode(mode, n)
@@ -167,32 +223,69 @@ def test_concurrent_throughput(benchmark, reporter):
         metrics[f"reclaimed_while_pinned_{mode}"] = float(
             top["reclaimed_while_pinned"]
         )
+    metrics["versions_reclaimed_versionset"] = float(
+        outcomes[("versionset", THREAD_COUNTS[-1])]["versions_reclaimed"]
+    )
+
+    # Deterministic pin-cost scaling: refcount operations per query as the
+    # run count grows (versionset flat at 2; epoch linear at 2 * runs).
+    scaling_series = []
+    for mode in ("versionset", "epoch"):
+        line = Series(f"{mode} refcount ops/query")
+        for num_runs in SCALING_RUN_COUNTS:
+            per_query = _refcount_scaling(mode, num_runs)
+            line.add(num_runs, per_query)
+            metrics[f"refcount_ops_per_query_{mode}_runs{num_runs}"] = (
+                per_query
+            )
+        scaling_series.append(line)
+    series.extend(scaling_series)
 
     result = ExperimentResult(
         figure="Ablation A11",
         title="Concurrent query throughput under live daemons",
-        x_label="query threads",
-        y_label="queries/s (sustained)",
+        x_label="query threads (throughput) / runs (refcount scaling)",
+        y_label="queries/s (sustained) / refcount ops per query",
         series=series,
         notes=f"{DURATION_S}s windows, groom every {GROOM_INTERVAL_S}s, "
-              "post-groom every 2 grooms; epoch vs legacy run lifecycle",
+              "post-groom every 2 grooms; versionset vs epoch vs legacy "
+              "run lifecycle; refcount scaling probed deterministically "
+              f"at {SCALING_RUN_COUNTS} runs",
         metrics=metrics,
     )
     reporter(result, slug="concurrent_throughput")
 
-    # Acceptance (ISSUE 4), counter-asserted on every epoch window: the
-    # epoch lifecycle sustains concurrent queries with ZERO reclaim-while-
-    # pinned events and zero query errors while maintenance keeps retiring
-    # runs underneath.
-    for n in THREAD_COUNTS:
-        outcome = outcomes[("epoch", n)]
-        assert outcome["reclaimed_while_pinned"] == 0, outcome
-        assert outcome["errors"] == 0, outcome
-        assert outcome["ops_per_s"] > 0, outcome
-        assert outcome["runs_retired"] > 0, (
-            "fixture must actually retire runs under the queries"
-        )
-        assert outcome["runs_reclaimed"] <= outcome["runs_retired"]
+    # Acceptance (ISSUE 5), counter-asserted on every protected-mode
+    # window: both protected lifecycles sustain concurrent queries with
+    # ZERO reclaim-while-pinned events and zero query errors while
+    # maintenance keeps retiring runs underneath.
+    for mode in ("versionset", "epoch"):
+        for n in THREAD_COUNTS:
+            outcome = outcomes[(mode, n)]
+            assert outcome["reclaimed_while_pinned"] == 0, outcome
+            assert outcome["errors"] == 0, outcome
+            assert outcome["ops_per_s"] > 0, outcome
+            assert outcome["runs_retired"] > 0, (
+                "fixture must actually retire runs under the queries"
+            )
+            assert outcome["runs_reclaimed"] <= outcome["runs_retired"]
 
-    # Benchmark hook: one epoch-mode window at the top thread count.
-    benchmark(lambda: _run_mode("epoch", THREAD_COUNTS[-1]))
+    # Versionset pin cost under the real concurrent workload: exactly one
+    # Ref and one Unref per worker query -- 2 refcount ops each -- no
+    # matter how many runs the daemons piled up.  (The post-groomer's
+    # zone-restricted lookups use the per-run ledger, not these counters.)
+    for n in THREAD_COUNTS:
+        outcome = outcomes[("versionset", n)]
+        assert outcome["version_refs"] == outcome["ops"], outcome
+        assert outcome["version_unrefs"] == outcome["ops"], outcome
+
+    # The deterministic scaling probe: versionset is exactly 2 ops/query
+    # at every run count; epoch pays 2 * runs, i.e. O(runs) growth.
+    for num_runs in SCALING_RUN_COUNTS:
+        assert metrics[f"refcount_ops_per_query_versionset_runs{num_runs}"] \
+            == 2.0
+        assert metrics[f"refcount_ops_per_query_epoch_runs{num_runs}"] \
+            == 2.0 * num_runs
+
+    # Benchmark hook: one versionset-mode window at the top thread count.
+    benchmark(lambda: _run_mode("versionset", THREAD_COUNTS[-1]))

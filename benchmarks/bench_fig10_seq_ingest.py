@@ -28,7 +28,7 @@ def test_fig10_sequential_ingest(benchmark, reporter):
     fig_a, fig_b, fig_c = fig10_sequential_ingest(
         batch_sizes=BATCH_SIZES, run_counts=RUN_COUNTS,
         scan_ranges=SCAN_RANGES, num_runs=NUM_RUNS,
-        entries_per_run=ENTRIES_PER_RUN, repeat=1,
+        entries_per_run=ENTRIES_PER_RUN, repeat=1,  # wallclock-shape-ok: ordering/shape bounds with >=1.2x slack
     )
     for result in (fig_a, fig_b, fig_c):
         reporter(result)

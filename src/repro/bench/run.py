@@ -36,26 +36,26 @@ def _figure_runners(quick: bool) -> Dict[str, Callable[[], List[ExperimentResult
 
     return {
         "8": lambda: _flatten(
-            experiments.fig08_build(sizes=sizes((1_000, 5_000, 20_000)), repeat=1)
+            experiments.fig08_build(sizes=sizes((1_000, 5_000, 20_000)), repeat=1)  # plot-only
         ),
         "9": lambda: _flatten(
             experiments.fig09_single_run(
                 sizes=sizes((1_000, 5_000, 20_000)),
-                batch_size=200 if quick else 500, repeat=1,
+                batch_size=200 if quick else 500, repeat=1,  # plot-only
             )
         ),
         "10": lambda: _flatten(
             experiments.fig10_sequential_ingest(
                 num_runs=10 if quick else 20,
                 entries_per_run=1_000 if quick else 3_000,
-                repeat=1,
+                repeat=1,  # plot-only
             )
         ),
         "11": lambda: _flatten(
             experiments.fig11_random_ingest(
                 num_runs=10 if quick else 20,
                 entries_per_run=1_000 if quick else 3_000,
-                repeat=1,
+                repeat=1,  # plot-only
             )
         ),
         "12": lambda: _flatten(
@@ -94,13 +94,13 @@ def _ablation_runners(quick: bool) -> Dict[str, Callable[[], List[ExperimentResu
         "A1": lambda: _flatten(
             ablations.ablation_reconcile_strategies(
                 num_runs=6 if quick else 10,
-                entries_per_run=1_000 if quick else 5_000, repeat=1,
+                entries_per_run=1_000 if quick else 5_000, repeat=1,  # plot-only
             )
         ),
         "A2": lambda: _flatten(
             ablations.ablation_offset_array(
                 run_sizes=(1_000, 10_000) if quick else (1_000, 10_000, 50_000),
-                repeat=1,
+                repeat=1,  # plot-only
             )
         ),
         "A3": lambda: _flatten(
@@ -111,7 +111,7 @@ def _ablation_runners(quick: bool) -> Dict[str, Callable[[], List[ExperimentResu
         ),
         "A4": lambda: _flatten(
             ablations.ablation_unified_vs_divided(
-                num_keys=4_000 if quick else 20_000, repeat=1
+                num_keys=4_000 if quick else 20_000, repeat=1,  # plot-only
             )
         ),
         "A5": lambda: _flatten(

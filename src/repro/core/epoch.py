@@ -1,4 +1,4 @@
-"""Epoch-pinned run lifecycle: safe reclamation under live queries.
+"""Version-set run lifecycle: safe reclamation under live queries.
 
 The paper runs grooming, post-grooming, evolution and merging *concurrently*
 with lock-free queries over one multi-zone index.  Unlinking a run from a
@@ -9,30 +9,38 @@ data blocks are freed from shared storage and every local tier.  A query
 that snapshotted the lists a microsecond earlier still holds handles to
 those runs and will fault (``BlockNotFoundError``) when it reaches them.
 
-This module closes that race with the classic epoch-based-reclamation
-design LSM engines use (the LevelDB/RocksDB version-set lineage):
+This module closes that race with deferred reclamation in one of three
+modes (``RunLifecycle(mode=...)``):
 
-* a query **pins** an immutable :class:`RunListVersion` for its whole
-  lifetime (entering an epoch);
-* maintenance publishes new versions atomically and **retires** unlinked
-  runs into a deferred-reclamation list instead of freeing them inline;
-* retired runs are **reclaimed** -- cache blocks released, decoded-view
-  caches invalidated, shared-storage namespaces deleted -- only once no
-  live pin references them.
+* ``"versionset"`` (default) -- the LevelDB/RocksDB version-set design.
+  Every run-list publication builds one immutable :class:`RunListVersion`
+  node carrying a refcount and a link to its predecessor; a query pins the
+  *current* node with a single Ref and releases it with a single Unref --
+  **O(1) per query, independent of run count** (the countable invariant:
+  exactly two refcount operations per query, ``EpochStats.version_refs``
+  + ``version_unrefs``).  Retirement walks the live-version chain and
+  physically frees a run only once no live version contains it; an
+  obsolete version dies (``versions_reclaimed``) when its last reader
+  unrefs it, unblocking the runs only it still covered.
+* ``"epoch"`` -- the PR 4 design, kept as an ablation: the pin ledger is a
+  per-run refcount (exact, strictly stronger than version granularity),
+  but every pin entry/exit takes the lifecycle mutex and walks the whole
+  snapshot -- O(runs) refcount updates per query, counted by
+  ``EpochStats.run_ref_ops``.
+* ``"legacy"`` -- the unprotected pre-lifecycle behaviour: retirement
+  reclaims immediately, and an (unprotected) in-flight query counter
+  records how often that freed storage under a live query
+  (``EpochStats.reclaimed_while_pinned`` -- the hazard rate
+  ``benchmarks/bench_concurrent_throughput.py`` quantifies).
 
-The pin ledger is a per-run refcount (exact, strictly stronger than epoch
-granularity: a run is reclaimable the moment its last reader exits, not
-when a whole epoch drains).  Publication order makes the check sound: a
-run is always unlinked from its list *before* it is retired, and pinning
-snapshots the published lists under the lifecycle mutex, so a pin either
-registered the run before the retire check (deferral) or can no longer
-see it at all.
-
-``mode="legacy"`` preserves the pre-epoch behaviour as the ablation
-baseline: retirement reclaims immediately, and an (unprotected) in-flight
-query counter records how often that freed storage under a live query
-(``EpochStats.reclaimed_while_pinned`` -- the hazard rate the benchmark
-``benchmarks/bench_concurrent_throughput.py`` quantifies).
+Publication order makes every protected mode sound: a run is always
+unlinked from its lists (one atomic tuple publication) *before* it is
+retired, so a pin either captured the run before the retire check
+(deferral) or can no longer see it at all.  Ad-hoc collectors that return
+a plain run sequence rather than the index's composed version (the
+post-groomer's zone-restricted lookup, unit-test stubs) fall back to the
+per-run ledger even in versionset mode -- their snapshot is not a
+published version, so it cannot be covered by the version chain.
 """
 
 from __future__ import annotations
@@ -46,7 +54,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 from repro.core.run import IndexRun
 from repro.storage.metrics import EpochStats
 
-RUN_LIFECYCLE_MODES = ("epoch", "legacy")
+RUN_LIFECYCLE_MODES = ("versionset", "epoch", "legacy")
 
 # Cyclic-GC detection for finalizer-safe releases.  The collector can run
 # at any allocation -- including one made while the current thread holds a
@@ -94,26 +102,60 @@ class RunListVersion:
         return list(self.groomed) + list(self.post_groomed)
 
 
+class _VersionNode:
+    """One live entry of the version chain (versionset mode only).
+
+    Wraps the immutable :class:`RunListVersion` with the mutable lifecycle
+    state the reclamation walk needs: the refcount (one implicit ref while
+    the node is *current*, plus one per pinned query) and the precomputed
+    candidate tuple and run-id set.  The chain itself is the lifecycle's
+    ``_versions`` list (oldest to newest); a dead node holds no link back
+    into it, so superseded versions -- and the run objects only they
+    referenced -- become collectable the moment they are removed.
+    ``seq`` is the lifecycle publication sequence the node was built at
+    -- the staleness check is one int compare.
+    """
+
+    __slots__ = ("version", "runs", "run_ids", "refs", "seq")
+
+    def __init__(
+        self,
+        version: Optional[RunListVersion],
+        runs: Tuple[IndexRun, ...],
+        seq: int,
+    ) -> None:
+        self.version = version
+        self.runs = runs
+        self.run_ids = frozenset(run.run_id for run in runs)
+        self.refs = 1  # the implicit "current version" reference
+        self.seq = seq
+
+
 class QueryPin:
     """A query's membership in an epoch: holds one pinned run snapshot.
 
-    Released exactly once, by :meth:`RunLifecycle.release` (normally from
-    the query executor's ``finally``); ``__del__`` is a backstop so a pin
-    captured by a generator that is created but never iterated still exits
-    its epoch when the generator is garbage-collected.
+    In versionset mode the pin holds a :class:`_VersionNode` reference
+    (one Ref); in epoch mode it holds per-run refcounts.  Released exactly
+    once, by :meth:`RunLifecycle.release` (normally from the query
+    executor's ``finally``); ``__del__`` is a backstop so a pin captured
+    by a generator that is created but never iterated still exits its
+    epoch when the generator is garbage-collected.
     """
 
-    __slots__ = ("version", "runs", "_lifecycle", "_released", "__weakref__")
+    __slots__ = ("version", "runs", "_lifecycle", "_node", "_released",
+                 "__weakref__")
 
     def __init__(
         self,
         lifecycle: "RunLifecycle",
         version: Optional[RunListVersion],
         runs: Tuple[IndexRun, ...],
+        node: Optional[_VersionNode] = None,
     ) -> None:
         self.version = version
         self.runs = runs
         self._lifecycle = lifecycle
+        self._node = node
         self._released = False
 
     @property
@@ -149,20 +191,26 @@ class _RetiredRun:
 class RunLifecycle:
     """Pin/retire/reclaim coordinator for one index instance.
 
-    * Queries call :meth:`pin` with a collector callback; the collector
-      runs under the lifecycle mutex so the snapshot it takes and the pin
-      registration are one atomic step with respect to :meth:`retire`.
+    * Queries call :meth:`pin` with a collector callback.  In versionset
+      mode, when the collector is the one registered via
+      :meth:`attach_collector` (the index's composed-version collector),
+      the pin is a single Ref on the current version node -- O(1); other
+      collectors run under the lifecycle mutex on the per-run ledger so
+      the snapshot they take and the pin registration stay one atomic
+      step with respect to :meth:`retire`.
     * Maintenance calls :meth:`retire` *after* atomically unlinking the run
-      from its list; the reclaim action executes immediately when nothing
-      pins the run, and is parked otherwise, draining on pin release.
+      from its list; the reclaim action executes immediately when no live
+      version (and no per-run pin) covers the run, and is parked
+      otherwise, draining when the covering version dies.
     * The cache manager consults :meth:`is_pinned` before evicting.
 
     All counters land on the shared :class:`EpochStats` ledger
     (``IOStats.epochs``), so benchmarks can counter-assert "zero
-    reclaim-while-pinned events" the same way they assert I/O costs.
+    reclaim-while-pinned events" and "exactly two refcount operations per
+    query" the same way they assert I/O costs.
     """
 
-    def __init__(self, stats: EpochStats, mode: str = "epoch") -> None:
+    def __init__(self, stats: EpochStats, mode: str = "versionset") -> None:
         if mode not in RUN_LIFECYCLE_MODES:
             raise ValueError(
                 f"run_lifecycle must be one of {RUN_LIFECYCLE_MODES}; "
@@ -179,8 +227,15 @@ class RunLifecycle:
         # (see `_pending_releases`).
         self._owner: Optional[int] = None
         self._version_seq = 0
-        # run_id -> number of live pins whose snapshot contains the run.
+        # run_id -> number of live pins whose snapshot contains the run
+        # (epoch mode; versionset fallback for ad-hoc collectors).
         self._pin_counts: Dict[str, int] = {}
+        # Versionset mode: the registered composed-version collector, the
+        # current version node, and the live chain (oldest -> newest; a
+        # node is live while it is current or some query still refs it).
+        self._collector: Optional[Callable[[], RunListVersion]] = None
+        self._current: Optional[_VersionNode] = None
+        self._versions: List[_VersionNode] = []
         self._retired: List[_RetiredRun] = []
         # Releases parked by a finalizer (cyclic GC, or re-entering this
         # thread's own locked section), together with their deferred
@@ -212,12 +267,80 @@ class RunLifecycle:
 
     # -- version publication -----------------------------------------------------
 
+    def attach_collector(
+        self, collect: Callable[[], RunListVersion]
+    ) -> None:
+        """Register the index's composed-version collector (versionset).
+
+        The collector composes the published run-list tuples plus the
+        watermark into one :class:`RunListVersion` (see
+        :meth:`repro.core.index.UmziIndex._collect_version`).  It is
+        invoked under the lifecycle mutex at every publication to rebuild
+        the current version node, so it must not take locks -- the run
+        lists' ``snapshot()``/``published()`` reads are lock-free by
+        design.  Pins whose ``collect`` argument equals the registered
+        collector take the O(1) version-Ref path.
+        """
+        self._collector = collect
+
     def note_publish(self) -> int:
-        """Record one atomic run-list publication; returns the sequence."""
+        """Record one atomic run-list publication; returns the sequence.
+
+        In versionset mode this is where the maintenance side pays the
+        O(runs) cost the query side no longer does: the publication
+        eagerly rebuilds the current version node (candidate tuple +
+        run-id set), hands it the implicit "current" reference, and drops
+        the predecessor's -- which may kill the predecessor and unblock
+        runs only it still covered.
+
+        Deliberately **no** reclaim actions, parked releases, or release
+        hooks execute here: ``note_publish`` is invoked from
+        ``RunList._publish_locked``, i.e. while the caller still holds
+        the run list's mutation lock, and storage-tier frees must never
+        serialize run-list mutations (nor risk re-entering a list a hook
+        might touch).  Anything a dying predecessor unblocks stays parked
+        in ``_retired``/``_pending_releases`` and drains on the next
+        lifecycle operation that runs unlocked (the retire that follows
+        every unlink, a pin, a release, or a backlog probe).
+        """
         with self._locked():
             self._version_seq += 1
             self.stats.versions_published += 1
-            return self._version_seq
+            seq = self._version_seq
+            if self.mode == "versionset" and self._collector is not None:
+                self._rebuild_current_locked()
+        return seq
+
+    def _rebuild_current_locked(self) -> _VersionNode:
+        """Install a fresh current version node from the collector."""
+        version = self._collector()
+        runs: Tuple[IndexRun, ...]
+        if isinstance(version, RunListVersion):
+            runs = tuple(version.candidates())
+        else:  # a collector may return a bare sequence (tests)
+            version, runs = None, tuple(version)
+        node = _VersionNode(version, runs, self._version_seq)
+        self._versions.append(node)
+        old, self._current = self._current, node
+        if old is not None:
+            old.refs -= 1  # drop the implicit "current" reference
+            if old.refs == 0:
+                self._kill_node_locked(old)
+        return node
+
+    def _kill_node_locked(self, node: _VersionNode) -> None:
+        """Drop a dead version from the live chain (bookkeeping only --
+        never runs reclaim actions; callers drain those where safe)."""
+        self._versions.remove(node)
+        self.stats.versions_reclaimed += 1
+
+    def _current_node_locked(self) -> _VersionNode:
+        """The fresh current node, rebuilding if a publication was missed
+        (collector attached after publications, e.g. recovery rewires)."""
+        node = self._current
+        if node is None or node.seq != self._version_seq:
+            node = self._rebuild_current_locked()
+        return node
 
     @property
     def version_seq(self) -> int:
@@ -232,23 +355,45 @@ class RunLifecycle:
         """Enter an epoch: snapshot via ``collect`` and pin every run in it.
 
         ``collect`` may return a :class:`RunListVersion` (the index facade
-        does) or a plain newest-first run sequence (ad-hoc executors).  In
-        epoch mode it runs under the lifecycle mutex, making snapshot +
-        registration atomic against :meth:`retire`.
+        does) or a plain newest-first run sequence (ad-hoc executors).
+
+        In versionset mode, when ``collect`` is the registered collector,
+        the pin never calls it: the current version node -- rebuilt at the
+        last publication from the very same collector -- *is* the
+        snapshot, and pinning is one refcount increment under the mutex
+        (``EpochStats.version_refs``), with no per-run loop.  Ad-hoc
+        collectors (whose snapshot is not a published version and so
+        cannot ride the version chain) fall back to the per-run ledger.
+        In epoch mode every pin walks the snapshot on the per-run ledger
+        -- O(runs) updates, counted by ``EpochStats.run_ref_ops``.
+        Either way, snapshot + registration are atomic against
+        :meth:`retire`.
         """
         if self.mode == "legacy":
             self._inflight += 1  # unprotected on purpose (the ablation)
             self.stats.pins_entered += 1
             return QueryPin(self, *self._unpack(collect()))
+        use_version = (
+            self.mode == "versionset"
+            and self._collector is not None
+            and collect == self._collector
+        )
         with self._locked():
             hooks = self._drain_pending_locked()
-            version, runs = self._unpack(collect())
-            for run in runs:
-                self._pin_counts[run.run_id] = (
-                    self._pin_counts.get(run.run_id, 0) + 1
-                )
+            if use_version:
+                node = self._current_node_locked()
+                node.refs += 1
+                self.stats.version_refs += 1
+                pin = QueryPin(self, node.version, node.runs, node=node)
+            else:
+                version, runs = self._unpack(collect())
+                for run in runs:
+                    self._pin_counts[run.run_id] = (
+                        self._pin_counts.get(run.run_id, 0) + 1
+                    )
+                self.stats.run_ref_ops += len(runs)
+                pin = QueryPin(self, version, runs)
             self.stats.pins_entered += 1
-            pin = QueryPin(self, version, runs)
             ready = self._drain_locked()
         self._run_hooks(hooks)
         self._reclaim(ready)
@@ -298,20 +443,32 @@ class RunLifecycle:
         ready: List[_RetiredRun] = []
         with self._locked():
             hooks = self._drain_pending_locked()
-            self._release_counts_locked(pin)
+            self._release_pin_locked(pin)
             ready = self._drain_locked()
         self._run_hooks(hooks)
         self._reclaim(ready)
         if after is not None:
             after()
 
-    def _release_counts_locked(self, pin: QueryPin) -> None:
-        for run in pin.runs:
-            count = self._pin_counts.get(run.run_id, 0) - 1
-            if count > 0:
-                self._pin_counts[run.run_id] = count
-            else:
-                self._pin_counts.pop(run.run_id, None)
+    def _release_pin_locked(self, pin: QueryPin) -> None:
+        node = pin._node
+        if node is not None:
+            # Versionset: a single Unref.  A superseded version whose last
+            # reader just left dies here, even when the Unrefs arrive out
+            # of publication order (a long-lived scan may outlive many
+            # newer versions).
+            node.refs -= 1
+            self.stats.version_unrefs += 1
+            if node.refs == 0 and node is not self._current:
+                self._kill_node_locked(node)
+        else:
+            for run in pin.runs:
+                count = self._pin_counts.get(run.run_id, 0) - 1
+                if count > 0:
+                    self._pin_counts[run.run_id] = count
+                else:
+                    self._pin_counts.pop(run.run_id, None)
+            self.stats.run_ref_ops += len(pin.runs)
         self.stats.pins_exited += 1
 
     def _drain_pending_locked(self) -> List[Callable[[], None]]:
@@ -323,7 +480,7 @@ class RunLifecycle:
         hooks: List[Callable[[], None]] = []
         while self._pending_releases:
             parked, after = self._pending_releases.pop()
-            self._release_counts_locked(parked)
+            self._release_pin_locked(parked)
             if after is not None:
                 hooks.append(after)
         return hooks
@@ -339,9 +496,10 @@ class RunLifecycle:
         """Hand an unlinked run's free action to the lifecycle.
 
         Must be called only *after* the run has been atomically removed
-        from every published run list (so no new pin can acquire it).
-        Reclaims inline when unpinned; parks behind the live pins
-        otherwise.
+        from every published run list (so no new pin can acquire it; in
+        versionset mode the removal's publication already rebuilt the
+        current node without it).  Reclaims inline when no live version
+        or per-run pin covers the run; parks behind them otherwise.
         """
         if self.mode == "legacy":
             # The pre-epoch behaviour: free immediately, queries be damned.
@@ -355,9 +513,14 @@ class RunLifecycle:
         ready: List[_RetiredRun] = []
         with self._locked():
             hooks = self._drain_pending_locked()
+            if self.mode == "versionset" and self._collector is not None:
+                # Maintenance-side refresh: make sure the current node
+                # reflects the unlink that preceded this retire (O(runs),
+                # but on the maintenance thread, never under a query pin).
+                self._current_node_locked()
             ready = self._drain_locked()
             self.stats.runs_retired += 1
-            if self._pin_counts.get(run_id, 0) > 0:
+            if self._covered_locked(run_id):
                 self.stats.reclaims_deferred += 1
                 self._retired.append(_RetiredRun(run_id, reclaim))
             else:
@@ -365,27 +528,43 @@ class RunLifecycle:
         self._run_hooks(hooks)
         self._reclaim(ready)
         if inline:
-            # No pin held the run at the (locked) check, and none can
-            # appear: the run is gone from every published list.  Free
-            # outside the mutex so storage-tier work never serializes pin
-            # entry/exit.
+            # Nothing covered the run at the (locked) check, and nothing
+            # can start to: the run is gone from every published list and
+            # every future version.  Free outside the mutex so
+            # storage-tier work never serializes pin entry/exit.
             reclaim()
             self.stats.runs_reclaimed += 1
 
+    def _covered_locked(self, run_id: str) -> bool:
+        """Is the run reachable from any live version or per-run pin?
+
+        The versionset reclamation rule: walk the live-version chain (the
+        current node plus every superseded node some query still refs)
+        and the per-run ledger; a retired run stays parked while either
+        covers it.  In epoch mode only the per-run ledger exists.
+        """
+        if self._pin_counts.get(run_id, 0) > 0:
+            return True
+        if self.mode == "versionset":
+            for node in self._versions:
+                if run_id in node.run_ids:
+                    return True
+        return False
+
     def _drain_locked(self) -> List[_RetiredRun]:
-        """Pop every retired run whose last pin just went away."""
+        """Pop every retired run no live version or pin covers anymore."""
         if not self._retired:
             return []
         ready = [
             item
             for item in self._retired
-            if self._pin_counts.get(item.run_id, 0) == 0
+            if not self._covered_locked(item.run_id)
         ]
         if ready:
             self._retired = [
                 item
                 for item in self._retired
-                if self._pin_counts.get(item.run_id, 0) > 0
+                if self._covered_locked(item.run_id)
             ]
         return ready
 
@@ -397,10 +576,15 @@ class RunLifecycle:
     # -- inspection --------------------------------------------------------------
 
     def is_pinned(self, run_id: str) -> bool:
-        """Is the run referenced by any live pin right now?
+        """Is the run referenced by any live *query* pin right now?
 
-        In legacy mode always ``False``: nothing tracks per-run pins, which
-        is precisely the ablation's hazard.
+        Used by cache eviction: a run is protected while some in-flight
+        query may still read its blocks.  In versionset mode the current
+        node's implicit reference does **not** count -- every live run is
+        in the current version, and eviction of unread runs must stay
+        possible -- only versions a query actually refs protect their
+        runs.  In legacy mode always ``False``: nothing tracks pins,
+        which is precisely the ablation's hazard.
         """
         if self.mode == "legacy":
             return False
@@ -409,14 +593,37 @@ class RunLifecycle:
             # passes, which must not execute drained release hooks.  A
             # parked (not yet drained) release just keeps the run looking
             # pinned a little longer -- the safe direction.
-            return self._pin_counts.get(run_id, 0) > 0
+            if self._pin_counts.get(run_id, 0) > 0:
+                return True
+            for node in self._versions:
+                if self._query_refs_locked(node) > 0 and run_id in node.run_ids:
+                    return True
+            return False
+
+    def _query_refs_locked(self, node: _VersionNode) -> int:
+        """Refs held by queries (the implicit current ref excluded)."""
+        return node.refs - (1 if node is self._current else 0)
 
     def pinned_run_ids(self) -> List[str]:
         with self._locked():
             hooks = self._drain_pending_locked()
-            ids = sorted(self._pin_counts)
+            ids = set(self._pin_counts)
+            for node in self._versions:
+                if self._query_refs_locked(node) > 0:
+                    ids.update(node.run_ids)
+            ids = sorted(ids)
         self._run_hooks(hooks)  # cache-release hooks; do not alter pins
         return ids
+
+    def live_version_count(self) -> int:
+        """Live version-chain length (versionset; 0 before first publish).
+
+        Bounded by 1 (the current node) + the number of distinct older
+        versions still pinned by in-flight queries -- the whole point of
+        the design: chain length tracks concurrency, not run count.
+        """
+        with self._locked():
+            return len(self._versions)
 
     def retired_backlog(self) -> int:
         """Retired-but-not-yet-reclaimed run count (0 when idle)."""

@@ -129,7 +129,7 @@ class EvolveController:
             ancestor_protector if ancestor_protector is not None else lambda _: False
         )
         # reclaimer(run_id, free) routes physical frees of unlinked runs
-        # through the run lifecycle (epoch mode defers them while queries
+        # through the run lifecycle (protected modes defer them while queries
         # pin the run); the default executes immediately (legacy).
         self._reclaim = (
             reclaimer if reclaimer is not None else lambda _run_id, free: free()
@@ -324,8 +324,8 @@ class EvolveController:
         Physical frees go through the reclaimer: the runs were atomically
         unlinked by ``remove_where`` (no *new* query can see them), but a
         query that pinned its snapshot before this evolve may still be
-        reading their blocks -- under the epoch lifecycle the free is
-        deferred until that pin exits.  The returned ids are the runs
+        reading their blocks -- under the protected lifecycle modes the
+        free is deferred until no pinned version covers the run.  The returned ids are the runs
         *scheduled* for deletion (immediately executed when unpinned).
         """
         watermark_value = self.watermark.value

@@ -69,12 +69,14 @@ class UmziConfig:
     # keeps its owner's policy (e.g. ShardConfig.maintenance_read_mode).
     # See storage.metrics.ReadIntent.
     maintenance_read_mode: str = "intent"
-    # Run lifecycle under concurrent maintenance: "epoch" (default) pins an
-    # immutable RunListVersion per query and defers physical reclamation of
-    # retired runs until no pin holds them; "legacy" is the unprotected
-    # pre-epoch ablation (retired runs are freed inline, racing in-flight
-    # queries).  See repro.core.epoch.
-    run_lifecycle: str = "epoch"
+    # Run lifecycle under concurrent maintenance: "versionset" (default)
+    # refcounts immutable RunListVersions LevelDB/RocksDB-style -- one
+    # Ref/Unref per query, O(1) regardless of run count -- and defers
+    # physical reclamation of retired runs until no live version contains
+    # them; "epoch" is the per-run-refcount ablation (same safety, O(runs)
+    # pin cost); "legacy" is the unprotected ablation (retired runs are
+    # freed inline, racing in-flight queries).  See repro.core.epoch.
+    run_lifecycle: str = "versionset"
 
 
 class UmziIndex:
@@ -101,9 +103,9 @@ class UmziIndex:
 
         self._run_prefix = f"{self.config.name}-run"
         self.allocator = RunIdAllocator(prefix=self._run_prefix)
-        # Epoch-pinned run lifecycle: queries pin immutable run-list
+        # Version-set run lifecycle: queries pin immutable run-list
         # versions; maintenance retires unlinked runs through it so frees
-        # defer until no pin holds them (see repro.core.epoch).
+        # defer until no live version holds them (see repro.core.epoch).
         self.lifecycle = RunLifecycle(
             self.hierarchy.stats.epochs, mode=self.config.run_lifecycle
         )
@@ -118,6 +120,11 @@ class UmziIndex:
             ),
         }
         self.watermark = Watermark()
+        # Registered AFTER the run lists exist: every publication rebuilds
+        # the lifecycle's current version node through this collector, and
+        # pins arriving through it (executor queries, snapshot_view) take
+        # the O(1) version-Ref path in versionset mode.
+        self.lifecycle.attach_collector(self._collect_version)
         self.journal = MetadataJournal(
             self.hierarchy, namespace=f"{self.config.name}-meta"
         )

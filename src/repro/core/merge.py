@@ -184,7 +184,7 @@ class MergeController:
             retention_provider if retention_provider is not None else lambda: None
         )
         # reclaimer(run_id, free) routes physical frees of unlinked runs
-        # through the run lifecycle (epoch mode defers them while queries
+        # through the run lifecycle (protected modes defer them while queries
         # pin the run); the default executes immediately (legacy).
         self._reclaim = (
             reclaimer if reclaimer is not None else lambda _run_id, free: free()
@@ -372,8 +372,8 @@ class MergeController:
         Every free goes through the reclaimer: the inputs were atomically
         spliced out of the run list (no new query can reach them), but a
         query pinned on an older snapshot may still be streaming their
-        blocks -- the epoch lifecycle parks these frees until that pin
-        exits.  The returned ids are the runs scheduled for deletion.
+        blocks -- the protected lifecycle modes park these frees until no
+        pinned version covers the run.  The returned ids are the runs scheduled for deletion.
         """
         deleted: List[str] = []
         output_persisted = new_run.header.persisted

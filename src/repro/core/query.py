@@ -203,11 +203,18 @@ class QueryExecutor:
     ``hierarchy.reading_as(ReadIntent.MAINTENANCE)`` -- the same code path
     then neither promotes nor perturbs the query-path hit/miss counters.
 
-    **Epoch pinning.**  When a ``lifecycle`` (:class:`RunLifecycle`) is
-    supplied, every query enters an epoch before collecting its runs and
-    exits it in a ``finally`` once the last result is out: the snapshot is
-    *pinned*, so concurrent evolve/merge retirement defers the physical
-    frees of any run the query still holds.  The pin is released *before*
+    **Run pinning.**  When a ``lifecycle`` (:class:`RunLifecycle`) is
+    supplied, every query pins its run snapshot before collecting and
+    releases it in a ``finally`` once the last result is out: the
+    snapshot is *pinned*, so concurrent evolve/merge retirement defers
+    the physical frees of any run the query still holds.  In versionset
+    mode (the default) a pin whose collector is the index's registered
+    version collector is a single Ref on the current
+    :class:`RunListVersion` node and the release a single Unref --
+    exactly two refcount operations per query, independent of run count
+    (``EpochStats.version_refs``/``version_unrefs``); epoch mode walks
+    the snapshot on a per-run ledger instead (O(runs),
+    ``EpochStats.run_ref_ops``).  The pin is released *before*
     ``on_query_done`` fires, so the cache manager's release pass sees only
     pins held by *other* in-flight queries.  Without a lifecycle the
     executor behaves exactly as before (the legacy unprotected mode).

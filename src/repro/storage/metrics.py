@@ -95,7 +95,7 @@ class IntentStats:
 
 @dataclass
 class EpochStats:
-    """Counters for the epoch-pinned run lifecycle (``core.epoch``).
+    """Counters for the run lifecycle (``core.epoch``).
 
     Queries *pin* an immutable run-list version for their whole lifetime;
     maintenance *retires* runs it unlinked from the lists and the
@@ -104,11 +104,25 @@ class EpochStats:
     references them.  ``reclaims_deferred`` counts retirements that had to
     park behind a live pin; ``reclaimed_while_pinned`` counts reclaim
     actions that executed while some query still held the run -- the
-    hazard the epoch mode exists to eliminate (it must stay 0 under
-    ``run_lifecycle="epoch"``; the ``"legacy"`` ablation mode reclaims
-    immediately and reports how often it fired under live queries).
-    ``eviction_pin_skips`` counts cache purge/release decisions that were
-    skipped because the target run was pinned.
+    hazard the protected modes exist to eliminate (it must stay 0 under
+    ``run_lifecycle="versionset"`` and ``"epoch"``; the ``"legacy"``
+    ablation mode reclaims immediately and reports how often it fired
+    under live queries).  ``eviction_pin_skips`` counts cache
+    purge/release decisions that were skipped because the target run was
+    pinned.
+
+    The refcount-cost counters make pin cost a countable invariant:
+
+    * ``version_refs`` / ``version_unrefs`` -- versionset-mode Ref/Unref
+      operations on version nodes.  Exactly one of each per query, so a
+      query costs **exactly 2** version-refcount operations regardless of
+      run count.
+    * ``run_ref_ops`` -- per-run refcount updates on the pin ledger
+      (every epoch-mode pin/release walks its whole snapshot: O(runs)
+      per query; in versionset mode only ad-hoc, non-version collectors
+      pay this).
+    * ``versions_reclaimed`` -- version nodes whose last reference went
+      away (superseded and unpinned), unblocking runs only they covered.
 
     Counters are plain ints incremented without a lock where noted (same
     rationale as :class:`DecodeStats`); the lifecycle increments the
@@ -123,6 +137,10 @@ class EpochStats:
     reclaims_deferred: int = 0
     reclaimed_while_pinned: int = 0
     eviction_pin_skips: int = 0
+    version_refs: int = 0
+    version_unrefs: int = 0
+    versions_reclaimed: int = 0
+    run_ref_ops: int = 0
 
     def snapshot(self) -> "EpochStats":
         return EpochStats(
@@ -134,6 +152,10 @@ class EpochStats:
             reclaims_deferred=self.reclaims_deferred,
             reclaimed_while_pinned=self.reclaimed_while_pinned,
             eviction_pin_skips=self.eviction_pin_skips,
+            version_refs=self.version_refs,
+            version_unrefs=self.version_unrefs,
+            versions_reclaimed=self.versions_reclaimed,
+            run_ref_ops=self.run_ref_ops,
         )
 
     def diff(self, earlier: "EpochStats") -> "EpochStats":
@@ -148,6 +170,10 @@ class EpochStats:
                 self.reclaimed_while_pinned - earlier.reclaimed_while_pinned
             ),
             eviction_pin_skips=self.eviction_pin_skips - earlier.eviction_pin_skips,
+            version_refs=self.version_refs - earlier.version_refs,
+            version_unrefs=self.version_unrefs - earlier.version_unrefs,
+            versions_reclaimed=self.versions_reclaimed - earlier.versions_reclaimed,
+            run_ref_ops=self.run_ref_ops - earlier.run_ref_ops,
         )
 
     def reset(self) -> None:
@@ -159,6 +185,10 @@ class EpochStats:
         self.reclaims_deferred = 0
         self.reclaimed_while_pinned = 0
         self.eviction_pin_skips = 0
+        self.version_refs = 0
+        self.version_unrefs = 0
+        self.versions_reclaimed = 0
+        self.run_ref_ops = 0
 
 
 @dataclass

@@ -43,10 +43,12 @@ class ShardConfig:
     """Lifecycle cadence and component tunables for one shard.
 
     Most fields mirror a knob of the paper's deployment (groom/post-groom
-    cadence, partition buckets); the two ablation-style flags are
-    ``streaming_evolve`` (zero-decode evolve vs legacy rebuild) and
+    cadence, partition buckets); the ablation-style flags are
+    ``streaming_evolve`` (zero-decode evolve vs legacy rebuild),
     ``maintenance_read_mode`` (maintenance-aware cache admission vs the
-    legacy promote-everything read path).
+    legacy promote-everything read path) and ``run_lifecycle``
+    (version-set query pins vs the per-run epoch ledger vs the
+    unprotected legacy reclamation).
     """
 
     post_groom_every: int = 20  # groom cycles per post-groom (paper: 1s vs 20s)
@@ -66,14 +68,17 @@ class ShardConfig:
     # supplied hierarchy keeps its owner's policy.  See
     # storage.metrics.ReadIntent and benchmarks/bench_cache_maintenance.py.
     maintenance_read_mode: str = "intent"
-    # Run lifecycle for every index of the shard: "epoch" (default) pins an
-    # immutable run-list version per query and defers physical reclamation
-    # of evolved/merged-away runs until no query pins them -- what makes
-    # `start_daemons` safe for concurrent readers; "legacy" is the
-    # unprotected pre-epoch ablation (see repro.core.epoch and
+    # Run lifecycle for every index of the shard: "versionset" (default)
+    # refcounts immutable run-list versions LevelDB/RocksDB-style (one
+    # Ref/Unref per query, O(1) in run count) and defers physical
+    # reclamation of evolved/merged-away runs until no live version
+    # contains them -- what makes `start_daemons` safe for concurrent
+    # readers; "epoch" is the per-run-refcount ablation (same safety,
+    # O(runs) pin cost) and "legacy" the unprotected pre-lifecycle
+    # ablation (see repro.core.epoch and
     # benchmarks/bench_concurrent_throughput.py).  Overrides the nested
     # `umzi.run_lifecycle` so one flag governs primary and secondaries.
-    run_lifecycle: str = "epoch"
+    run_lifecycle: str = "versionset"
     # Secondary indexes (name -> spec), maintained in lockstep with the
     # primary through every groom and evolve (paper section 10 future work).
     secondary_indexes: Optional[Dict[str, "IndexSpec"]] = None
@@ -107,7 +112,7 @@ class WildfireShard:
         # must match too).  Refuse a conflicting nested setting rather than
         # silently stamping over it.
         if self.config.umzi.run_lifecycle not in (
-            "epoch", self.config.run_lifecycle
+            "versionset", self.config.run_lifecycle
         ):
             raise ValueError(
                 "ShardConfig.run_lifecycle="
@@ -232,13 +237,15 @@ class WildfireShard:
         the paper's 1s/20s cadence.  ``post_groom_enabled=False`` is the
         Figure 15 ablation (no post-groom, hence no index evolution).
 
-        **Query safety.**  With the default ``run_lifecycle="epoch"`` it is
-        safe to issue point/range/batch queries from any number of threads
-        while the daemons run: each query pins an immutable run-list
-        version, and runs retired by concurrent evolves/merges are only
-        physically reclaimed once no query pins them.  Under
-        ``run_lifecycle="legacy"`` (the ablation) a query can race a
-        reclamation and observe missing blocks.
+        **Query safety.**  With the default ``run_lifecycle="versionset"``
+        (or the ``"epoch"`` ablation) it is safe to issue point/range/
+        batch queries from any number of threads while the daemons run:
+        each query pins an immutable run-list version -- a single
+        Ref/Unref in versionset mode -- and runs retired by concurrent
+        evolves/merges are only physically reclaimed once no live version
+        contains them.  Under ``run_lifecycle="legacy"`` (the unprotected
+        ablation) a query can race a reclamation and observe missing
+        blocks.
         """
         if self._daemon_threads:
             raise RuntimeError("daemons already running")

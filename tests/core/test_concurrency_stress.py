@@ -1,18 +1,21 @@
-"""Seeded stress: query threads vs live maintenance daemons (ISSUE 4).
+"""Seeded stress: query threads vs live maintenance daemons (ISSUE 4/5).
 
-The tentpole claim of the epoch-pinned run lifecycle: with
-``run_lifecycle="epoch"`` it is safe to fire point lookups, range scans,
-batch lookups and (abandoned) streaming scans from several threads while
-the groomer, post-groomer, indexer and merge daemons run -- no torn
-snapshots, no ``KeyError``/missing-block reads, and monotonically
-progressing retire/reclaim counters with a non-negative backlog.
+The tentpole claim of the protected run lifecycles: with
+``run_lifecycle="versionset"`` (one Ref/Unref per query on the pinned
+version node) or ``"epoch"`` (per-run refcounts) it is safe to fire point
+lookups, range scans, batch lookups and (abandoned) streaming scans from
+several threads while the groomer, post-groomer, indexer and merge
+daemons run -- no torn snapshots, no ``KeyError``/missing-block reads,
+and monotonically progressing retire/reclaim counters with a
+non-negative backlog.  In versionset mode the pin cost is additionally
+counter-asserted: exactly two version-refcount operations per worker
+query, however many runs each pinned version contained.
 
-Each mode runs 20 consecutive seeded iterations in its *safe*
-configuration: epoch mode with fully concurrent query threads, legacy
-mode (no pin tracking, inline reclamation) with queries serialized
-against the daemons -- the only discipline under which the unprotected
-lifecycle is sound, which is precisely the restriction the epoch mode
-removes.
+Each protected mode runs 20 consecutive seeded iterations with fully
+concurrent query threads; legacy mode (no pin tracking, inline
+reclamation) runs its 20 with queries serialized against the daemons --
+the only discipline under which the unprotected lifecycle is sound,
+which is precisely the restriction the protected modes remove.
 
 The whole module carries a hard ``pytest-timeout`` in CI so a livelock
 can never hang tier-1 (locally the marker is a no-op when the plugin is
@@ -76,8 +79,24 @@ def seed_baseline(shard: WildfireShard) -> None:
     shard.tick()
 
 
-def check_baseline(shard: WildfireShard, rng: random.Random, errors: list) -> None:
-    """One query round over baseline keys; append any violation seen."""
+# Node-path (version-Ref) queries per completed check_baseline round:
+# index_lookup + range_query + index_batch_lookup + range_scan_iter.
+QUERIES_PER_ROUND = 4
+
+
+def check_baseline(
+    shard: WildfireShard,
+    rng: random.Random,
+    errors: list,
+    rounds: list,
+) -> None:
+    """One query round over baseline keys; append any violation seen.
+
+    Appends to ``rounds`` only when the whole round completed, so
+    ``QUERIES_PER_ROUND * len(rounds)`` is the exact number of pinned
+    queries issued whenever ``errors`` stayed empty (every early return
+    also appends an error).
+    """
     try:
         d = rng.randrange(BASELINE_DEVICES)
         m = rng.randrange(BASELINE_MSGS)
@@ -104,6 +123,7 @@ def check_baseline(shard: WildfireShard, rng: random.Random, errors: list) -> No
         )
         next(iterator, None)
         del iterator
+        rounds.append(1)
     except Exception as exc:  # the failure mode under test: no exceptions
         errors.append(repr(exc))
 
@@ -121,14 +141,16 @@ def run_iteration(mode: str, seed: int, concurrent_queries: bool) -> None:
     shard = make_shard(mode)
     seed_baseline(shard)
     errors: list = []
+    rounds: list = []
     samples = []
     epochs = shard.hierarchy.stats.epochs
+    baseline_epochs = epochs.snapshot()
     stop = threading.Event()
 
     def query_loop(thread_seed: int) -> None:
         rng = random.Random(thread_seed)
         while not stop.is_set():
-            check_baseline(shard, rng, errors)
+            check_baseline(shard, rng, errors, rounds)
             if errors:
                 return
 
@@ -165,21 +187,39 @@ def run_iteration(mode: str, seed: int, concurrent_queries: bool) -> None:
     shard.indexer.drain()
     quiet_rng = random.Random(seed + 1)
     for _ in range(5):
-        check_baseline(shard, quiet_rng, errors)
+        check_baseline(shard, quiet_rng, errors, rounds)
     assert errors == [], f"{mode} post-quiesce seed={seed}: {errors}"
     samples.append((epochs.runs_retired, epochs.runs_reclaimed))
     assert_counters_monotonic(samples)
-    if mode == "epoch":
+    if mode in ("epoch", "versionset"):
         assert epochs.reclaimed_while_pinned == 0
         # Nothing pinned once quiet: the backlog must fully drain after
-        # one more (pin-free) query round.
+        # one more (pin-free) query round.  (pinned_run_ids also drains
+        # any release a GC finalizer parked.)
         assert shard.index.lifecycle.pinned_run_ids() == []
+    if mode == "versionset":
+        # The pin-cost invariant under real daemons: every worker query
+        # cost exactly one version Ref and one Unref -- 2 refcount ops
+        # per query, however many runs each pinned version held.  (The
+        # post-groomer's zone-restricted lookups ride the per-run ledger
+        # and never touch the version counters.)
+        delta = epochs.diff(baseline_epochs)
+        expected = QUERIES_PER_ROUND * len(rounds)
+        assert delta.version_refs == expected, (
+            f"seed={seed}: {delta.version_refs} version refs for "
+            f"{expected} queries"
+        )
+        assert delta.version_unrefs == expected, (
+            f"seed={seed}: {delta.version_unrefs} version unrefs for "
+            f"{expected} queries"
+        )
 
 
-class TestEpochModeUnderDaemons:
-    def test_twenty_seeded_iterations_with_concurrent_queries(self):
+class TestProtectedModesUnderDaemons:
+    @pytest.mark.parametrize("mode", ["epoch", "versionset"])
+    def test_twenty_seeded_iterations_with_concurrent_queries(self, mode):
         for i in range(ITERATIONS):
-            run_iteration("epoch", seed=1000 + i, concurrent_queries=True)
+            run_iteration(mode, seed=1000 + i, concurrent_queries=True)
 
 
 class TestLegacyModeSafeConfiguration:

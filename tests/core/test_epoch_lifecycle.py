@@ -1,4 +1,12 @@
-"""Unit tests for the epoch-pinned run lifecycle (repro.core.epoch)."""
+"""Unit tests for the run lifecycle (repro.core.epoch).
+
+The integration/cache/iterator classes are parametrized over both
+*protected* modes -- ``"epoch"`` (per-run refcounts) and ``"versionset"``
+(version-node refcounts, the default) -- via the ``protected_mode``
+fixture: the two designs must be observably equivalent on every safety
+property; only their refcount cost differs (asserted separately in
+:class:`TestVersionSetLifecycle`).
+"""
 
 import gc
 
@@ -18,8 +26,15 @@ from tests.conftest import make_entries, key_of
 
 DEF = i1_definition()
 
+PROTECTED_MODES = ("epoch", "versionset")
 
-def build_index(mode="epoch", runs=4, per_run=10):
+
+@pytest.fixture(params=PROTECTED_MODES)
+def protected_mode(request):
+    return request.param
+
+
+def build_index(mode="versionset", runs=4, per_run=10):
     levels = LevelConfig(groomed_levels=3, post_groomed_levels=2,
                          max_runs_per_level=8, size_ratio=4)
     index = UmziIndex(
@@ -43,10 +58,41 @@ class FakeRun:
         self.run_id = run_id
 
 
+class FakeVersionedList:
+    """A mutable published run set with a registered version collector.
+
+    Mirrors what :class:`UmziIndex` wires up: every mutation calls
+    ``note_publish`` (which, in versionset mode, rebuilds the lifecycle's
+    current version node through :meth:`collect`), and pins taken through
+    the registered collector ride the O(1) version-Ref path.
+    """
+
+    def __init__(self, lifecycle):
+        self.runs = []
+        self.lifecycle = lifecycle
+        lifecycle.attach_collector(self.collect)
+
+    def collect(self):
+        return RunListVersion(
+            version_id=self.lifecycle.version_seq,
+            groomed=tuple(self.runs),
+            post_groomed=(),
+            watermark=0,
+        )
+
+    def add(self, run):
+        self.runs = self.runs + [run]
+        self.lifecycle.note_publish()
+
+    def remove(self, run_id):
+        self.runs = [r for r in self.runs if r.run_id != run_id]
+        self.lifecycle.note_publish()
+
+
 class TestRunLifecycleUnit:
-    def test_retire_unpinned_reclaims_immediately(self):
+    def test_retire_unpinned_reclaims_immediately(self, protected_mode):
         stats = EpochStats()
-        lifecycle = RunLifecycle(stats)
+        lifecycle = RunLifecycle(stats, mode=protected_mode)
         freed = []
         lifecycle.retire("r1", lambda: freed.append("r1"))
         assert freed == ["r1"]
@@ -54,9 +100,9 @@ class TestRunLifecycleUnit:
         assert stats.reclaims_deferred == 0
         assert lifecycle.retired_backlog() == 0
 
-    def test_retire_pinned_defers_until_release(self):
+    def test_retire_pinned_defers_until_release(self, protected_mode):
         stats = EpochStats()
-        lifecycle = RunLifecycle(stats)
+        lifecycle = RunLifecycle(stats, mode=protected_mode)
         run = FakeRun("r1")
         freed = []
         pin = lifecycle.pin(lambda: [run])
@@ -71,9 +117,9 @@ class TestRunLifecycleUnit:
         assert stats.reclaimed_while_pinned == 0
         assert lifecycle.retired_backlog() == 0
 
-    def test_overlapping_pins_block_until_last_exit(self):
+    def test_overlapping_pins_block_until_last_exit(self, protected_mode):
         stats = EpochStats()
-        lifecycle = RunLifecycle(stats)
+        lifecycle = RunLifecycle(stats, mode=protected_mode)
         run = FakeRun("r1")
         freed = []
         pin_a = lifecycle.pin(lambda: [run])
@@ -84,20 +130,20 @@ class TestRunLifecycleUnit:
         pin_b.release()
         assert freed == ["r1"]
 
-    def test_release_is_idempotent(self):
+    def test_release_is_idempotent(self, protected_mode):
         stats = EpochStats()
-        lifecycle = RunLifecycle(stats)
+        lifecycle = RunLifecycle(stats, mode=protected_mode)
         pin = lifecycle.pin(lambda: [FakeRun("r1")])
         pin.release()
         pin.release()
         assert stats.pins_entered == stats.pins_exited == 1
 
-    def test_pin_after_retire_cannot_resurrect(self):
+    def test_pin_after_retire_cannot_resurrect(self, protected_mode):
         """A pin taken after retirement does not defer the (already
         executed) reclaim -- retired runs are gone from the published
         lists, so the new pin simply does not contain them."""
         stats = EpochStats()
-        lifecycle = RunLifecycle(stats)
+        lifecycle = RunLifecycle(stats, mode=protected_mode)
         freed = []
         lifecycle.retire("r1", lambda: freed.append("r1"))
         pin = lifecycle.pin(lambda: [])  # snapshot no longer holds r1
@@ -122,14 +168,14 @@ class TestRunLifecycleUnit:
         with pytest.raises(ValueError):
             RunLifecycle(EpochStats(), mode="yolo")
 
-    def test_release_during_gc_parks_and_defers_hook(self):
+    def test_release_during_gc_parks_and_defers_hook(self, protected_mode):
         """A release fired while the cyclic collector runs must neither
         take locks nor run reclaims/hooks inline (the interrupted thread
         may hold any storage lock); it parks and drains on the next op."""
         import repro.core.epoch as epoch_mod
 
         stats = EpochStats()
-        lifecycle = RunLifecycle(stats)
+        lifecycle = RunLifecycle(stats, mode=protected_mode)
         run = FakeRun("r1")
         freed, hooked = [], []
         pin = lifecycle.pin(lambda: [run])
@@ -147,9 +193,9 @@ class TestRunLifecycleUnit:
         other.release()
         assert stats.pins_entered == stats.pins_exited == 2
 
-    def test_counters_are_monotonic(self):
+    def test_counters_are_monotonic(self, protected_mode):
         stats = EpochStats()
-        lifecycle = RunLifecycle(stats)
+        lifecycle = RunLifecycle(stats, mode=protected_mode)
         observed = []
         for i in range(5):
             pin = lifecycle.pin(lambda: [FakeRun(f"r{i}")])
@@ -184,8 +230,8 @@ class TestRunListPublication:
 
 
 class TestIndexEpochIntegration:
-    def test_evolve_defers_deletion_while_snapshot_pinned(self):
-        index = build_index(runs=4)
+    def test_evolve_defers_deletion_while_snapshot_pinned(self, protected_mode):
+        index = build_index(mode=protected_mode, runs=4)
         groomed_before = index.run_lists[Zone.GROOMED].snapshot()
         assert len(groomed_before) == 4
         with index.snapshot_view() as view:
@@ -209,8 +255,8 @@ class TestIndexEpochIntegration:
         with pytest.raises(BlockNotFoundError):
             index.hierarchy.read(groomed_before[0].data_block_id(0))
 
-    def test_unpinned_evolve_deletes_immediately(self):
-        index = build_index(runs=2)
+    def test_unpinned_evolve_deletes_immediately(self, protected_mode):
+        index = build_index(mode=protected_mode, runs=2)
         groomed = index.run_lists[Zone.GROOMED].snapshot()
         entries = make_entries(DEF, range(20), 1, Zone.POST_GROOMED, 100)
         index.evolve(1, entries, 0, 1)
@@ -218,12 +264,13 @@ class TestIndexEpochIntegration:
         with pytest.raises(BlockNotFoundError):
             index.hierarchy.read(groomed[0].data_block_id(0))
 
-    def test_merge_defers_input_deletion_while_pinned(self):
+    def test_merge_defers_input_deletion_while_pinned(self, protected_mode):
         levels = LevelConfig(groomed_levels=3, post_groomed_levels=2,
                              max_runs_per_level=2, size_ratio=2)
         index = UmziIndex(
             DEF, config=UmziConfig(name="ep-mg", levels=levels,
-                                   data_block_bytes=2048),
+                                   data_block_bytes=2048,
+                                   run_lifecycle=protected_mode),
         )
         for gid in range(2):
             index.add_groomed_run(
@@ -242,8 +289,8 @@ class TestIndexEpochIntegration:
         with pytest.raises(BlockNotFoundError):
             index.hierarchy.read(inputs[0].data_block_id(0))
 
-    def test_snapshot_view_ignores_later_writes(self):
-        index = build_index(runs=2)
+    def test_snapshot_view_ignores_later_writes(self, protected_mode):
+        index = build_index(mode=protected_mode, runs=2)
         with index.snapshot_view() as view:
             missing = RangeScanQuery(equality_values=(25,))
             assert view.range_scan(missing) == []
@@ -273,8 +320,8 @@ class TestIndexEpochIntegration:
 
 
 class TestCachePinAwareness:
-    def test_purge_skips_pinned_runs(self):
-        index = build_index(runs=2)
+    def test_purge_skips_pinned_runs(self, protected_mode):
+        index = build_index(mode=protected_mode, runs=2)
         run = index.run_lists[Zone.GROOMED].snapshot()[0]
         with index.snapshot_view():
             assert index.cache.purge_run(run) == 0
@@ -283,8 +330,8 @@ class TestCachePinAwareness:
         # No pins: the purge proceeds.
         assert index.cache.purge_run(run) > 0
 
-    def test_release_after_query_skips_runs_pinned_by_others(self):
-        index = build_index(runs=2)
+    def test_release_after_query_skips_runs_pinned_by_others(self, protected_mode):
+        index = build_index(mode=protected_mode, runs=2)
         # Force every groomed level purged so release_after_query would
         # normally drop the touched blocks.
         index.cache.set_cache_level(-1)
@@ -303,11 +350,11 @@ class TestCachePinAwareness:
 
 
 class TestPurgePassUnderPins:
-    def test_purge_pass_returns_instead_of_spinning_on_pinned_level(self):
+    def test_purge_pass_returns_instead_of_spinning_on_pinned_level(self, protected_mode):
         """Regression: a purge pass whose candidate runs are all pinned
         must give up and retry later, not busy-loop (purge_run's pin skip
         used to count as progress) nor falsely decrement the level."""
-        index = build_index(runs=3, per_run=20)
+        index = build_index(mode=protected_mode, runs=3, per_run=20)
         runs = index.run_lists[Zone.GROOMED].snapshot()
         # Bound the SSD so utilization sits above the high watermark.
         used = index.hierarchy.ssd.used_bytes
@@ -358,7 +405,7 @@ class TestShardLifecycleConfig:
             WildfireShard(
                 schema, spec,
                 config=ShardConfig(
-                    umzi=UmziConfig(run_lifecycle="legacy")  # shard says epoch
+                    umzi=UmziConfig(run_lifecycle="legacy")  # shard says versionset
                 ),
             )
         # Agreement (or the shard-level flag alone) is fine.
@@ -369,10 +416,10 @@ class TestShardLifecycleConfig:
 
 
 class TestAbandonedIterators:
-    def test_abandoned_iterator_releases_its_pin(self):
+    def test_abandoned_iterator_releases_its_pin(self, protected_mode):
         """Regression (ISSUE 4 satellite): epoch exit and purged-block
         release must fire for iterators dropped mid-stream."""
-        index = build_index(runs=3, per_run=10)
+        index = build_index(mode=protected_mode, runs=3, per_run=10)
         iterator = index.range_scan_iter(RangeScanQuery(equality_values=(12,)))
         next(iterator)
         assert index.lifecycle.pinned_run_ids()  # mid-scan: pinned
@@ -382,16 +429,16 @@ class TestAbandonedIterators:
         stats = index.hierarchy.stats.epochs
         assert stats.pins_entered == stats.pins_exited
 
-    def test_never_started_iterator_releases_on_gc(self):
-        index = build_index(runs=2)
+    def test_never_started_iterator_releases_on_gc(self, protected_mode):
+        index = build_index(mode=protected_mode, runs=2)
         iterator = index.range_scan_iter(RangeScanQuery(equality_values=(3,)))
         assert index.lifecycle.pinned_run_ids()
         del iterator
         gc.collect()
         assert index.lifecycle.pinned_run_ids() == []
 
-    def test_abandoned_iterator_unblocks_reclamation(self):
-        index = build_index(runs=2)
+    def test_abandoned_iterator_unblocks_reclamation(self, protected_mode):
+        index = build_index(mode=protected_mode, runs=2)
         iterator = index.range_scan_iter(RangeScanQuery(equality_values=(3,)))
         next(iterator)
         entries = make_entries(DEF, range(20), 1, Zone.POST_GROOMED, 100)
@@ -400,15 +447,15 @@ class TestAbandonedIterators:
         iterator.close()
         assert index.lifecycle.retired_backlog() == 0
 
-    def test_exhausted_iterator_releases_inline(self):
-        index = build_index(runs=2)
+    def test_exhausted_iterator_releases_inline(self, protected_mode):
+        index = build_index(mode=protected_mode, runs=2)
         list(index.range_scan_iter(RangeScanQuery(equality_values=(3,))))
         assert index.lifecycle.pinned_run_ids() == []
 
-    def test_abandoned_iterator_releases_purged_blocks(self):
+    def test_abandoned_iterator_releases_purged_blocks(self, protected_mode):
         """The documented leak: purged blocks pulled in by a scan must be
         released even when the iterator never runs to completion."""
-        index = build_index(runs=2, per_run=30)
+        index = build_index(mode=protected_mode, runs=2, per_run=30)
         index.cache.set_cache_level(-1)  # everything purged
         runs = index.run_lists[Zone.GROOMED].snapshot()
         run = next(r for r in runs if r.min_groomed_id == 0)
@@ -420,3 +467,200 @@ class TestAbandonedIterators:
         # finally ran: on_query_done released the transient blocks.
         assert not index.cache.is_run_cached(run)
         assert index.lifecycle.pinned_run_ids() == []
+
+
+class TestVersionSetLifecycle:
+    """Versionset-mode specifics: O(1) pins, version-chain reclamation."""
+
+    def test_exactly_two_refcount_ops_per_query_any_run_count(self):
+        """The countable invariant: one Ref at pin, one Unref at release,
+        independent of how many runs the pinned version contains (epoch
+        mode pays 2 * runs per-run updates on the same workload)."""
+        for num_runs in (1, 4, 8):
+            index = build_index(mode="versionset", runs=num_runs)
+            stats = index.hierarchy.stats.epochs
+            before = stats.snapshot()
+            for k in range(10):
+                index.lookup((k,), (k,))
+            delta = stats.diff(before)
+            assert delta.version_refs == 10
+            assert delta.version_unrefs == 10
+            assert delta.run_ref_ops == 0
+
+            epoch_index = build_index(mode="epoch", runs=num_runs)
+            epoch_stats = epoch_index.hierarchy.stats.epochs
+            before = epoch_stats.snapshot()
+            for k in range(10):
+                epoch_index.lookup((k,), (k,))
+            delta = epoch_stats.diff(before)
+            assert delta.run_ref_ops == 10 * 2 * num_runs
+            assert delta.version_refs == delta.version_unrefs == 0
+
+    def test_out_of_order_unref_chain_reclamation(self):
+        """A long-lived scan pins an old version; newer versions come and
+        go (their Unrefs arrive before the old pin's).  Each superseded
+        version dies on its last Unref, but runs reachable from the
+        still-pinned old version stay parked until IT releases."""
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats, mode="versionset")
+        lists = FakeVersionedList(lifecycle)
+        lists.add(FakeRun("r1"))
+        old_pin = lifecycle.pin(lists.collect)          # pins version {r1}
+        lists.add(FakeRun("r2"))
+        mid_pin = lifecycle.pin(lists.collect)          # pins {r1, r2}
+        lists.add(FakeRun("r3"))
+        new_pin = lifecycle.pin(lists.collect)          # pins {r1, r2, r3}
+        assert lifecycle.live_version_count() == 3
+
+        # Remove r1 from the published set and retire it: every live
+        # version still contains it, so it parks.
+        freed = []
+        lists.remove("r1")
+        lifecycle.retire("r1", lambda: freed.append("r1"))
+        assert freed == [] and lifecycle.retired_backlog() == 1
+
+        # Out-of-order exits: the newest readers leave first.  Their
+        # versions die (reclaimed), but r1 stays parked behind old_pin.
+        new_pin.release()
+        mid_pin.release()
+        assert stats.versions_reclaimed >= 2
+        assert freed == []
+        assert lifecycle.is_pinned("r1")
+        # The last (oldest) reader exits; now no live version covers r1.
+        old_pin.release()
+        assert freed == ["r1"]
+        assert lifecycle.retired_backlog() == 0
+        assert stats.version_refs == stats.version_unrefs == 3
+
+    def test_retired_run_freed_iff_no_live_version_contains_it(self):
+        """The versionset reclamation rule, stated directly: a retired
+        run's free fires exactly when the last live version containing it
+        dies -- not sooner, not later."""
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats, mode="versionset")
+        lists = FakeVersionedList(lifecycle)
+        lists.add(FakeRun("a"))
+        lists.add(FakeRun("b"))
+        pin_ab = lifecycle.pin(lists.collect)           # version {a, b}
+        lists.remove("a")
+        pin_b = lifecycle.pin(lists.collect)            # version {b}
+        freed = []
+        lifecycle.retire("a", lambda: freed.append("a"))
+        # {a, b} is still live (pin_ab): a must not be freed ...
+        assert freed == []
+        # ... and releasing the pin whose version does NOT contain a
+        # changes nothing.
+        pin_b.release()
+        assert freed == []
+        pin_ab.release()
+        assert freed == ["a"]
+
+    def test_current_version_implicit_ref_does_not_block_eviction(self):
+        """Every live run is in the current version; only versions a
+        query actually refs may report runs as pinned, or the cache could
+        never evict anything."""
+        index = build_index(mode="versionset", runs=2)
+        run = index.run_lists[Zone.GROOMED].snapshot()[0]
+        assert not index.lifecycle.is_pinned(run.run_id)
+        assert index.lifecycle.pinned_run_ids() == []
+        assert index.cache.purge_run(run) > 0  # eviction proceeds
+
+    def test_purge_skips_runs_reachable_from_old_live_version(self):
+        """A run evolved out of the *current* version must still refuse to
+        purge while an older pinned version reaches it."""
+        index = build_index(mode="versionset", runs=2)
+        groomed = index.run_lists[Zone.GROOMED].snapshot()
+        with index.snapshot_view():
+            entries = make_entries(DEF, range(20), 1, Zone.POST_GROOMED, 100)
+            index.evolve(1, entries, 0, 1)
+            # Gone from the current version, reachable from the pinned one.
+            assert index.run_lists[Zone.GROOMED].snapshot() == []
+            for run in groomed:
+                assert index.cache.purge_run(run) == 0
+            assert index.hierarchy.stats.epochs.eviction_pin_skips >= 2
+
+    def test_ad_hoc_collector_falls_back_to_per_run_ledger(self):
+        """A pin whose collector is not the registered one (the
+        post-groomer's zone-restricted lookup, test stubs) cannot ride
+        the version chain; it must still be exactly as safe, via the
+        per-run ledger."""
+        index = build_index(mode="versionset", runs=2)
+        stats = index.hierarchy.stats.epochs
+        post_groomed = index.run_lists[Zone.POST_GROOMED]
+        before = stats.snapshot()
+        pin = index.lifecycle.pin(post_groomed.snapshot)
+        delta = stats.diff(before)
+        assert delta.version_refs == 0          # not a version pin
+        assert delta.pins_entered == 1
+        pin.release()
+        assert stats.diff(before).pins_exited == 1
+
+    def test_live_version_chain_stays_bounded(self):
+        """Chain length tracks reader concurrency, not publication count:
+        unpinned superseded versions die at the next publication."""
+        index = build_index(mode="versionset", runs=1)
+        for gid in range(1, 6):
+            index.add_groomed_run(
+                make_entries(DEF, range(gid * 10, gid * 10 + 10),
+                             gid * 10 + 1),
+                gid, gid,
+            )
+            index.lookup((gid * 10,), (gid * 10,))
+            assert index.lifecycle.live_version_count() == 1
+
+    def test_nested_epoch_config_conflicts_with_versionset_shard(self):
+        from repro.core.definition import ColumnSpec
+        from repro.wildfire.engine import ShardConfig, WildfireShard
+        from repro.wildfire.schema import IndexSpec, TableSchema
+
+        schema = TableSchema(
+            name="cfg2",
+            columns=(ColumnSpec("a"), ColumnSpec("b"), ColumnSpec("c")),
+            primary_key=("a", "b"),
+            sharding_key=("a",),
+            partition_key=("b",),
+        )
+        spec = IndexSpec(("a",), ("b",), ("c",))
+        with pytest.raises(ValueError, match="run_lifecycle"):
+            WildfireShard(
+                schema, spec,
+                config=ShardConfig(umzi=UmziConfig(run_lifecycle="epoch")),
+            )
+        shard = WildfireShard(
+            schema, spec, config=ShardConfig(run_lifecycle="epoch")
+        )
+        assert shard.index.lifecycle.mode == "epoch"
+        default_shard = WildfireShard(schema, spec)
+        assert default_shard.index.lifecycle.mode == "versionset"
+
+    def test_publication_never_runs_reclaims_or_hooks_inline(self):
+        """Regression (review finding): ``note_publish`` fires inside
+        ``RunList._publish_locked`` -- while the mutator still holds the
+        run list's mutation lock -- so a publication that kills a
+        superseded version must NOT execute the reclaims or parked
+        release hooks it unblocks; they drain on the next lifecycle
+        operation that runs unlocked."""
+        import repro.core.epoch as epoch_mod
+
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats, mode="versionset")
+        lists = FakeVersionedList(lifecycle)
+        lists.add(FakeRun("r1"))
+        pin = lifecycle.pin(lists.collect)      # refs version {r1}
+        freed, hooked = [], []
+        lists.remove("r1")
+        lifecycle.retire("r1", lambda: freed.append("r1"))
+        assert freed == []                      # covered by the pinned V1
+        # The pin's release arrives from a GC finalizer: it parks.
+        epoch_mod._gc_active.flag = True
+        try:
+            lifecycle.release(pin, after=lambda: hooked.append(1))
+        finally:
+            epoch_mod._gc_active.flag = False
+        # A publication (mutator holds its run-list mutation lock here)
+        # must leave both the parked release and the reclaim untouched.
+        lists.add(FakeRun("r2"))
+        assert freed == [] and hooked == []
+        # The next unlocked lifecycle operation drains everything.
+        assert lifecycle.retired_backlog() == 0
+        assert freed == ["r1"] and hooked == [1]

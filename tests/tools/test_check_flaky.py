@@ -1,0 +1,73 @@
+"""Tier-1 wrapper around the benchmark flake guard (tools/check_flaky.py).
+
+The CI job runs the same script standalone; having it in tier-1 means a
+PR cannot land an un-audited ``repeat=1`` wall-clock assertion (the A1
+flake pattern) without the local test run noticing.  The detector itself
+is also exercised against crafted positive/negative fixtures so the
+guard cannot silently rot into a no-op.
+"""
+
+import importlib.util
+import pathlib
+
+_TOOL = (
+    pathlib.Path(__file__).resolve().parents[2] / "tools" / "check_flaky.py"
+)
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("check_flaky", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_benchmark_tree_is_flake_guarded():
+    tool = load_tool()
+    errors = []
+    for path in tool.bench_files(tool.BENCH_DIRS):
+        file_errors, _waivers = tool.check_repeat_annotations(path)
+        errors += file_errors
+    for path in tool.bench_files(tool.ASSERT_RULE_DIRS):
+        errors += tool.check_wallclock_asserts(path)
+    assert not errors, "\n".join(errors)
+
+
+def test_detects_unannotated_repeat_one(tmp_path):
+    tool = load_tool()
+    bad = tmp_path / "bench_bad.py"
+    bad.write_text("result = run_bench(sizes=(1, 2), repeat=1)\n")
+    errors, waivers = tool.check_repeat_annotations(bad)
+    assert len(errors) == 1 and not waivers
+
+    annotated = tmp_path / "bench_ok.py"
+    annotated.write_text(
+        "result = run_bench(repeat=1)  # counter-asserted\n"
+        "other = run_bench(repeat=1)  # plot-only\n"
+        "third = run_bench(repeat=1)  # wallclock-shape-ok: 8x slack\n"
+        '"""prose mentioning ``repeat=1`` is not a call."""\n'
+    )
+    errors, waivers = tool.check_repeat_annotations(annotated)
+    assert errors == [] and len(waivers) == 1
+
+
+def test_detects_direct_wallclock_assert(tmp_path):
+    tool = load_tool()
+    bad = tmp_path / "bench_wall.py"
+    bad.write_text(
+        "def test_x():\n"
+        "    fast = measure_wall_s(op_a, 1)\n"
+        "    slow = measure_wall_s(op_b, 1)\n"
+        "    assert fast < slow * 2\n"
+    )
+    errors = tool.check_wallclock_asserts(bad)
+    assert len(errors) == 1 and "measure_wall_s" in errors[0]
+
+    ok = tmp_path / "bench_counters.py"
+    ok.write_text(
+        "def test_y():\n"
+        "    elapsed = measure_wall_s(op, 3)\n"
+        "    series.add(n, elapsed)  # plotted, not asserted\n"
+        "    assert delta.raw_key_probes > 0\n"
+    )
+    assert tool.check_wallclock_asserts(ok) == []
