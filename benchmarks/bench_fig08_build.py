@@ -2,6 +2,10 @@
 
 Paper: build time scales ~linearly with entries; I3 (one fewer key column)
 is fastest; the number of indexed columns matters far less than sort cost.
+
+The shape assertions run on simulated I/O nanoseconds (deterministic:
+latency models over the blocks each build writes), so this bench no
+longer needs a wall-clock waiver; wall time stays plot-only.
 """
 
 from repro.bench.experiments import fig08_build
@@ -18,22 +22,25 @@ SIZES = (1_000, 5_000, 20_000)
 def test_fig08_build(benchmark, reporter):
     result = fig08_build(
         sizes=SIZES,
-        repeat=1,  # wallclock-shape-ok: roughly-linear over a 20x sweep, 1.6x slack per hop
+        repeat=1,  # counter-asserted
     )
     reporter(result)
 
-    # Shape: near-linear build time for every definition.
+    # Shape: near-linear build cost (simulated ns) for every definition.
     for label in ("I1", "I2", "I3"):
         series = result.series_by_label(label)
         assert_roughly_linear(
             [x for x, _ in series.points], series.ys(),
-            tolerance=3.0, label=f"fig8 {label}",
+            # Deterministic sim-ns: 2.5x absorbs the per-op fixed cost
+            # that amortizes across bigger runs (y grows ~10-12x for 20x).
+            tolerance=2.5, label=f"fig8 {label}",
         )
-    # Shape: I3 never meaningfully slower than I1 (one fewer key column).
+    # Shape: I3 never costlier than I1 (one fewer key column means fewer
+    # bytes per entry, hence fewer blocks written -- deterministic).
     i1 = result.series_by_label("I1").ys()
     i3 = result.series_by_label("I3").ys()
     for a, b in zip(i3, i1):
-        assert a <= b * 1.3, f"I3 should not be slower than I1: {a} vs {b}"
+        assert a <= b, f"I3 should not cost more than I1: {a} vs {b}"
 
     # Benchmark the primitive: building one run of the middle size.
     definition = i1_definition()

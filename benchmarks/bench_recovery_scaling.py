@@ -1,0 +1,163 @@
+"""Ablation A12: recovery scaling with run count (ISSUE 6).
+
+Recovery (section 5.5) re-validates every surviving run's data blocks
+before rebuilding the run lists.  This ablation measures how that cost
+scales with the number of runs, on deterministic axes:
+
+* **simulated I/O nanoseconds** of the full crash-recover cycle (all
+  local tiers lost, every block re-read from shared storage);
+* **checksum validations** (v3 headers: one CRC pass per block, zero
+  entry decodes) vs **entry decodes** on the pre-checksum fallback arm
+  (runs downgraded to v1 headers, every entry decoded structurally).
+
+Both axes come from counters and latency models, so the scaling and
+zero-decode assertions never flake on busy hosts -- and the checked-in
+``BENCH_recovery_scaling.json`` is byte-stable across regenerations
+(wall time is measured but only printed, never persisted).
+
+Set ``UMZI_BENCH_SMOKE=1`` for the CI-sized fixture.
+"""
+
+import os
+from dataclasses import replace
+
+from repro.bench.fixtures import entries_for_keys
+from repro.bench.harness import (
+    ExperimentResult,
+    Series,
+    assert_roughly_linear,
+    measure_wall_s,
+)
+from repro.core.definition import i1_definition
+from repro.core.index import UmziConfig, UmziIndex
+from repro.core.levels import LevelConfig
+from repro.core.run import encode_data_block_v1
+from repro.storage.block import Block
+from repro.workloads.generator import KeyMapper
+
+_SMOKE = os.environ.get("UMZI_BENCH_SMOKE") == "1"
+RUN_COUNTS = (2, 4) if _SMOKE else (4, 8, 16)
+ENTRIES_PER_RUN = 250 if _SMOKE else 2_000
+
+DEF = i1_definition()
+
+
+def _build_index(name, num_runs, entries_per_run=ENTRIES_PER_RUN):
+    levels = LevelConfig(
+        groomed_levels=3, post_groomed_levels=2,
+        max_runs_per_level=max(num_runs + 1, 4), size_ratio=4,
+    )
+    index = UmziIndex(
+        DEF, config=UmziConfig(name=name, levels=levels, data_block_bytes=2048)
+    )
+    mapper = KeyMapper(DEF)
+    ts = 1
+    for gid in range(num_runs):
+        keys = list(range(gid * entries_per_run, (gid + 1) * entries_per_run))
+        index.add_groomed_run(
+            entries_for_keys(DEF, keys, mapper, ts_start=ts, block_id=gid),
+            gid, gid,
+        )
+        ts += entries_per_run
+    return index
+
+
+def _downgrade_all_to_v1(index):
+    """Rewrite every run as a pre-checksum (v1) run: recovery must fall
+    back to decoding all entries instead of CRC passes."""
+    for run in index.all_runs():
+        new_metas = []
+        for bi in range(run.header.num_data_blocks):
+            entries = run.read_block(bi)
+            payload = encode_data_block_v1(DEF, entries)
+            meta = run.header.block_meta[bi]
+            new_metas.append(
+                replace(meta, size_bytes=len(payload), checksum=None)
+            )
+            block_id = run.data_block_id(bi)
+            index.hierarchy.shared.delete(block_id)
+            index.hierarchy.shared.write(Block(block_id, payload))
+        header = replace(run.header, block_meta=tuple(new_metas))
+        header_id = run.header_block_id()
+        index.hierarchy.shared.delete(header_id)
+        index.hierarchy.shared.write(Block(header_id, header.to_bytes(DEF)))
+        run.drop_decode_cache()
+
+
+def _crash_recover(index):
+    """One full crash-recovery: lose local tiers, rebuild from shared.
+
+    Returns (sim_ns, checksum_validations, entry_decodes, wall_s) deltas.
+    """
+    index.hierarchy.crash_local_tiers()
+    stats = index.hierarchy.stats
+    sim_before = stats.total_sim_ns
+    decode_before = stats.decode.snapshot()
+    wall_s = measure_wall_s(index.recover, repeat=1)  # plot-only
+    delta = stats.decode.diff(decode_before)
+    return (
+        stats.total_sim_ns - sim_before,
+        delta.checksum_validations,
+        delta.entry_decodes,
+        wall_s,
+    )
+
+
+def test_recovery_scaling(reporter):
+    v3_ns = Series("v3 checksum (sim ns)")
+    v1_ns = Series("v1 decode-fallback (sim ns)")
+    v3_validations = Series("v3 checksum validations")
+    v1_decodes = Series("v1 entry decodes")
+    metrics = {}
+    for num_runs in RUN_COUNTS:
+        # v3 arm: per-block CRCs, zero entry decodes.
+        index = _build_index(f"a12v3-{num_runs}", num_runs)
+        total_blocks = sum(r.header.num_data_blocks for r in index.all_runs())
+        sim_ns, validations, decodes, wall_s = _crash_recover(index)
+        assert decodes == 0, (
+            f"v3 recovery decoded {decodes} entries at {num_runs} runs; "
+            "the clean path must validate by checksum alone"
+        )
+        assert validations == total_blocks  # counter-asserted
+        print(f"v3 recovery of {num_runs} runs: {wall_s:.4f}s wall")
+        v3_ns.add(num_runs, float(sim_ns))
+        v3_validations.add(num_runs, float(validations))
+        metrics[f"v3_sim_ns_{num_runs}_runs"] = float(sim_ns)
+
+        # v1 arm: same data, pre-checksum headers -- wholesale decode.
+        index = _build_index(f"a12v1-{num_runs}", num_runs)
+        _downgrade_all_to_v1(index)
+        sim_ns, validations, decodes, wall_s = _crash_recover(index)
+        total_entries = num_runs * ENTRIES_PER_RUN
+        assert validations == 0  # no checksums to check
+        assert decodes >= total_entries, (
+            f"v1 fallback decoded {decodes} < {total_entries} entries"
+        )
+        print(f"v1 recovery of {num_runs} runs: {wall_s:.4f}s wall")
+        v1_ns.add(num_runs, float(sim_ns))
+        v1_decodes.add(num_runs, float(decodes))
+        metrics[f"v1_sim_ns_{num_runs}_runs"] = float(sim_ns)
+        metrics[f"v1_entry_decodes_{num_runs}_runs"] = float(decodes)
+
+    # Scaling: recovery cost grows ~linearly with run count on both arms
+    # (every surviving run is re-validated exactly once).
+    for line in (v3_ns, v1_ns, v3_validations, v1_decodes):
+        assert_roughly_linear(
+            [float(x) for x, _ in line.points], line.ys(),
+            tolerance=1.5, label=f"A12 {line.label}",
+        )
+
+    result = ExperimentResult(
+        figure="Ablation A12",
+        title="Recovery scaling: simulated cost and validation work vs run count",
+        x_label="surviving runs",
+        y_label="sim ns / counter value",
+        series=[v3_ns, v1_ns, v3_validations, v1_decodes],
+        notes=(
+            f"{ENTRIES_PER_RUN} entries per run; full crash (local tiers "
+            "lost) before each recovery; v1 arm downgrades every header "
+            "to the pre-checksum format"
+        ),
+        metrics=metrics,
+    )
+    reporter(result, "recovery_scaling")

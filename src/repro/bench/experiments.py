@@ -41,13 +41,20 @@ DEFAULT_SCAN_RANGES = (1, 10, 100, 1_000, 10_000)
 def fig08_build(
     sizes: Sequence[int] = DEFAULT_BUILD_SIZES, repeat: int = 3
 ) -> ExperimentResult:
-    """Run-build time vs entry count for I1/I2/I3, normalized to (I1, min).
+    """Run-build cost vs entry count for I1/I2/I3, normalized to (I1, min).
 
     Paper claims: near-linear scaling; I3 fastest (one fewer key column);
     column-count impact small next to sort cost.
+
+    The figure's y-axis is the *simulated* I/O cost of the build (total
+    tier nanoseconds charged by the latency models) -- a deterministic
+    quantity, so the shape assertions downstream never flake on busy
+    hosts.  Wall-clock time is still measured (``repeat`` medians) but
+    only reported in ``metrics`` as plot-only context.
     """
     series: List[Series] = []
     base: Optional[float] = None
+    wall_total = 0.0
     for label, make_def in DEFINITIONS:
         definition = make_def()
         mapper = KeyMapper(definition)
@@ -55,22 +62,27 @@ def fig08_build(
         for n in sizes:
             entries = entries_for_keys(definition, list(range(n)), mapper)
 
-            def build() -> None:
-                builder = RunBuilder(definition, StorageHierarchy())
-                builder.build("b", entries, Zone.GROOMED, 0, 0, 0)
+            def build() -> int:
+                hierarchy = StorageHierarchy()
+                RunBuilder(definition, hierarchy).build(
+                    "b", entries, Zone.GROOMED, 0, 0, 0
+                )
+                return hierarchy.stats.total_sim_ns
 
-            elapsed = measure_wall_s(build, repeat)
+            wall_total += measure_wall_s(build, repeat)
+            sim_ns = float(build())
             if base is None:
-                base = elapsed  # (I1, smallest size)
-            line.add(n, elapsed)
+                base = sim_ns  # (I1, smallest size)
+            line.add(n, sim_ns)
         series.append(line)
     result = ExperimentResult(
         figure="Figure 8",
         title="Index building performance",
         x_label="entries per run",
-        y_label="build time",
+        y_label="build cost (simulated I/O ns)",
         series=series,
         notes="normalized to I1 at the smallest run size",
+        metrics={"build_wall_s_total": wall_total},
     )
     return result.normalize_all(base if base else 1.0)
 

@@ -39,6 +39,7 @@ from repro.core.run import (
     encode_data_block_from_blobs,
 )
 from repro.core.encoding import high_bits
+from repro.faults.crash import crash_point
 from repro.storage.block import Block, BlockId
 from repro.storage.hierarchy import StorageHierarchy
 
@@ -307,9 +308,12 @@ class RunBuilder:
         if header.persisted:
             # Header goes first so a crash mid-write leaves a detectably
             # incomplete run (recovery checks data blocks against the header).
+            crash_point("builder.pre_persist")
             self.hierarchy.write_persisted(header_block, write_through_ssd)
             for block in data_blocks:
+                crash_point("builder.data_block")
                 self.hierarchy.write_persisted(block, write_through_ssd)
+            crash_point("builder.post_persist")
         else:
             self.hierarchy.write_cached_only(header_block, spill_to_ssd)
             for block in data_blocks:

@@ -41,6 +41,7 @@ from repro.core.levels import LevelConfig
 from repro.core.merge import merge_entry_blob_streams
 from repro.core.run import IndexRun, Synopsis
 from repro.core.runlist import RunList
+from repro.faults.crash import crash_point
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.metrics import ReadIntent
 
@@ -161,10 +162,13 @@ class EvolveController:
         with self._lock:
             self._check_psn(psn)
             new_run = self.step1_build_run(entries, min_groomed_id, max_groomed_id)
+            crash_point("evolve.post_publish")
             before = self.watermark.value
             self.step2_advance_watermark(max_groomed_id)
+            crash_point("evolve.pre_gc")
             collected = self.step3_collect_obsolete()
             self.indexed_psn = psn
+            crash_point("evolve.pre_checkpoint")
             self._checkpoint()
             return EvolveResult(
                 psn=psn,
@@ -241,10 +245,13 @@ class EvolveController:
             new_run = self.step1_build_run_from_blobs(
                 spliced_blobs(), synopsis, min_groomed_id, max_groomed_id
             )
+            crash_point("evolve.post_publish")
             before = self.watermark.value
             self.step2_advance_watermark(max_groomed_id)
+            crash_point("evolve.pre_gc")
             collected = self.step3_collect_obsolete()
             self.indexed_psn = psn
+            crash_point("evolve.pre_checkpoint")
             self._checkpoint()
             return EvolveResult(
                 psn=psn,
@@ -284,6 +291,7 @@ class EvolveController:
             persisted=True,  # post-groomed runs are always durable
             write_through_ssd=self._write_through(level),
         )
+        crash_point("evolve.pre_publish")
         self.run_lists[Zone.POST_GROOMED].push_front(run)  # atomic
         return run
 
@@ -307,6 +315,7 @@ class EvolveController:
             persisted=True,  # post-groomed runs are always durable
             write_through_ssd=self._write_through(level),
         )
+        crash_point("evolve.pre_publish")
         self.run_lists[Zone.POST_GROOMED].push_front(run)  # atomic
         return run
 

@@ -19,7 +19,7 @@ from repro.core.definition import IndexDefinition
 from repro.core.entry import IndexEntry, RID, Zone
 from repro.core.epoch import RunLifecycle, RunListVersion
 from repro.core.evolve import EvolveController, EvolveResult, Watermark
-from repro.core.ids import RunIdAllocator
+from repro.core.ids import RunIdAllocator, parse_run_seq
 from repro.core.journal import MetadataJournal
 from repro.core.levels import LevelConfig
 from repro.core.merge import MergeController, MergeResult
@@ -478,6 +478,21 @@ class UmziIndex:
         Call after :meth:`StorageHierarchy.crash_local_tiers` (or on a fresh
         process pointed at existing shared storage).
         """
+        # Resume run-id allocation above every sequence number present in
+        # shared storage: a fresh process starts its allocator at 0, and
+        # the first post-recovery build would otherwise collide with a
+        # surviving namespace (shared storage is append-only).  Scanned
+        # before recover_index_state so ids dropped *by* recovery
+        # (incomplete/corrupt/superseded) are never handed out again
+        # either -- their delete may race a later write.
+        max_seq = max(
+            (
+                parse_run_seq(self._run_prefix, namespace)
+                for namespace in self.hierarchy.shared.namespaces()
+            ),
+            default=-1,
+        )
+        self.allocator.ensure_at_least(max_seq + 1)
         state = recover_index_state(
             self.definition, self.hierarchy, self._run_prefix, self.journal
         )

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.core.run import block_checksum
+from repro.faults.crash import crash_point
 from repro.storage.block import Block, BlockId
 from repro.storage.hierarchy import StorageHierarchy
 
@@ -45,12 +46,18 @@ class MetadataJournal:
         self.hierarchy = hierarchy
         self.namespace = namespace
         self._next_ordinal = self._discover_next_ordinal()
+        # Validity cache: ordinals this process appended are valid by
+        # construction; pre-existing ordinals (recovery) are validated
+        # lazily on first trim and the verdict remembered, so the
+        # steady-state trim path never re-reads checkpoint blocks.
+        self._validity: Dict[int, bool] = {}
 
     def _discover_next_ordinal(self) -> int:
         ids = self.hierarchy.shared.namespace_block_ids(self.namespace)
         return (max(bid.ordinal for bid in ids) + 1) if ids else 0
 
     def append(self, checkpoint: Checkpoint) -> None:
+        crash_point("journal.pre_append")
         body = _MAGIC + struct.pack(
             _FORMAT,
             checkpoint.indexed_psn,
@@ -59,7 +66,10 @@ class MetadataJournal:
         )
         payload = body + struct.pack(">I", block_checksum(body))
         block = Block(BlockId(self.namespace, self._next_ordinal), payload)
-        self.hierarchy.shared.write(block)
+        # Durable path (with transient-error retry); never SSD-cached --
+        # the journal is only ever read during recovery.
+        self.hierarchy.write_persisted(block, write_through_ssd=False)
+        self._validity[self._next_ordinal] = True
         self._next_ordinal += 1
         self._trim()
 
@@ -67,13 +77,33 @@ class MetadataJournal:
         """The newest checkpoint that verifies; torn tails are skipped."""
         ids = self.hierarchy.shared.namespace_block_ids(self.namespace)
         for bid in reversed(ids):
-            block = self.hierarchy.shared.read(bid)
+            block = self.hierarchy.read_shared(bid)
             if block is None:
                 continue
             checkpoint = self._try_decode(block.payload)
             if checkpoint is not None:
                 return checkpoint
         return None
+
+    def valid_checkpoints(self) -> List[Checkpoint]:
+        """All checkpoints that verify, newest first.
+
+        Recovery uses the full list (not just :meth:`latest`) when the
+        newest checkpoint promises coverage that shared storage cannot
+        actually support -- e.g. the post-groomed run a checkpoint
+        described was torn mid-write -- and must fall back to the newest
+        checkpoint consistent with the surviving runs.
+        """
+        ids = self.hierarchy.shared.namespace_block_ids(self.namespace)
+        checkpoints: List[Checkpoint] = []
+        for bid in reversed(ids):
+            block = self.hierarchy.read_shared(bid)
+            if block is None:
+                continue
+            checkpoint = self._try_decode(block.payload)
+            if checkpoint is not None:
+                checkpoints.append(checkpoint)
+        return checkpoints
 
     def _try_decode(self, payload: bytes) -> Optional[Checkpoint]:
         if payload[:4] != _MAGIC:
@@ -96,11 +126,42 @@ class MetadataJournal:
         indexed_psn, watermark, _ordinal = struct.unpack_from(_FORMAT, payload, 4)
         return Checkpoint(indexed_psn=indexed_psn, max_covered_groomed_id=watermark)
 
+    def _is_valid(self, bid: BlockId) -> bool:
+        cached = self._validity.get(bid.ordinal)
+        if cached is not None:
+            return cached
+        block = self.hierarchy.read_shared(bid)
+        verdict = block is not None and self._try_decode(block.payload) is not None
+        self._validity[bid.ordinal] = verdict
+        return verdict
+
     def _trim(self, keep: int = 4) -> None:
-        """Drop all but the newest ``keep`` checkpoints."""
+        """Drop the oldest checkpoints, keeping the newest ``keep`` *valid*
+        ones (and anything newer than them).
+
+        Counting raw ordinals instead of validity lost the newest valid
+        checkpoint whenever the tail held ``keep`` torn blocks -- recovery
+        would then find no checkpoint at all (the ISSUE 6 regression).
+        Torn blocks older than the cutoff are still deleted; if fewer
+        than ``keep`` checkpoints verify, nothing is deleted.
+        """
         ids = self.hierarchy.shared.namespace_block_ids(self.namespace)
-        for bid in ids[:-keep]:
-            self.hierarchy.shared.delete(bid)
+        if len(ids) <= keep:
+            return
+        cutoff: Optional[int] = None
+        valid_seen = 0
+        for bid in reversed(ids):
+            if self._is_valid(bid):
+                valid_seen += 1
+                if valid_seen == keep:
+                    cutoff = bid.ordinal
+                    break
+        if cutoff is None:
+            return  # fewer than ``keep`` valid checkpoints survive: keep all
+        for bid in ids:
+            if bid.ordinal < cutoff:
+                self.hierarchy.shared.delete(bid)
+                self._validity.pop(bid.ordinal, None)
 
 
 __all__ = ["Checkpoint", "MetadataJournal"]

@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro.core.cache import CacheManager
 from repro.core.entry import Zone
 from repro.core.merge import MergeController, MergeResult
+from repro.faults.crash import crash_point
 
 
 class MaintenanceService:
@@ -47,6 +48,7 @@ class MaintenanceService:
 
     def step(self, max_merges_per_zone: int = 64) -> List[MergeResult]:
         """Run all pending maintenance now (deterministic tests/benches)."""
+        crash_point("maintenance.step")
         results: List[MergeResult] = []
         for zone in (Zone.GROOMED, Zone.POST_GROOMED):
             results.extend(

@@ -45,6 +45,7 @@ from repro.core.ids import RunIdAllocator
 from repro.core.levels import LevelConfig
 from repro.core.run import IndexRun, Synopsis
 from repro.core.runlist import RunList
+from repro.faults.crash import crash_point
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.metrics import ReadIntent
 
@@ -319,8 +320,10 @@ class MergeController:
         # Splice: the victims and the old target-active form one contiguous
         # span (victims are the oldest at L, the target active is the newest
         # at L+1, and the list is globally recency-ordered).
+        crash_point("merge.pre_splice")
         span = [r.run_id for r in inputs]
         run_list.replace(span, new_run)
+        crash_point("merge.post_splice")
 
         deleted = self._garbage_collect_inputs(inputs, new_run)
 

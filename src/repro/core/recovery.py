@@ -58,6 +58,11 @@ class RecoveredState:
     # failed validation (checksum mismatch / undecodable), as opposed to
     # being absent outright.
     corrupt_run_ids: List[str] = field(default_factory=list)
+    # When the newest valid checkpoint promised post-groomed coverage the
+    # surviving runs cannot support (the covering run was torn mid-write
+    # and dropped), recovery falls back to an older supported checkpoint;
+    # ``clamped_from`` records the over-claiming one that was rejected.
+    clamped_from: Optional[Checkpoint] = None
 
 
 def _is_complete(hierarchy: StorageHierarchy, header: RunHeader) -> bool:
@@ -117,6 +122,63 @@ def _covers(outer: RunHeader, inner: RunHeader) -> bool:
     )
 
 
+def _coverage_chains(headers: List[RunHeader]) -> List[Tuple[int, int]]:
+    """Disjoint maximal gid intervals covered by these runs (merging
+    overlapping and adjacent ranges)."""
+    intervals = sorted(
+        (h.min_groomed_id, h.max_groomed_id) for h in headers
+    )
+    chains: List[Tuple[int, int]] = []
+    for lo, hi in intervals:
+        if chains and lo <= chains[-1][1] + 1:
+            chains[-1] = (chains[-1][0], max(chains[-1][1], hi))
+        else:
+            chains.append((lo, hi))
+    return chains
+
+
+def _supported_checkpoint(
+    checkpoints: List[Checkpoint],
+    post_groomed_kept: List[RunHeader],
+    anchor: Optional[int],
+) -> Tuple[Optional[Checkpoint], Optional[Checkpoint]]:
+    """Newest checkpoint whose watermark the surviving runs can support.
+
+    A checkpoint's watermark asserts "every groomed id up to here is
+    covered by the post-groomed run list" -- and recovery *acts* on that
+    assertion by deleting groomed runs at or under it.  If the covering
+    post-groomed run was torn mid-write (a silent fault: the writer got
+    no error) the newest checkpoint over-claims, and honouring it would
+    turn recoverable data loss into silent wrong answers.  So recovery
+    takes the newest checkpoint ``c`` (checkpoints arrive newest-first)
+    such that the kept post-groomed runs cover ``[anchor, c.watermark]``
+    contiguously, where ``anchor`` is the smallest groomed id any
+    readable run header mentions -- the earliest surviving evidence of
+    data.  Returns ``(effective, clamped_from)``.
+    """
+    if not checkpoints:
+        return None, None
+    chains = _coverage_chains(post_groomed_kept)
+    for checkpoint in checkpoints:
+        watermark = checkpoint.max_covered_groomed_id
+        if watermark < 0:
+            return checkpoint, _clamp_marker(checkpoints, checkpoint)
+        if anchor is None:
+            # A watermark >= 0 claims coverage, but no run header
+            # survives at all: nothing supports any claim.
+            continue
+        if any(lo <= anchor and hi >= watermark for lo, hi in chains):
+            return checkpoint, _clamp_marker(checkpoints, checkpoint)
+    return None, checkpoints[0]
+
+
+def _clamp_marker(
+    checkpoints: List[Checkpoint], effective: Checkpoint
+) -> Optional[Checkpoint]:
+    newest = checkpoints[0]
+    return newest if newest != effective else None
+
+
 def recover_index_state(
     definition: IndexDefinition,
     hierarchy: StorageHierarchy,
@@ -128,8 +190,7 @@ def recover_index_state(
     ``run_prefix`` scopes the scan to this index's namespaces (run ids are
     ``{prefix}-{zone}-{seq}``).
     """
-    checkpoint = journal.latest() if journal is not None else None
-    watermark = checkpoint.max_covered_groomed_id if checkpoint else -1
+    checkpoints = journal.valid_checkpoints() if journal is not None else []
 
     headers: List[RunHeader] = []
     incomplete: List[str] = []
@@ -168,10 +229,7 @@ def recover_index_state(
         headers.append(header)
 
     deleted: List[str] = []
-    runs_by_zone: Dict[Zone, List[IndexRun]] = {
-        Zone.GROOMED: [],
-        Zone.POST_GROOMED: [],
-    }
+    kept_by_zone: Dict[Zone, List[RunHeader]] = {}
     for zone in (Zone.GROOMED, Zone.POST_GROOMED):
         zone_headers = [h for h in headers if h.zone is zone]
         # Largest coverage first: descending end id, then widest range.
@@ -187,20 +245,38 @@ def recover_index_state(
         )
         kept: List[RunHeader] = []
         for header in zone_headers:
-            if zone is Zone.GROOMED and header.max_groomed_id <= watermark:
-                # Fully covered by the post-groomed zone already.
-                hierarchy.delete_namespace(header.run_id)
-                deleted.append(header.run_id)
-                continue
             if any(_covers(other, header) for other in kept):
                 # Already merged into a bigger run.
                 hierarchy.delete_namespace(header.run_id)
                 deleted.append(header.run_id)
                 continue
             kept.append(header)
-        runs_by_zone[zone] = [
-            IndexRun(definition, header, hierarchy) for header in kept
-        ]
+        kept_by_zone[zone] = kept
+
+    # The watermark is an *assertion* about post-groomed coverage, so it
+    # is validated against the runs that actually survived before being
+    # acted on (torn post-groomed persists make the newest checkpoint
+    # over-claim; see _supported_checkpoint).
+    anchor = min((h.min_groomed_id for h in headers), default=None)
+    checkpoint, clamped_from = _supported_checkpoint(
+        checkpoints, kept_by_zone[Zone.POST_GROOMED], anchor
+    )
+    watermark = checkpoint.max_covered_groomed_id if checkpoint else -1
+
+    groomed_kept: List[RunHeader] = []
+    for header in kept_by_zone[Zone.GROOMED]:
+        if header.max_groomed_id <= watermark:
+            # Fully covered by the post-groomed zone already.
+            hierarchy.delete_namespace(header.run_id)
+            deleted.append(header.run_id)
+            continue
+        groomed_kept.append(header)
+    kept_by_zone[Zone.GROOMED] = groomed_kept
+
+    runs_by_zone: Dict[Zone, List[IndexRun]] = {
+        zone: [IndexRun(definition, header, hierarchy) for header in kept]
+        for zone, kept in kept_by_zone.items()
+    }
 
     return RecoveredState(
         runs_by_zone=runs_by_zone,
@@ -208,6 +284,7 @@ def recover_index_state(
         deleted_run_ids=deleted,
         incomplete_run_ids=incomplete,
         corrupt_run_ids=corrupt,
+        clamped_from=clamped_from,
     )
 
 

@@ -1,0 +1,49 @@
+"""Seeded fault injection for crash-recovery testing (ISSUE 6).
+
+Public surface:
+
+* :class:`FaultPlan` / :class:`TornWrite` / :class:`BitRot` /
+  :class:`TransientFault` -- the seeded schedule (``plan``).
+* :class:`FaultyTier` -- shared storage executing a plan (``storage``).
+* :class:`CrashSchedule` / :func:`crash_point` /
+  :func:`install_crash_schedule` / ``CRASH_SITES`` -- named process
+  crash points (``crash``).
+* :class:`SimulatedCrash` / :class:`TransientIOError` -- error types
+  (``errors``; ``TransientIOError`` canonically lives in
+  ``repro.storage.retry`` so the storage layer never imports this
+  package).
+
+``repro.faults.harness`` (the crash/recovery driver + workload
+generator used by the property suite) is deliberately *not* imported
+here: it pulls in ``repro.core.index``, and importing it eagerly would
+create a cycle for any core module that wants ``crash_point``.
+"""
+
+from repro.faults.crash import (
+    CRASH_SITES,
+    CrashSchedule,
+    active_schedule,
+    crash_point,
+    install_crash_schedule,
+)
+from repro.faults.errors import SimulatedCrash, TransientIOError
+from repro.faults.plan import BitRot, FaultPlan, TornWrite, TransientFault
+from repro.faults.storage import FaultyTier
+from repro.storage.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "BitRot",
+    "CRASH_SITES",
+    "CrashSchedule",
+    "DEFAULT_RETRY_POLICY",
+    "FaultPlan",
+    "FaultyTier",
+    "RetryPolicy",
+    "SimulatedCrash",
+    "TornWrite",
+    "TransientFault",
+    "TransientIOError",
+    "active_schedule",
+    "crash_point",
+    "install_crash_schedule",
+]

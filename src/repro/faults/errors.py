@@ -1,0 +1,35 @@
+"""Fault-injection error types (ISSUE 6).
+
+:class:`TransientIOError` lives in the storage layer
+(``repro.storage.retry``) because the hierarchy's retry loop must catch
+it without importing this package; it is re-exported here so fault-side
+code has one import surface.
+
+:class:`SimulatedCrash` deliberately derives from ``BaseException`` --
+the codebase (like most) contains broad ``except Exception`` handlers on
+background paths, and a simulated process death must not be swallowed by
+one of them and turned into "the daemon logged an error and carried on".
+A real ``kill -9`` does not flow through exception handlers either.
+"""
+
+from __future__ import annotations
+
+from repro.storage.retry import TransientIOError
+
+__all__ = ["SimulatedCrash", "TransientIOError"]
+
+
+class SimulatedCrash(BaseException):
+    """The simulated process died at a named crash point.
+
+    Raised by :func:`repro.faults.crash.crash_point` when the active
+    :class:`~repro.faults.crash.CrashSchedule` triggers.  The harness
+    catches it at the top of its drive loop, drops all local state
+    (local storage tiers + in-memory index objects), and re-runs
+    recovery -- exactly the paper's section 5.5 scenario.
+    """
+
+    def __init__(self, site: str, hit: int) -> None:
+        super().__init__(f"simulated crash at {site} (hit #{hit})")
+        self.site = site
+        self.hit = hit

@@ -1,0 +1,178 @@
+"""Seeded fault plans: one integer reproduces one fault universe.
+
+A :class:`FaultPlan` is the deterministic schedule that drives both the
+storage-fault injector (:class:`~repro.faults.storage.FaultyTier`) and
+the process-crash schedule (:class:`~repro.faults.crash.CrashSchedule`).
+All randomness happens *here*, at generation time, from one
+``random.Random(seed)`` -- execution is pure table lookup, so the same
+seed over the same workload produces byte-identical fault behaviour on
+every run and every host.  That is what lets the property suite shrink a
+failing universe to "seed 17".
+
+Fault taxonomy (docs/architecture.md has the table):
+
+* :class:`TornWrite` -- a multi-block run persist stops partway: some
+  data blocks (and optionally the header) silently never reach shared
+  storage.  Models a process dying mid-upload.  Targeted by *persist
+  ordinal* (the Nth run-persist the tier observes).
+* :class:`BitRot` -- one byte of an already-stored data block is
+  XOR-flipped after the write completes.  Models media corruption; the
+  v3 per-block CRC32 must detect it during recovery validation.
+* :class:`TransientFault` -- the Nth shared-storage operation raises
+  :class:`TransientIOError` ``failures`` consecutive times before
+  succeeding.  Models network blips; the hierarchy's
+  :class:`~repro.storage.retry.RetryPolicy` must absorb it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.faults.crash import CRASH_SITES, CrashSchedule
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """Tear the ``persist_ordinal``-th run persist (1-based).
+
+    ``keep_data_blocks`` data blocks land before the tear; when
+    ``drop_header`` the header block (ordinal 0) is also lost, which is
+    the "no header -> run invisible to recovery" arm of section 5.5.
+    """
+
+    persist_ordinal: int
+    keep_data_blocks: int
+    drop_header: bool
+
+
+@dataclass(frozen=True)
+class BitRot:
+    """Flip one byte of a stored data block.
+
+    Fires after the ``after_write_ordinal``-th data-block write to a run
+    namespace; ``victim_index`` picks which already-stored data block of
+    that namespace rots (modulo the count), ``pos_seed`` picks the byte
+    offset (modulo the payload length) and ``xor_mask`` is the non-zero
+    flip.  Headers are never rotted: the header carries no self-checksum
+    (its integrity story is the journal + decode validation), so header
+    rot would be indistinguishable from a format bug rather than a
+    detectable data fault.
+    """
+
+    after_write_ordinal: int
+    victim_index: int
+    pos_seed: int
+    xor_mask: int
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """Make the ``op_ordinal``-th shared-storage op (1-based, reads and
+    writes counted together) fail ``failures`` times before succeeding."""
+
+    op_ordinal: int
+    failures: int
+
+
+@dataclass
+class FaultPlan:
+    """Everything one seed decided: storage faults + crash schedule."""
+
+    seed: int
+    torn_writes: Tuple[TornWrite, ...] = ()
+    bit_rot: Tuple[BitRot, ...] = ()
+    transient: Tuple[TransientFault, ...] = ()
+    crash_triggers: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+
+    def crash_schedule(self) -> CrashSchedule:
+        """A fresh (mutable, hit-counting) schedule for this plan."""
+        return CrashSchedule(self.crash_triggers)
+
+    @staticmethod
+    def generate(
+        seed: int,
+        max_crashes: int = 3,
+        max_torn_writes: int = 2,
+        max_bit_rot: int = 2,
+        max_transient: int = 3,
+        max_hit_ordinal: int = 4,
+        max_op_ordinal: int = 400,
+    ) -> "FaultPlan":
+        """Derive a plan from ``seed`` alone (no ambient randomness).
+
+        The knobs bound how hostile a universe can get; transient-fault
+        ``failures`` stays strictly below the default retry budget
+        (``RetryPolicy.max_attempts = 4``) so injected blips are always
+        absorbable -- give-ups are exercised by dedicated outage tests,
+        not by the byte-identity property (where an op that errors out
+        would be a legitimate failure, not a wrong answer).
+        """
+        rng = random.Random(seed)
+
+        torn: List[TornWrite] = []
+        used_persists: set = set()
+        for _ in range(rng.randint(0, max_torn_writes)):
+            ordinal = rng.randint(1, 12)
+            if ordinal in used_persists:
+                continue
+            used_persists.add(ordinal)
+            torn.append(
+                TornWrite(
+                    persist_ordinal=ordinal,
+                    keep_data_blocks=rng.randint(0, 3),
+                    drop_header=rng.random() < 0.5,
+                )
+            )
+
+        rot: List[BitRot] = []
+        for _ in range(rng.randint(0, max_bit_rot)):
+            rot.append(
+                BitRot(
+                    after_write_ordinal=rng.randint(1, 20),
+                    victim_index=rng.randint(0, 7),
+                    pos_seed=rng.randint(0, 1 << 30),
+                    xor_mask=rng.randint(1, 255),
+                )
+            )
+
+        transient: List[TransientFault] = []
+        used_ops: set = set()
+        for _ in range(rng.randint(0, max_transient)):
+            ordinal = rng.randint(1, max_op_ordinal)
+            if ordinal in used_ops:
+                continue
+            used_ops.add(ordinal)
+            transient.append(
+                TransientFault(
+                    op_ordinal=ordinal,
+                    failures=rng.randint(1, 2),
+                )
+            )
+
+        triggers: Dict[str, FrozenSet[int]] = {}
+        for _ in range(rng.randint(0, max_crashes)):
+            site = rng.choice(CRASH_SITES)
+            ordinal = rng.randint(1, max_hit_ordinal)
+            triggers[site] = frozenset(triggers.get(site, frozenset()) | {ordinal})
+
+        return FaultPlan(
+            seed=seed,
+            torn_writes=tuple(sorted(torn, key=lambda t: t.persist_ordinal)),
+            bit_rot=tuple(rot),
+            transient=tuple(sorted(transient, key=lambda t: t.op_ordinal)),
+            crash_triggers=triggers,
+        )
+
+    def describe(self) -> str:
+        """One line for failure messages: what this universe contains."""
+        sites = {s: sorted(o) for s, o in sorted(self.crash_triggers.items())}
+        return (
+            f"FaultPlan(seed={self.seed}, torn={len(self.torn_writes)}, "
+            f"rot={len(self.bit_rot)}, transient={len(self.transient)}, "
+            f"crashes={sites})"
+        )
+
+
+__all__ = ["BitRot", "FaultPlan", "TornWrite", "TransientFault"]

@@ -23,9 +23,11 @@ from typing import Iterator, List, Optional
 
 from repro.storage.block import Block, BlockId
 from repro.storage.memory import MemoryTier
-from repro.storage.metrics import IOStats, ReadIntent
+from repro.storage.metrics import IntentStats, IOStats, ReadIntent
+from repro.storage.retry import DEFAULT_RETRY_POLICY, RetryPolicy, TransientIOError
 from repro.storage.shared import SharedStorage
 from repro.storage.ssd import SSDTier
+from repro.storage.tier import TierName
 
 MAINTENANCE_READ_MODES = ("intent", "legacy")
 
@@ -66,8 +68,13 @@ class StorageHierarchy:
         shared: Optional[SharedStorage] = None,
         stats: Optional[IOStats] = None,
         maintenance_read_mode: str = "intent",
+        retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
     ) -> None:
         self.stats = stats if stats is not None else IOStats()
+        # Transient shared-storage errors (TransientIOError) are retried
+        # with capped exponential backoff on the simulated clock; ``None``
+        # disables retries (the first transient error propagates).
+        self.retry_policy = retry_policy
         self.memory = memory if memory is not None else MemoryTier(stats=self.stats)
         self.ssd = ssd if ssd is not None else SSDTier(stats=self.stats)
         self.shared = shared if shared is not None else SharedStorage(stats=self.stats)
@@ -122,6 +129,64 @@ class StorageHierarchy:
             or self._maintenance_read_mode == "legacy"
         )
 
+    # -- transient-fault retry (ISSUE 6) ---------------------------------------
+
+    def _shared_read(
+        self, block_id: BlockId, istats: Optional[IntentStats] = None
+    ) -> Optional[Block]:
+        """``shared.read`` with capped-exponential-backoff retry.
+
+        Transient errors (:class:`TransientIOError`) are retried up to the
+        policy's attempt budget, charging each wait to the shared tier's
+        simulated clock; exhausting the budget counts a give-up and
+        re-raises, so the caller sees an *error*, never a wrong answer.
+        Retries and give-ups are attributed to ``istats`` (the read's
+        intent) when given, and always to the aggregate fault ledger.
+        """
+        policy = self.retry_policy
+        fstats = self.stats.faults
+        attempt = 1
+        while True:
+            try:
+                return self.shared.read(block_id)
+            except TransientIOError:
+                if policy is None or attempt >= policy.max_attempts:
+                    fstats.read_giveups += 1
+                    if istats is not None:
+                        istats.giveups += 1
+                    raise
+                fstats.read_retries += 1
+                if istats is not None:
+                    istats.retries += 1
+                self.stats.record_backoff(
+                    TierName.SHARED.value, policy.backoff_ns(attempt)
+                )
+                attempt += 1
+
+    def _shared_write(self, block: Block) -> None:
+        """``shared.write`` with the same retry/backoff contract as reads.
+
+        Write retries are safe against double-apply: shared storage is
+        append-only, so a retried write either lands the block or fails
+        again -- an in-place overwrite is impossible by construction.
+        """
+        policy = self.retry_policy
+        fstats = self.stats.faults
+        attempt = 1
+        while True:
+            try:
+                self.shared.write(block)
+                return
+            except TransientIOError:
+                if policy is None or attempt >= policy.max_attempts:
+                    fstats.write_giveups += 1
+                    raise
+                fstats.write_retries += 1
+                self.stats.record_backoff(
+                    TierName.SHARED.value, policy.backoff_ns(attempt)
+                )
+                attempt += 1
+
     # -- write paths ---------------------------------------------------------
 
     def write_persisted(self, block: Block, write_through_ssd: bool = True) -> None:
@@ -131,7 +196,7 @@ class StorageHierarchy:
         the durable write still succeeds and the block simply stays
         uncached until the cache manager frees space.
         """
-        self.shared.write(block)
+        self._shared_write(block)
         if write_through_ssd and self.ssd.would_fit(block.size):
             self.ssd.write(block)
 
@@ -171,7 +236,7 @@ class StorageHierarchy:
         if block is not None:
             istats.ssd_hits += 1
             return block
-        block = self.shared.read(block_id)
+        block = self._shared_read(block_id, istats)
         if block is None:
             raise BlockNotFoundError(block_id)
         istats.shared_reads += 1
@@ -207,7 +272,7 @@ class StorageHierarchy:
         """
         istats = self.stats.intents[intent]
         istats.reads += 1
-        block = self.shared.read(block_id)
+        block = self._shared_read(block_id, istats)
         if block is not None:
             istats.shared_reads += 1
         return block
@@ -224,7 +289,7 @@ class StorageHierarchy:
         """Fetch a block from shared storage into the SSD cache (load)."""
         if self.ssd.contains(block_id):
             return True
-        block = self.shared.read(block_id)
+        block = self._shared_read(block_id)
         if block is None:
             return False
         if not self.ssd.would_fit(block.size):

@@ -60,6 +60,12 @@ class IntentStats:
     ssd_hits: int = 0
     shared_reads: int = 0
     promotions: int = 0
+    # Transient-fault handling on the shared-read path (ISSUE 6):
+    # ``retries`` counts shared reads re-issued after a TransientIOError,
+    # ``giveups`` counts reads abandoned after the retry budget ran out
+    # (the error propagates to the caller).
+    retries: int = 0
+    giveups: int = 0
 
     def snapshot(self) -> "IntentStats":
         return IntentStats(
@@ -68,6 +74,8 @@ class IntentStats:
             ssd_hits=self.ssd_hits,
             shared_reads=self.shared_reads,
             promotions=self.promotions,
+            retries=self.retries,
+            giveups=self.giveups,
         )
 
     def diff(self, earlier: "IntentStats") -> "IntentStats":
@@ -77,6 +85,8 @@ class IntentStats:
             ssd_hits=self.ssd_hits - earlier.ssd_hits,
             shared_reads=self.shared_reads - earlier.shared_reads,
             promotions=self.promotions - earlier.promotions,
+            retries=self.retries - earlier.retries,
+            giveups=self.giveups - earlier.giveups,
         )
 
     def local_hit_rate(self) -> float:
@@ -91,6 +101,96 @@ class IntentStats:
         self.ssd_hits = 0
         self.shared_reads = 0
         self.promotions = 0
+        self.retries = 0
+        self.giveups = 0
+
+
+@dataclass
+class FaultStats:
+    """Aggregate fault-injection and fault-handling counters (ISSUE 6).
+
+    The injection side (``transient_*_errors``, ``torn_writes``,
+    ``dropped_headers``, ``bit_flips``, ``crashes_injected``) is
+    incremented by the deterministic fault injector (``repro.faults``);
+    the handling side (``*_retries``, ``*_giveups``, ``backoff_sim_ns``)
+    by :class:`~repro.storage.hierarchy.StorageHierarchy`'s retry loops.
+    Together they make fault tests counter-asserted: every injected
+    transient error must show up as exactly one retry or one give-up.
+
+    Counters are plain ints incremented without the ledger lock (same
+    rationale as :class:`DecodeStats`).
+    """
+
+    transient_read_errors: int = 0
+    transient_write_errors: int = 0
+    read_retries: int = 0
+    write_retries: int = 0
+    read_giveups: int = 0
+    write_giveups: int = 0
+    backoff_sim_ns: int = 0
+    torn_writes: int = 0
+    dropped_headers: int = 0
+    bit_flips: int = 0
+    crashes_injected: int = 0
+
+    def snapshot(self) -> "FaultStats":
+        return FaultStats(
+            transient_read_errors=self.transient_read_errors,
+            transient_write_errors=self.transient_write_errors,
+            read_retries=self.read_retries,
+            write_retries=self.write_retries,
+            read_giveups=self.read_giveups,
+            write_giveups=self.write_giveups,
+            backoff_sim_ns=self.backoff_sim_ns,
+            torn_writes=self.torn_writes,
+            dropped_headers=self.dropped_headers,
+            bit_flips=self.bit_flips,
+            crashes_injected=self.crashes_injected,
+        )
+
+    def diff(self, earlier: "FaultStats") -> "FaultStats":
+        return FaultStats(
+            transient_read_errors=(
+                self.transient_read_errors - earlier.transient_read_errors
+            ),
+            transient_write_errors=(
+                self.transient_write_errors - earlier.transient_write_errors
+            ),
+            read_retries=self.read_retries - earlier.read_retries,
+            write_retries=self.write_retries - earlier.write_retries,
+            read_giveups=self.read_giveups - earlier.read_giveups,
+            write_giveups=self.write_giveups - earlier.write_giveups,
+            backoff_sim_ns=self.backoff_sim_ns - earlier.backoff_sim_ns,
+            torn_writes=self.torn_writes - earlier.torn_writes,
+            dropped_headers=self.dropped_headers - earlier.dropped_headers,
+            bit_flips=self.bit_flips - earlier.bit_flips,
+            crashes_injected=self.crashes_injected - earlier.crashes_injected,
+        )
+
+    @property
+    def transient_errors(self) -> int:
+        return self.transient_read_errors + self.transient_write_errors
+
+    @property
+    def retries(self) -> int:
+        return self.read_retries + self.write_retries
+
+    @property
+    def giveups(self) -> int:
+        return self.read_giveups + self.write_giveups
+
+    def reset(self) -> None:
+        self.transient_read_errors = 0
+        self.transient_write_errors = 0
+        self.read_retries = 0
+        self.write_retries = 0
+        self.read_giveups = 0
+        self.write_giveups = 0
+        self.backoff_sim_ns = 0
+        self.torn_writes = 0
+        self.dropped_headers = 0
+        self.bit_flips = 0
+        self.crashes_injected = 0
 
 
 @dataclass
@@ -312,6 +412,8 @@ class IOStats:
             ReadIntent.QUERY: IntentStats(),
             ReadIntent.MAINTENANCE: IntentStats(),
         }
+        # Fault-injection and transient-retry counters (see FaultStats).
+        self.faults = FaultStats()
 
     def for_intent(self, intent: ReadIntent) -> IntentStats:
         """The live (mutable) counter object for one read intent."""
@@ -344,6 +446,18 @@ class IOStats:
             stats.deletes += 1
             stats.sim_ns += sim_ns
 
+    def record_backoff(self, tier: str, sim_ns: int) -> None:
+        """Charge retry-backoff waiting time to a tier's simulated clock.
+
+        No read/write is counted -- the op that failed already charged (or
+        will charge) its own I/O; this is purely the time spent waiting
+        between attempts.
+        """
+        with self._lock:
+            stats = self._tiers.setdefault(tier, TierStats())
+            stats.sim_ns += sim_ns
+        self.faults.backoff_sim_ns += sim_ns
+
     def tier(self, tier: str) -> TierStats:
         """Return a snapshot of one tier's counters (zeros if untouched)."""
         with self._lock:
@@ -367,3 +481,4 @@ class IOStats:
         self.epochs.reset()
         for stats in self.intents.values():
             stats.reset()
+        self.faults.reset()

@@ -14,6 +14,7 @@ import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.faults.crash import crash_point
 from repro.storage.metrics import ReadIntent
 from repro.wildfire.blockstore import BlockCatalog
 from repro.wildfire.clock import HybridClock, compose_begin_ts
@@ -65,6 +66,9 @@ class Groomer:
         with self._lock, self.catalog.hierarchy.reading_as(
             ReadIntent.MAINTENANCE
         ):
+            # Before the drain: a crash here loses no committed work (the
+            # log is re-drained after recovery).
+            crash_point("groom.enter")
             transactions = self.committed_log.drain()
             if not transactions:
                 return None
@@ -84,6 +88,7 @@ class Groomer:
                     order += 1
 
             block = self.catalog.store_groomed(records)
+            crash_point("groom.pre_index")
 
             # One index run per attached index (primary + secondaries),
             # fed through the block's batched (rid, record) hand-off.

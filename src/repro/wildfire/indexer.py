@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.entry import RID, Zone
 from repro.core.evolve import EvolveResult
+from repro.faults.crash import crash_point
 from repro.storage.metrics import ReadIntent
 from repro.wildfire.blockstore import BlockCatalog
 from repro.wildfire.indexes import ShardIndexes
@@ -88,6 +89,7 @@ class IndexerDaemon:
             next_psn = self.indexes.min_indexed_psn() + 1
             if next_psn > self.post_groomer.max_psn:
                 return None
+            crash_point("indexer.pre_evolve")
             op = self.post_groomer.get_op(next_psn)
 
             new_rid_by_ts: Dict[int, RID] = {}

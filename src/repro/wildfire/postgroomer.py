@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.encoding import KeyValue
 from repro.core.entry import RID, Zone
 from repro.core.index import UmziIndex
+from repro.faults.crash import crash_point
 from repro.storage.metrics import ReadIntent
 from repro.wildfire.blockstore import BlockCatalog
 from repro.wildfire.record import Record
@@ -120,6 +121,7 @@ class PostGroomer:
                 record_count=len(records),
                 rid_by_begin_ts=rid_by_begin_ts,
             )
+            crash_point("postgroom.pre_publish")
             self._ops[psn] = op
             self._last_post_groomed_gid = last_gid
             self.catalog.deprecate_groomed(range(first_gid, last_gid + 1))

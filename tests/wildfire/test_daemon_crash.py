@@ -1,0 +1,107 @@
+"""Daemon crashes mid-pipeline: the shard loses no committed data.
+
+Model-based (not byte-identical): crashes fire at the wildfire daemons'
+crash sites while the deterministic tick loop runs; each one is answered
+with ``crash_and_recover`` (local tiers wiped, every index recovered from
+shared storage) and the loop continues.  After the final drain, every
+committed row must be visible with its last value -- the pipeline
+re-derives whatever the crash interrupted from the durable log and
+groomed blocks.
+"""
+
+import pytest
+
+from repro.core.definition import ColumnSpec
+from repro.faults.crash import CrashSchedule, install_crash_schedule
+from repro.faults.errors import SimulatedCrash
+from repro.wildfire.engine import ShardConfig, WildfireShard
+from repro.wildfire.schema import IndexSpec, TableSchema
+
+
+def make_shard(**config_overrides):
+    schema = TableSchema(
+        name="iot",
+        columns=(ColumnSpec("device"), ColumnSpec("msg"), ColumnSpec("reading")),
+        primary_key=("device", "msg"),
+        sharding_key=("device",),
+        partition_key=("msg",),
+    )
+    spec = IndexSpec(("device",), ("msg",), ("reading",))
+    return WildfireShard(schema, spec, config=ShardConfig(**config_overrides))
+
+
+def run_with_crashes(shard, schedule, rows_per_cycle, cycles):
+    """Tick the shard under a crash schedule, recovering after each death."""
+    crashes = 0
+    with install_crash_schedule(schedule):
+        for cycle in range(cycles):
+            shard.ingest(rows_per_cycle(cycle))
+            # A tick may die more than once (several daemons share it);
+            # retry until the whole cycle gets through.
+            while True:
+                try:
+                    shard.tick()
+                    break
+                except SimulatedCrash:
+                    crashes += 1
+                    shard.crash_and_recover()
+        while True:  # final drain, still under the schedule
+            try:
+                shard.run_cycles(3)
+                break
+            except SimulatedCrash:
+                crashes += 1
+                shard.crash_and_recover()
+    return crashes
+
+
+class TestDaemonCrashes:
+    @pytest.mark.parametrize(
+        "site,ordinal",
+        [
+            ("groom.enter", 2),
+            ("groom.pre_index", 1),
+            ("indexer.pre_evolve", 2),
+            ("postgroom.pre_publish", 1),
+            ("journal.pre_append", 2),
+        ],
+    )
+    def test_single_daemon_crash_loses_no_rows(self, site, ordinal):
+        shard = make_shard(post_groom_every=2)
+        schedule = CrashSchedule({site: {ordinal}})
+        crashes = run_with_crashes(
+            shard,
+            schedule,
+            rows_per_cycle=lambda c: [(d, 1, c * 100 + d) for d in range(4)],
+            cycles=6,
+        )
+        assert crashes == 1, f"{site} schedule never fired"
+        # Last-writer-wins: cycle 5's values survive every crash.
+        for device in range(4):
+            record = shard.point_query((device,), (1,))
+            assert record is not None, (site, device)
+            assert record.values == (device, 1, 500 + device)
+
+    def test_crash_storm_across_sites(self):
+        """Several daemons die across the run; the shard still converges
+        to the last committed values."""
+        shard = make_shard(post_groom_every=2)
+        schedule = CrashSchedule(
+            {
+                "groom.enter": {2},
+                "indexer.pre_evolve": {1, 3},
+                "journal.pre_append": {2},
+            }
+        )
+        crashes = run_with_crashes(
+            shard,
+            schedule,
+            rows_per_cycle=lambda c: [(d, m, c) for d in range(3) for m in range(2)],
+            cycles=8,
+        )
+        assert crashes == 4, "not every scheduled crash fired"
+        for device in range(3):
+            for msg in range(2):
+                record = shard.point_query((device,), (msg,))
+                assert record is not None
+                assert record.values == (device, msg, 7)
