@@ -3,6 +3,11 @@
 Paper: lookup time grows mildly with run size (offset array + binary
 search); I2 is slower (two equality columns make the offset array less
 effective at narrowing the initial range); I1 ~ I3.
+
+The shape assertions run on decode-probe counters (entry decodes plus
+zero-decode sort-key probes -- deterministic functions of run and
+batch), so this bench no longer needs a wall-clock waiver; wall time
+stays plot-only in the result metrics.
 """
 
 from repro.bench.experiments import fig09_single_run
@@ -21,7 +26,7 @@ def test_fig09_single_run(benchmark, reporter):
     results = fig09_single_run(
         sizes=SIZES,
         batch_size=BATCH,
-        repeat=1,  # wallclock-shape-ok: sublinear bound with 8x slack over a 50x sweep
+        repeat=1,  # counter-asserted
     )
     for result in results:
         reporter(result)
@@ -29,11 +34,12 @@ def test_fig09_single_run(benchmark, reporter):
     for result in results:
         for label in ("I1", "I2", "I3"):
             ys = result.series_by_label(label).ys()
-            # Shape: sublinear growth -- a 20x larger run must cost far
-            # less than 20x (the offset array bounds the search).
-            assert ys[-1] <= ys[0] * 8, (
+            # Shape: strongly sublinear growth -- a 20x larger run costs
+            # only log-more probes (measured ~1.8x; 3x leaves headroom
+            # for block-size or offset-array retuning).
+            assert ys[-1] <= ys[0] * 3, (
                 f"{result.figure} {label}: growth {ys[-1] / ys[0]:.1f}x "
-                "exceeds the sublinear bound"
+                "exceeds the binary-search log bound"
             )
 
     # Benchmark the primitive: one random batch against the largest run.

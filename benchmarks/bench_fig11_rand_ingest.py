@@ -23,16 +23,15 @@ def test_fig11_random_ingest(benchmark, reporter):
     fig_a, fig_b, fig_c = fig11_random_ingest(
         batch_sizes=BATCH_SIZES, run_counts=RUN_COUNTS,
         scan_ranges=SCAN_RANGES, num_runs=NUM_RUNS,
-        entries_per_run=ENTRIES_PER_RUN, repeat=3,
+        entries_per_run=ENTRIES_PER_RUN, repeat=1,  # counter-asserted
     )
     for result in (fig_a, fig_b, fig_c):
         reporter(result)
 
     # (a/b) sequential ~ random once synopses stop pruning: the two series
-    # stay within a small factor of each other.  Batch sizes 1 and 10 are
-    # millisecond-scale measurements and too noisy to constrain (the paper
-    # flags its own batch-1 point the same way), so only the substantial
-    # batch sizes are checked.
+    # stay within a small factor of each other.  Tiny batches mostly
+    # measure per-run fixed costs rather than pruning, so only the
+    # substantial batch sizes are checked.
     for result, tolerance in ((fig_a, 3.0), (fig_b, 3.0)):
         seq = result.series_by_label("sequential query").ys()
         rnd = result.series_by_label("random query").ys()

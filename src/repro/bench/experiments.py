@@ -102,17 +102,25 @@ def fig09_single_run(
     Paper claims: mild growth with run size (offset array + binary search
     bound the work); I2 slower than I1/I3 (two equality columns make the
     hash offset array less selective per column).
+
+    The y-axis is the batch's *decode-probe cost* (full entry decodes
+    plus zero-decode sort-key probes from the ``DecodeStats`` ledger) --
+    the deterministic counter behind the "binary search bounds the work"
+    claim, so the sublinear-shape assertion downstream never flakes on
+    busy hosts.  Wall time is still measured (``repeat`` medians) but
+    only reported in ``metrics`` as plot-only context.
     """
     results = []
     base: Optional[float] = None
     for query_kind in ("sequential", "random"):
         series: List[Series] = []
+        wall_total = 0.0
         for label, make_def in DEFINITIONS:
             definition = make_def()
             mapper = KeyMapper(definition)
             line = Series(label)
             for n in sizes:
-                run, _ = build_single_run(definition, n, mapper)
+                run, hierarchy = build_single_run(definition, n, mapper)
                 from repro.core.query import QueryExecutor
 
                 executor = QueryExecutor(definition, lambda run=run: [run])
@@ -124,21 +132,31 @@ def fig09_single_run(
                 )
                 batch = make_batch(min(batch_size, n))
 
-                elapsed = measure_wall_s(
+                wall_total += measure_wall_s(
                     lambda: executor.batch_lookup(batch), repeat
                 )
+                # Cold decode caches, then one counted batch: probes and
+                # decodes are deterministic functions of (run, batch).
+                run.drop_decode_cache()
+                decode = hierarchy.stats.decode
+                before = decode.entry_decodes + decode.raw_key_probes
+                executor.batch_lookup(batch)
+                cost = float(
+                    decode.entry_decodes + decode.raw_key_probes - before
+                )
                 if base is None:
-                    base = elapsed  # (I1, smallest, sequential)
-                line.add(n, elapsed)
+                    base = cost  # (I1, smallest, sequential)
+                line.add(n, cost)
             series.append(line)
         results.append(
             ExperimentResult(
                 figure=f"Figure 9{'a' if query_kind == 'sequential' else 'b'}",
                 title=f"Single-run lookups, {query_kind} query batch",
                 x_label="entries in run",
-                y_label="batch lookup time",
+                y_label="batch decode-probe cost",
                 series=series,
                 notes="normalized to (I1, smallest run, sequential)",
+                metrics={"lookup_wall_s_total": wall_total},
             ).normalize_all(base if base else 1.0)
         )
     return results
@@ -147,6 +165,30 @@ def fig09_single_run(
 # ---------------------------------------------------------------------------
 # Figures 10 and 11 -- multi-run query performance
 # ---------------------------------------------------------------------------
+
+
+def _cold_sim_ns(index, op) -> float:
+    """Simulated I/O ns charged by ``op`` with cold run decode caches.
+
+    Cold caches per measurement: every measured op pays its own block
+    fetches (warm caches would bill all I/O to whichever series runs
+    first), and the latency models make the total deterministic.
+    """
+    for run in index.all_runs():
+        run.drop_decode_cache()
+    before = index.hierarchy.stats.total_sim_ns
+    op()
+    return float(index.hierarchy.stats.total_sim_ns - before)
+
+
+def _cold_probe_cost(index, op) -> float:
+    """Decode-probe count (entry decodes + raw sort-key probes) of ``op``."""
+    for run in index.all_runs():
+        run.drop_decode_cache()
+    decode = index.hierarchy.stats.decode
+    before = decode.entry_decodes + decode.raw_key_probes
+    op()
+    return float(decode.entry_decodes + decode.raw_key_probes - before)
 
 
 def _multi_run_batch_sweep(
@@ -165,6 +207,7 @@ def _multi_run_batch_sweep(
     population = num_runs * entries_per_run
     series = []
     base: Optional[float] = None
+    wall_total = 0.0
     for query_kind in ("sequential", "random"):
         line = Series(f"{query_kind} query")
         for batch_size in batch_sizes:
@@ -177,25 +220,26 @@ def _multi_run_batch_sweep(
             batch = make_batch(batch_size)
 
             def op(batch=batch):
-                # Cold decode caches per measurement: both query kinds pay
-                # their own block fetches (warm caches would bill all I/O
-                # to whichever series is measured first).
                 for run in index.all_runs():
                     run.drop_decode_cache()
                 index.batch_lookup(batch)
 
-            per_key = measure_wall_s(op, repeat) / batch_size
+            wall_total += measure_wall_s(op, repeat)
+            per_key = _cold_sim_ns(
+                index, lambda batch=batch: index.batch_lookup(batch)
+            ) / batch_size
             if base is None:
                 base = per_key  # sequential, batch size 1
             line.add(batch_size, per_key)
         series.append(line)
     return ExperimentResult(
         figure=figure,
-        title=f"Per-key lookup time vs batch size ({key_mode.value} ingest)",
+        title=f"Per-key lookup cost vs batch size ({key_mode.value} ingest)",
         x_label="lookup batch size",
-        y_label="time per key",
+        y_label="per-key cost (simulated I/O ns)",
         series=series,
         notes="normalized to the sequential query at batch size 1",
+        metrics={"lookup_wall_s_total": wall_total},
     ).normalize_all(base if base else 1.0)
 
 
@@ -211,6 +255,7 @@ def _multi_run_runcount_sweep(
     mapper = KeyMapper(definition)
     series = []
     base: Optional[float] = None
+    wall_total = 0.0
     for query_kind in ("sequential", "random"):
         line = Series(f"{query_kind} query")
         for num_runs in run_counts:
@@ -231,18 +276,22 @@ def _multi_run_runcount_sweep(
                     run.drop_decode_cache()
                 index.batch_lookup(batch)
 
-            elapsed = measure_wall_s(op, repeat)
+            wall_total += measure_wall_s(op, repeat)
+            cost = _cold_sim_ns(
+                index, lambda index=index, batch=batch: index.batch_lookup(batch)
+            )
             if base is None:
-                base = elapsed  # sequential at one run
-            line.add(num_runs, elapsed)
+                base = cost  # sequential at one run
+            line.add(num_runs, cost)
         series.append(line)
     return ExperimentResult(
         figure=figure,
-        title=f"Lookup time vs number of runs ({key_mode.value} ingest)",
+        title=f"Lookup cost vs number of runs ({key_mode.value} ingest)",
         x_label="# index runs",
-        y_label="batch lookup time",
+        y_label="batch lookup cost (simulated I/O ns)",
         series=series,
         notes="normalized to the sequential query against one run",
+        metrics={"lookup_wall_s_total": wall_total},
     ).normalize_all(base if base else 1.0)
 
 
@@ -264,6 +313,7 @@ def _multi_run_scan_sweep(
     )
     series = []
     base: Optional[float] = None
+    wall_total = 0.0
     for query_kind in ("sequential", "random"):
         line = Series(f"{query_kind} query")
         for scan_range in scan_ranges:
@@ -280,18 +330,28 @@ def _multi_run_scan_sweep(
                     run.drop_decode_cache()
                 index.range_scan(scan, ReconcileStrategy.PRIORITY_QUEUE)
 
-            elapsed = measure_wall_s(op, repeat)
+            wall_total += measure_wall_s(op, repeat)
+            # Scan linearity is about entries examined, not blocks
+            # fetched (per-run fixed block costs dominate small ranges),
+            # so the y-axis is the decode-probe counter.
+            cost = _cold_probe_cost(
+                index,
+                lambda scan=scan: index.range_scan(
+                    scan, ReconcileStrategy.PRIORITY_QUEUE
+                ),
+            )
             if base is None:
-                base = elapsed  # sequential at range 1
-            line.add(scan_range, elapsed)
+                base = cost  # sequential at range 1
+            line.add(scan_range, cost)
         series.append(line)
     return ExperimentResult(
         figure=figure,
-        title=f"Range-scan time vs range ({key_mode.value} ingest, priority queue)",
+        title=f"Range-scan cost vs range ({key_mode.value} ingest, priority queue)",
         x_label="scan range size",
-        y_label="scan time",
+        y_label="scan decode-probe cost",
         series=series,
         notes="normalized to the sequential query at range 1",
+        metrics={"lookup_wall_s_total": wall_total},
     ).normalize_all(base if base else 1.0)
 
 

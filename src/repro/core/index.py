@@ -39,6 +39,37 @@ from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.metrics import ReadIntent
 
 
+class SnapshotPin:
+    """A pinned run-list version plus an executor that queries it.
+
+    Handle form of :meth:`UmziIndex.snapshot_view` for holders whose
+    lifetime is not lexical: the pin keeps every run of the version alive
+    (cache eviction skips pinned runs, physical frees defer) until
+    :meth:`release` -- call it exactly once; extra releases are no-ops.
+    """
+
+    def __init__(self, pin, executor: QueryExecutor) -> None:
+        self._pin = pin
+        self.executor = executor
+        self._released = False
+
+    @property
+    def runs(self):
+        return self._pin.runs
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._pin.release()
+
+    def __enter__(self) -> "SnapshotPin":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
 @dataclass(frozen=True)
 class UmziConfig:
     """Tunables of one index instance."""
@@ -405,16 +436,17 @@ class UmziIndex:
         """Candidate runs, newest first (list view of the current version)."""
         return self._collect_version().candidates()
 
-    @contextmanager
-    def snapshot_view(self) -> Iterator[QueryExecutor]:
+    def pin_snapshot(self) -> "SnapshotPin":
         """Pin the current :class:`RunListVersion` for repeatable reads.
 
-        Yields a :class:`QueryExecutor` whose every query answers from the
-        pinned version, no matter how many evolves or merges commit in the
-        meantime -- the epoch pin keeps the version's runs alive until the
-        scope exits.  (Individual queries outside this scope already pin
-        per-query; this is for callers that need *several* queries over one
-        consistent snapshot.)
+        Returns a :class:`SnapshotPin` -- a long-lived handle whose
+        executor answers every query from the pinned version, no matter
+        how many evolves or merges commit in the meantime; the pin keeps
+        the version's runs alive until :meth:`SnapshotPin.release`.
+        Callers that want scope semantics should prefer
+        :meth:`snapshot_view`; the explicit handle exists for holders
+        whose lifetime is not lexical (e.g. the cluster's degraded-read
+        mode keeps a pin open for as long as a storage brownout lasts).
         """
         pin = self.lifecycle.pin(self._collect_version)
         executor = QueryExecutor(
@@ -425,10 +457,22 @@ class UmziIndex:
             use_raw_keys=self.config.use_raw_keys,
             per_key_batch_pruning=self.config.per_key_batch_pruning,
         )
+        return SnapshotPin(pin, executor)
+
+    @contextmanager
+    def snapshot_view(self) -> Iterator[QueryExecutor]:
+        """Scope-bound :meth:`pin_snapshot` (the common case).
+
+        Yields a :class:`QueryExecutor` whose every query answers from the
+        pinned version.  (Individual queries outside this scope already pin
+        per-query; this is for callers that need *several* queries over one
+        consistent snapshot.)
+        """
+        snapshot = self.pin_snapshot()
         try:
-            yield executor
+            yield snapshot.executor
         finally:
-            pin.release()
+            snapshot.release()
 
     def post_groomed_lookup(
         self,
@@ -553,4 +597,4 @@ class UmziIndex:
         )
 
 
-__all__ = ["UmziConfig", "UmziIndex"]
+__all__ = ["SnapshotPin", "UmziConfig", "UmziIndex"]

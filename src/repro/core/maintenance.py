@@ -43,11 +43,29 @@ class MaintenanceService:
         self._stop = threading.Event()
         self._merges_done = 0
         self._merge_count_lock = threading.Lock()
+        # Backpressure gate (ISSUE 7): a ``() -> bool`` callable consulted
+        # before every unit of maintenance work; False skips the unit.
+        # See repro.qos.scheduler.DaemonScheduler.
+        self._gate = None
+
+    def set_gate(self, gate) -> None:
+        """Install (or clear, with ``None``) the backpressure gate."""
+        self._gate = gate
+
+    def _gate_allows(self) -> bool:
+        gate = self._gate
+        return gate is None or gate()
 
     # -- synchronous mode -----------------------------------------------------------
 
     def step(self, max_merges_per_zone: int = 64) -> List[MergeResult]:
-        """Run all pending maintenance now (deterministic tests/benches)."""
+        """Run all pending maintenance now (deterministic tests/benches).
+
+        With a gate installed, a throttled step does nothing and returns
+        an empty list (the pending merges stay pending).
+        """
+        if not self._gate_allows():
+            return []
         crash_point("maintenance.step")
         results: List[MergeResult] = []
         for zone in (Zone.GROOMED, Zone.POST_GROOMED):
@@ -100,6 +118,9 @@ class MaintenanceService:
 
     def _merge_loop(self, zone: Zone) -> None:
         while not self._stop.is_set():
+            if not self._gate_allows():
+                time.sleep(self.poll_interval_s)
+                continue
             result = self.merge_controller.merge_step(zone)
             if result is None:
                 time.sleep(self.poll_interval_s)
@@ -110,7 +131,8 @@ class MaintenanceService:
     def _cache_loop(self) -> None:
         assert self.cache_manager is not None
         while not self._stop.is_set():
-            self.cache_manager.maintain()
+            if self._gate_allows():
+                self.cache_manager.maintain()
             time.sleep(self.poll_interval_s)
 
     # -- context management ----------------------------------------------------------------

@@ -3,7 +3,8 @@
 Public surface:
 
 * :class:`FaultPlan` / :class:`TornWrite` / :class:`BitRot` /
-  :class:`TransientFault` -- the seeded schedule (``plan``).
+  :class:`TransientFault` / :class:`BrownoutWindow` -- the seeded
+  schedule (``plan``).
 * :class:`FaultyTier` -- shared storage executing a plan (``storage``).
 * :class:`CrashSchedule` / :func:`crash_point` /
   :func:`install_crash_schedule` / ``CRASH_SITES`` -- named process
@@ -27,12 +28,19 @@ from repro.faults.crash import (
     install_crash_schedule,
 )
 from repro.faults.errors import SimulatedCrash, TransientIOError
-from repro.faults.plan import BitRot, FaultPlan, TornWrite, TransientFault
+from repro.faults.plan import (
+    BitRot,
+    BrownoutWindow,
+    FaultPlan,
+    TornWrite,
+    TransientFault,
+)
 from repro.faults.storage import FaultyTier
 from repro.storage.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
     "BitRot",
+    "BrownoutWindow",
     "CRASH_SITES",
     "CrashSchedule",
     "DEFAULT_RETRY_POLICY",

@@ -22,13 +22,18 @@ Fault taxonomy (docs/architecture.md has the table):
   :class:`TransientIOError` ``failures`` consecutive times before
   succeeding.  Models network blips; the hierarchy's
   :class:`~repro.storage.retry.RetryPolicy` must absorb it.
+* :class:`BrownoutWindow` -- a *window* of elevated transient-error
+  rates: many failure bursts packed into a span of consecutive ops, some
+  long enough to exhaust the retry budget.  Models a shared-storage
+  service browning out; the qos circuit breaker (ISSUE 7) must trip and
+  queries must degrade instead of erroring.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.faults.crash import CRASH_SITES, CrashSchedule
 
@@ -76,6 +81,71 @@ class TransientFault:
     failures: int
 
 
+@dataclass(frozen=True)
+class BrownoutWindow:
+    """A seeded window of elevated transient-error rates (ISSUE 7).
+
+    The window spans ``length_ops`` consecutive shared-storage operations;
+    ``failing_offsets`` lists the 0-based op offsets *within the window*
+    that raise :class:`TransientIOError`, pregenerated from the seed as
+    bursts of consecutive failing ops so execution stays pure table
+    lookup.  Unlike :class:`TransientFault`, bursts may exceed the
+    default retry budget (``RetryPolicy.max_attempts = 4``): an
+    unprotected client gives up mid-window, which is precisely the
+    behaviour the circuit breaker exists to prevent.  The window ends
+    crisply -- op ``length_ops`` onward is healthy again.
+
+    Activation is either absolute (``start_op`` -- the 1-based tier op
+    ordinal at which the window opens) or relative: ``start_op=None``
+    windows are anchored at the current op sequence by
+    :meth:`~repro.faults.storage.FaultyTier.start_brownout`, so a bench
+    can open a brownout "now" without knowing absolute op counts.
+    """
+
+    length_ops: int
+    failing_offsets: Tuple[int, ...]
+    start_op: Optional[int] = None
+
+    @staticmethod
+    def generate(
+        seed: int,
+        length_ops: int = 120,
+        error_rate: float = 0.4,
+        min_burst: int = 2,
+        max_burst: int = 6,
+        start_op: Optional[int] = None,
+    ) -> "BrownoutWindow":
+        """Derive a window from ``seed`` alone.
+
+        Walking the window, each healthy op starts a failure burst with
+        probability ``error_rate``; burst lengths are uniform in
+        ``[min_burst, max_burst]`` consecutive ops.  With the defaults a
+        majority of the window's ops fail and some bursts exceed the
+        retry budget -- a hostile but bounded storm.
+        """
+        rng = random.Random(seed)
+        failing: List[int] = []
+        offset = 0
+        while offset < length_ops:
+            if rng.random() < error_rate:
+                burst = rng.randint(min_burst, max_burst)
+                failing.extend(
+                    o for o in range(offset, offset + burst) if o < length_ops
+                )
+                offset += burst
+            else:
+                offset += 1
+        return BrownoutWindow(
+            length_ops=length_ops,
+            failing_offsets=tuple(failing),
+            start_op=start_op,
+        )
+
+    @property
+    def total_failures(self) -> int:
+        return len(self.failing_offsets)
+
+
 @dataclass
 class FaultPlan:
     """Everything one seed decided: storage faults + crash schedule."""
@@ -85,6 +155,12 @@ class FaultPlan:
     bit_rot: Tuple[BitRot, ...] = ()
     transient: Tuple[TransientFault, ...] = ()
     crash_triggers: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    # Brownout windows (ISSUE 7).  Not produced by :meth:`generate` -- their
+    # bursts may exceed the retry budget, which would break the
+    # byte-identity property suite; overload tests/benches attach them
+    # explicitly (absolute ``start_op`` here, or relatively via
+    # ``FaultyTier.start_brownout``).
+    brownouts: Tuple[BrownoutWindow, ...] = ()
 
     def crash_schedule(self) -> CrashSchedule:
         """A fresh (mutable, hit-counting) schedule for this plan."""
@@ -171,8 +247,14 @@ class FaultPlan:
         return (
             f"FaultPlan(seed={self.seed}, torn={len(self.torn_writes)}, "
             f"rot={len(self.bit_rot)}, transient={len(self.transient)}, "
-            f"crashes={sites})"
+            f"brownouts={len(self.brownouts)}, crashes={sites})"
         )
 
 
-__all__ = ["BitRot", "FaultPlan", "TornWrite", "TransientFault"]
+__all__ = [
+    "BitRot",
+    "BrownoutWindow",
+    "FaultPlan",
+    "TornWrite",
+    "TransientFault",
+]

@@ -26,9 +26,9 @@ nothing).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.faults.plan import FaultPlan, TornWrite
+from repro.faults.plan import BrownoutWindow, FaultPlan, TornWrite
 from repro.storage.block import Block, BlockId
 from repro.storage.metrics import IOStats
 from repro.storage.retry import TransientIOError
@@ -75,6 +75,14 @@ class FaultyTier(SharedStorage):
         }
         self._op_seq = 0
         self._pending_failures = 0
+        # Brownout windows (ISSUE 7): active windows as (anchor_op,
+        # failing-offset set, length) triples.  Absolute windows
+        # (start_op set) self-anchor when their start op arrives;
+        # relative ones are anchored by start_brownout().
+        self._brownouts_pending: List[BrownoutWindow] = [
+            w for w in plan.brownouts if w.start_op is not None
+        ]
+        self._brownouts_active: List[Tuple[int, frozenset, int]] = []
         # Bit rot by data-block-write ordinal (run namespaces only).
         self._rot_by_write = {r.after_write_ordinal: r for r in plan.bit_rot}
         self._data_write_seq = 0
@@ -85,6 +93,27 @@ class FaultyTier(SharedStorage):
         """Hard outage: every op fails until cleared (give-up testing)."""
         self._outage = outage
 
+    def start_brownout(self, window: BrownoutWindow) -> None:
+        """Open a brownout window anchored at the *next* tier operation.
+
+        Relative activation: the caller says "brown out now" and the
+        window's pregenerated failing-offset table applies to the
+        following ``window.length_ops`` operations, whatever their
+        absolute ordinals -- one seed still reproduces the whole storm.
+        """
+        with self._lock:
+            self._brownouts_active.append(
+                (self._op_seq + 1, frozenset(window.failing_offsets), window.length_ops)
+            )
+
+    def brownout_active(self) -> bool:
+        """True while a window can still cover a *future* tier operation."""
+        with self._lock:
+            return any(
+                self._op_seq + 1 < anchor + length
+                for anchor, _, length in self._brownouts_active
+            )
+
     def _transient_gate(self, is_write: bool) -> None:
         """Raise TransientIOError if this op is scheduled to fail."""
         with self._lock:
@@ -92,9 +121,30 @@ class FaultyTier(SharedStorage):
             failures = self._transient_by_op.pop(self._op_seq, None)
             if failures is not None:
                 self._pending_failures += failures
-            fail = self._outage or self._pending_failures > 0
+            # Absolute brownout windows self-anchor at their start op.
+            for window in list(self._brownouts_pending):
+                if window.start_op == self._op_seq:
+                    self._brownouts_pending.remove(window)
+                    self._brownouts_active.append(
+                        (
+                            self._op_seq,
+                            frozenset(window.failing_offsets),
+                            window.length_ops,
+                        )
+                    )
+            in_brownout = any(
+                0 <= self._op_seq - anchor < length
+                and (self._op_seq - anchor) in offsets
+                for anchor, offsets, length in self._brownouts_active
+            )
+            self._brownouts_active = [
+                (anchor, offsets, length)
+                for anchor, offsets, length in self._brownouts_active
+                if self._op_seq < anchor + length
+            ]
+            fail = self._outage or self._pending_failures > 0 or in_brownout
             if fail:
-                if not self._outage:
+                if self._pending_failures > 0 and not self._outage and not in_brownout:
                     self._pending_failures -= 1
                 if is_write:
                     self.stats.faults.transient_write_errors += 1

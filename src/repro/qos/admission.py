@@ -1,0 +1,179 @@
+"""Token-bucket admission control with per-query deadlines (ISSUE 7).
+
+The controller sits in front of the cluster serving path
+(``ShardedTable.point_query``/``range_query``/``ingest``) and decides, for
+every arriving operation, one of three outcomes:
+
+* **admit immediately** -- a token is available; the op runs now.
+* **admit after queueing** -- the bucket is in deficit; the op is booked
+  against future tokens and charged a deterministic simulated queueing
+  delay (``queue_sim_ns`` on the :class:`~repro.storage.metrics.QosStats`
+  ledger).  The bucket's token count goes negative, which *is* the queue:
+  later arrivals see a deeper deficit and longer projected waits.
+* **shed** -- the projected wait exceeds ``max_queue_ns``
+  (:class:`~repro.qos.errors.Overloaded`) or the op's deadline
+  (:class:`~repro.qos.errors.DeadlineExceeded`).  Nothing is charged; the
+  refusal costs nothing, which is the point.
+
+Time is split across two deterministic clocks.  The **arrival clock**
+models offered load: the closed-loop driver calls :meth:`advance` to say
+"this much simulated time passed between client requests", and tokens
+refill against it.  The **work clock** (the shards' charged simulated
+nanoseconds) measures how long an admitted query actually took;
+:meth:`AdmissionTicket.finish` compares queueing + work time against the
+deadline and counts late completions as ``deadline_misses``.  Neither
+clock ever reads wall time, so every admit/shed decision replays
+identically from the same seed and schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.qos.breaker import BreakerConfig
+from repro.qos.errors import DeadlineExceeded, Overloaded
+from repro.storage.metrics import QosStats
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """Cluster overload-protection knobs (all times simulated ns).
+
+    The defaults are calibrated against the simulated tier latencies
+    (SSD read 80us, shared read 2ms): ``rate_per_sim_s`` of 20k ops/s
+    means one token per 50us -- comfortable for cache-hit traffic,
+    saturated the moment queries start missing to shared storage.
+    """
+
+    rate_per_sim_s: float = 20_000.0
+    burst: float = 32.0
+    max_queue_ns: int = 20_000_000  # 20 simulated ms of booked backlog
+    deadline_ns: int = 50_000_000  # 50 simulated ms per query
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    # DaemonScheduler hysteresis: throttle maintenance when the admission
+    # backlog crosses high_water_ns, release only after it has stayed
+    # below low_water_ns (with no retry pressure) for release_after
+    # consecutive gate checks.
+    high_water_ns: int = 4_000_000
+    low_water_ns: int = 500_000
+    release_after: int = 2
+    retry_delta_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate_per_sim_s <= 0:
+            raise ValueError("rate_per_sim_s must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.max_queue_ns < 0 or self.deadline_ns <= 0:
+            raise ValueError("queue/deadline bounds must be positive")
+
+    @property
+    def rate_per_ns(self) -> float:
+        return self.rate_per_sim_s / 1_000_000_000.0
+
+
+class AdmissionTicket:
+    """One admitted operation's deadline bookkeeping."""
+
+    def __init__(
+        self, controller: "AdmissionController", queued_ns: int, deadline_ns: int
+    ) -> None:
+        self._controller = controller
+        self.queued_ns = queued_ns
+        self.deadline_ns = deadline_ns
+        self._finished = False
+
+    def finish(self, work_ns: int) -> bool:
+        """Complete the op after ``work_ns`` simulated ns of shard work.
+
+        Returns True when the op met its deadline (queueing included);
+        a late completion bumps ``deadline_misses`` exactly once.
+        """
+        if self._finished:
+            return True
+        self._finished = True
+        met = self.queued_ns + work_ns <= self.deadline_ns
+        if not met:
+            self._controller.stats.deadline_misses += 1
+        return met
+
+
+class AdmissionController:
+    """Deterministic token bucket over the simulated arrival clock."""
+
+    def __init__(
+        self,
+        config: QosConfig,
+        stats: Optional[QosStats] = None,
+        charge: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else QosStats()
+        self._charge = charge
+        self._lock = threading.Lock()
+        self._now_ns = 0
+        self._last_refill_ns = 0
+        self._tokens = float(config.burst)
+
+    def advance(self, delta_ns: int) -> None:
+        """Advance the arrival clock: ``delta_ns`` of offered-load time."""
+        if delta_ns < 0:
+            raise ValueError("cannot advance the arrival clock backwards")
+        with self._lock:
+            self._now_ns += delta_ns
+
+    @property
+    def now_ns(self) -> int:
+        with self._lock:
+            return self._now_ns
+
+    def backlog_ns(self) -> int:
+        """Projected queueing delay for the next arrival (the queue depth
+        signal the :class:`~repro.qos.scheduler.DaemonScheduler` watches)."""
+        with self._lock:
+            self._refill_locked()
+            deficit = max(0.0, 1.0 - self._tokens)
+            return int(deficit / self.config.rate_per_ns)
+
+    def _refill_locked(self) -> None:
+        elapsed = self._now_ns - self._last_refill_ns
+        if elapsed > 0:
+            self._tokens = min(
+                float(self.config.burst),
+                self._tokens + elapsed * self.config.rate_per_ns,
+            )
+            self._last_refill_ns = self._now_ns
+
+    def admit(
+        self, cost: float = 1.0, deadline_ns: Optional[int] = None
+    ) -> AdmissionTicket:
+        """Admit one operation or shed it with a typed error."""
+        if deadline_ns is None:
+            deadline_ns = self.config.deadline_ns
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= cost:
+                self._tokens -= cost
+                self.stats.admitted += 1
+                return AdmissionTicket(self, 0, deadline_ns)
+            wait_ns = int((cost - self._tokens) / self.config.rate_per_ns)
+            if wait_ns > self.config.max_queue_ns:
+                self.stats.shed += 1
+                raise Overloaded(wait_ns)
+            if wait_ns > deadline_ns:
+                self.stats.shed += 1
+                self.stats.deadline_misses += 1
+                raise DeadlineExceeded(deadline_ns, wait_ns)
+            # Book the op against future tokens: the bucket goes negative,
+            # deepening the queue the next arrival sees.
+            self._tokens -= cost
+            self.stats.admitted += 1
+            self.stats.queue_sim_ns += wait_ns
+        if self._charge is not None and wait_ns > 0:
+            self._charge(wait_ns)
+        return AdmissionTicket(self, wait_ns, deadline_ns)
+
+
+__all__ = ["AdmissionController", "AdmissionTicket", "QosConfig"]

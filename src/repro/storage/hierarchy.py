@@ -85,6 +85,11 @@ class StorageHierarchy:
         self.shared.stats = self.stats
         self.set_maintenance_read_mode(maintenance_read_mode)
         self._intent_local = threading.local()
+        # Optional per-tier circuit breaker on the shared tier (ISSUE 7):
+        # any object with check()/record_success()/record_failure()
+        # (see repro.qos.breaker.CircuitBreaker).  Kept duck-typed so the
+        # storage layer does not depend on the qos package.
+        self._shared_breaker = None
 
     # -- read-intent policy ----------------------------------------------------
 
@@ -129,7 +134,22 @@ class StorageHierarchy:
             or self._maintenance_read_mode == "legacy"
         )
 
-    # -- transient-fault retry (ISSUE 6) ---------------------------------------
+    # -- transient-fault retry (ISSUE 6) + circuit breaker (ISSUE 7) -----------
+
+    def attach_shared_breaker(self, breaker) -> None:
+        """Install a circuit breaker over the shared tier (or None).
+
+        While the breaker is open, shared reads/writes fail fast with
+        :class:`~repro.storage.retry.StorageBrownout` *before* touching
+        the tier or burning retry budget; successes and transient
+        failures feed the breaker so it trips during brownouts and
+        re-closes after successful half-open probes.
+        """
+        self._shared_breaker = breaker
+
+    @property
+    def shared_breaker(self):
+        return self._shared_breaker
 
     def _shared_read(
         self, block_id: BlockId, istats: Optional[IntentStats] = None
@@ -142,14 +162,22 @@ class StorageHierarchy:
         re-raises, so the caller sees an *error*, never a wrong answer.
         Retries and give-ups are attributed to ``istats`` (the read's
         intent) when given, and always to the aggregate fault ledger.
+        With a breaker attached, consecutive failures can trip it
+        mid-loop, in which case the next attempt fails fast with
+        ``StorageBrownout`` instead of counting a give-up.
         """
         policy = self.retry_policy
+        breaker = self._shared_breaker
         fstats = self.stats.faults
         attempt = 1
         while True:
+            if breaker is not None:
+                breaker.check()
             try:
-                return self.shared.read(block_id)
+                result = self.shared.read(block_id)
             except TransientIOError:
+                if breaker is not None:
+                    breaker.record_failure()
                 if policy is None or attempt >= policy.max_attempts:
                     fstats.read_giveups += 1
                     if istats is not None:
@@ -162,6 +190,10 @@ class StorageHierarchy:
                     TierName.SHARED.value, policy.backoff_ns(attempt)
                 )
                 attempt += 1
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
 
     def _shared_write(self, block: Block) -> None:
         """``shared.write`` with the same retry/backoff contract as reads.
@@ -171,13 +203,17 @@ class StorageHierarchy:
         again -- an in-place overwrite is impossible by construction.
         """
         policy = self.retry_policy
+        breaker = self._shared_breaker
         fstats = self.stats.faults
         attempt = 1
         while True:
+            if breaker is not None:
+                breaker.check()
             try:
                 self.shared.write(block)
-                return
             except TransientIOError:
+                if breaker is not None:
+                    breaker.record_failure()
                 if policy is None or attempt >= policy.max_attempts:
                     fstats.write_giveups += 1
                     raise
@@ -186,6 +222,10 @@ class StorageHierarchy:
                     TierName.SHARED.value, policy.backoff_ns(attempt)
                 )
                 attempt += 1
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return
 
     # -- write paths ---------------------------------------------------------
 

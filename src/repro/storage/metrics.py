@@ -194,6 +194,121 @@ class FaultStats:
 
 
 @dataclass
+class QosStats:
+    """Overload-protection counters (ISSUE 7).
+
+    The admission side (``admitted``/``shed``/``deadline_misses``/
+    ``queue_sim_ns``) is maintained by
+    :class:`~repro.qos.admission.AdmissionController`: every query entering
+    the cluster front door is either admitted (possibly after a simulated
+    queueing delay, charged to ``queue_sim_ns``) or shed with a typed
+    ``Overloaded``/``DeadlineExceeded`` error.  ``deadline_misses`` counts
+    queries that were admitted but finished past their deadline (the work
+    was done; the caller is told it was late).
+
+    The breaker side is maintained by
+    :class:`~repro.qos.breaker.CircuitBreaker`: ``breaker_opens``/
+    ``breaker_closes`` count state transitions, ``breaker_probes`` counts
+    half-open trial operations, and ``breaker_fast_fails`` counts
+    operations rejected without touching the tier while the breaker was
+    open.  ``degraded_reads`` counts queries served from local tiers plus
+    a pinned versionset snapshot while the shared tier's breaker was open
+    -- stale-bounded answers instead of errors.
+
+    The scheduler side is maintained by
+    :class:`~repro.qos.scheduler.DaemonScheduler`:
+    ``maintenance_cycles`` counts maintenance work units that ran,
+    ``maintenance_throttled`` counts work units suppressed by
+    backpressure, and ``throttle_events``/``throttle_releases`` count the
+    scheduler's gate closing and re-opening.
+
+    Counters are plain ints incremented without the ledger lock (same
+    rationale as :class:`DecodeStats`).
+    """
+
+    admitted: int = 0
+    shed: int = 0
+    deadline_misses: int = 0
+    queue_sim_ns: int = 0
+    degraded_reads: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    breaker_probes: int = 0
+    breaker_fast_fails: int = 0
+    maintenance_cycles: int = 0
+    maintenance_throttled: int = 0
+    throttle_events: int = 0
+    throttle_releases: int = 0
+
+    def snapshot(self) -> "QosStats":
+        return QosStats(
+            admitted=self.admitted,
+            shed=self.shed,
+            deadline_misses=self.deadline_misses,
+            queue_sim_ns=self.queue_sim_ns,
+            degraded_reads=self.degraded_reads,
+            breaker_opens=self.breaker_opens,
+            breaker_closes=self.breaker_closes,
+            breaker_probes=self.breaker_probes,
+            breaker_fast_fails=self.breaker_fast_fails,
+            maintenance_cycles=self.maintenance_cycles,
+            maintenance_throttled=self.maintenance_throttled,
+            throttle_events=self.throttle_events,
+            throttle_releases=self.throttle_releases,
+        )
+
+    def diff(self, earlier: "QosStats") -> "QosStats":
+        return QosStats(
+            admitted=self.admitted - earlier.admitted,
+            shed=self.shed - earlier.shed,
+            deadline_misses=self.deadline_misses - earlier.deadline_misses,
+            queue_sim_ns=self.queue_sim_ns - earlier.queue_sim_ns,
+            degraded_reads=self.degraded_reads - earlier.degraded_reads,
+            breaker_opens=self.breaker_opens - earlier.breaker_opens,
+            breaker_closes=self.breaker_closes - earlier.breaker_closes,
+            breaker_probes=self.breaker_probes - earlier.breaker_probes,
+            breaker_fast_fails=(
+                self.breaker_fast_fails - earlier.breaker_fast_fails
+            ),
+            maintenance_cycles=(
+                self.maintenance_cycles - earlier.maintenance_cycles
+            ),
+            maintenance_throttled=(
+                self.maintenance_throttled - earlier.maintenance_throttled
+            ),
+            throttle_events=self.throttle_events - earlier.throttle_events,
+            throttle_releases=self.throttle_releases - earlier.throttle_releases,
+        )
+
+    @property
+    def offered(self) -> int:
+        """Total queries that reached the front door (admitted + shed)."""
+        return self.admitted + self.shed
+
+    def shed_rate(self) -> float:
+        """Fraction of offered queries that were shed (0.0 when idle)."""
+        offered = self.offered
+        if offered == 0:
+            return 0.0
+        return self.shed / offered
+
+    def reset(self) -> None:
+        self.admitted = 0
+        self.shed = 0
+        self.deadline_misses = 0
+        self.queue_sim_ns = 0
+        self.degraded_reads = 0
+        self.breaker_opens = 0
+        self.breaker_closes = 0
+        self.breaker_probes = 0
+        self.breaker_fast_fails = 0
+        self.maintenance_cycles = 0
+        self.maintenance_throttled = 0
+        self.throttle_events = 0
+        self.throttle_releases = 0
+
+
+@dataclass
 class EpochStats:
     """Counters for the run lifecycle (``core.epoch``).
 
@@ -414,6 +529,10 @@ class IOStats:
         }
         # Fault-injection and transient-retry counters (see FaultStats).
         self.faults = FaultStats()
+        # Overload-protection counters (see QosStats): admission control,
+        # circuit-breaker transitions, degraded reads, and maintenance
+        # backpressure.
+        self.qos = QosStats()
 
     def for_intent(self, intent: ReadIntent) -> IntentStats:
         """The live (mutable) counter object for one read intent."""
@@ -482,3 +601,4 @@ class IOStats:
         for stats in self.intents.values():
             stats.reset()
         self.faults.reset()
+        self.qos.reset()

@@ -35,6 +35,27 @@ class TransientIOError(IOError):
     """
 
 
+class StorageBrownout(TransientIOError):
+    """A shared-tier operation rejected because its circuit breaker is open.
+
+    Raised *without* touching the tier: once
+    :class:`~repro.qos.breaker.CircuitBreaker` has tripped, further
+    operations fail fast instead of burning the retry budget against a
+    storage service that is known to be browning out.  Subclasses
+    :class:`TransientIOError` because the condition is transient -- the
+    breaker re-probes after its open window -- but callers that care (the
+    cluster serving path) can distinguish it and degrade to local tiers
+    instead of erroring.
+    """
+
+    def __init__(self, tier: str, retry_at_ns: int) -> None:
+        super().__init__(
+            f"{tier} breaker open; retry at simulated t={retry_at_ns}ns"
+        )
+        self.tier = tier
+        self.retry_at_ns = retry_at_ns
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Capped exponential backoff for transient shared-storage errors.
@@ -76,4 +97,9 @@ class RetryPolicy:
 DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
-__all__ = ["DEFAULT_RETRY_POLICY", "RetryPolicy", "TransientIOError"]
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "StorageBrownout",
+    "TransientIOError",
+]

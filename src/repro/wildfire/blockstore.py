@@ -25,6 +25,7 @@ from repro.core.entry import RID, Zone
 from repro.storage.block import Block, BlockId
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.metrics import ReadIntent
+from repro.storage.retry import TransientIOError
 from repro.wildfire.columnar import DataBlock
 from repro.wildfire.record import Record
 from repro.wildfire.schema import TableSchema
@@ -69,7 +70,18 @@ class BlockCatalog:
             block_id = self._next_groomed_id
             self._next_groomed_id += 1
             self._live_groomed.add(block_id)
-        return self._store(Zone.GROOMED, block_id, records)
+        try:
+            return self._store(Zone.GROOMED, block_id, records)
+        except TransientIOError:
+            # Abort safety (ISSUE 7): a block that never landed must not
+            # occupy an id -- the post-groomer consumes the groomed id
+            # range densely, so a phantom id would break its collection
+            # scan.  The groomer requeues the rows and retries later.
+            with self._lock:
+                self._live_groomed.discard(block_id)
+                if self._next_groomed_id == block_id + 1:
+                    self._next_groomed_id = block_id
+            raise
 
     def reserve_post_groomed_ids(self, count: int) -> int:
         """Reserve ``count`` consecutive post-groomed block ids.
@@ -96,7 +108,17 @@ class BlockCatalog:
                     f"post-groomed block id {block_id} was never reserved"
                 )
             self._live_post_groomed.add(block_id)
-        return self._store(Zone.POST_GROOMED, block_id, records)
+        try:
+            return self._store(Zone.POST_GROOMED, block_id, records)
+        except TransientIOError:
+            # The id may be a pre-reserved one (RID stitching), so only
+            # the liveness registration is rolled back; an aborted
+            # post-groom never publishes its op, and the retried batch
+            # reserves fresh ids (append-only namespaces, so the orphan
+            # shared-storage blocks are never referenced).
+            with self._lock:
+                self._live_post_groomed.discard(block_id)
+            raise
 
     def _store(
         self, zone: Zone, block_id: int, records: Sequence[Record]

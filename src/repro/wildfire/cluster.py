@@ -11,17 +11,47 @@ upserts by the hash of the sharding key, runs each shard's lifecycle
 independently (shards share nothing -- separate storage hierarchies,
 logs, catalogs and index instances), and answers queries by routing
 (sharding key fully bound) or scatter-gather (otherwise).
+
+**Overload protection (ISSUE 7).**  Constructed with a
+:class:`~repro.qos.admission.QosConfig`, the table threads the full qos
+stack through its serving path:
+
+* every ``point_query``/``range_query``/``ingest`` passes a token-bucket
+  :class:`~repro.qos.admission.AdmissionController` (typed
+  ``Overloaded``/``DeadlineExceeded`` sheds, per-query deadlines on the
+  simulated clock);
+* a cluster-wide :class:`~repro.qos.scheduler.DaemonScheduler` throttles
+  every shard's maintenance when the admission backlog, retry pressure,
+  or an open breaker says queries need the bandwidth;
+* each shard's shared tier gets a
+  :class:`~repro.qos.breaker.CircuitBreaker`; while it is open, queries
+  for that shard degrade to local tiers + a pinned versionset snapshot
+  (counted as ``degraded_reads``) instead of erroring.
+
+All counters land on the cluster's own qos ledger
+(:meth:`ShardedTable.qos_stats`); admission queueing delays are charged
+to a synthetic ``"admission"`` tier on the same ledger, so the cluster's
+simulated clock includes time spent waiting in queue.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.encoding import KeyValue, encode_composite, fnv1a64
 from repro.core.entry import IndexEntry
+from repro.qos.admission import AdmissionController, QosConfig
+from repro.qos.breaker import BreakerState, CircuitBreaker
+from repro.qos.errors import PartialResultError
+from repro.qos.scheduler import DaemonScheduler
+from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.metrics import IOStats, QosStats
+from repro.storage.retry import StorageBrownout, TransientIOError
 from repro.wildfire.engine import ShardConfig, WildfireShard
 from repro.wildfire.record import Record
 from repro.wildfire.schema import IndexSpec, SchemaError, TableSchema
+
+ADMISSION_TIER = "admission"
 
 
 class ShardedTable:
@@ -33,6 +63,8 @@ class ShardedTable:
         index_spec: IndexSpec,
         num_shards: int = 4,
         config: Optional[ShardConfig] = None,
+        qos: Optional[QosConfig] = None,
+        hierarchy_factory: Optional[Callable[[int], StorageHierarchy]] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -41,14 +73,96 @@ class ShardedTable:
         self.schema = schema
         self.index_spec = index_spec
         self.num_shards = num_shards
+        # ``hierarchy_factory(shard_id)`` lets callers supply per-shard
+        # storage (e.g. FaultyTier-backed hierarchies for brownout tests);
+        # shards still share nothing -- one hierarchy each.
         self.shards: List[WildfireShard] = [
-            WildfireShard(schema, index_spec, config=config)
-            for _ in range(num_shards)
+            WildfireShard(
+                schema,
+                index_spec,
+                hierarchy=(
+                    hierarchy_factory(shard_id)
+                    if hierarchy_factory is not None
+                    else None
+                ),
+                config=config,
+            )
+            for shard_id in range(num_shards)
         ]
         self._shard_positions = schema.positions(schema.sharding_key)
         # Which index key columns the sharding key pins (for routing reads).
         self._spec_eq = index_spec.equality_columns
         self._spec_sort = index_spec.sort_columns
+
+        # -- overload protection (ISSUE 7) --------------------------------
+        self.qos_config = qos
+        self._qos_io = IOStats()  # cluster ledger: admission tier + QosStats
+        self._admission: Optional[AdmissionController] = None
+        self._scheduler: Optional[DaemonScheduler] = None
+        self._breakers: List[Optional[CircuitBreaker]] = [None] * num_shards
+        if qos is not None:
+            self._admission = AdmissionController(
+                qos,
+                stats=self._qos_io.qos,
+                charge=lambda ns: self._qos_io.record_backoff(
+                    ADMISSION_TIER, ns
+                ),
+            )
+            self._scheduler = DaemonScheduler(
+                qos, stats=self._qos_io.qos, admission=self._admission
+            )
+            for shard_id, shard in enumerate(self.shards):
+                breaker = CircuitBreaker(
+                    f"shared/shard{shard_id}",
+                    qos.breaker,
+                    clock=self.sim_now,
+                    stats=self._qos_io.qos,
+                )
+                shard.hierarchy.attach_shared_breaker(breaker)
+                shard.attach_scheduler(self._scheduler)
+                self._scheduler.watch_breaker(breaker)
+                self._scheduler.watch_faults(shard.hierarchy.stats.faults)
+                self._breakers[shard_id] = breaker
+
+    # -- qos surface -----------------------------------------------------------------
+
+    @property
+    def admission(self) -> Optional[AdmissionController]:
+        return self._admission
+
+    @property
+    def scheduler(self) -> Optional[DaemonScheduler]:
+        return self._scheduler
+
+    def breaker(self, shard_id: int) -> Optional[CircuitBreaker]:
+        return self._breakers[shard_id]
+
+    def qos_stats(self) -> QosStats:
+        """The live cluster qos ledger (admission + breakers + scheduler)."""
+        return self._qos_io.qos
+
+    def sim_now(self) -> int:
+        """Cluster simulated clock: arrival time + work + queue waits.
+
+        The arrival clock (:meth:`advance_clock`) contributes so that
+        idle simulated time also elapses for the circuit breakers: a
+        breaker's open window can lapse while the cluster waits for the
+        next client batch, not only while it burns work ns.
+        """
+        arrival = self._admission.now_ns if self._admission is not None else 0
+        return (
+            arrival
+            + self._qos_io.total_sim_ns
+            + sum(shard.hierarchy.stats.total_sim_ns for shard in self.shards)
+        )
+
+    def advance_clock(self, delta_ns: int) -> None:
+        """Advance the admission arrival clock (offered-load time).
+
+        Closed-loop drivers call this between client batches; without a
+        qos config it is a no-op so drivers need not special-case."""
+        if self._admission is not None:
+            self._admission.advance(delta_ns)
 
     # -- routing --------------------------------------------------------------------
 
@@ -79,7 +193,23 @@ class ShardedTable:
     # -- ingestion -------------------------------------------------------------------
 
     def ingest(self, rows: Sequence[Sequence[KeyValue]]) -> Dict[int, int]:
-        """Route rows to shards; returns rows-per-shard for observability."""
+        """Route rows to shards; returns rows-per-shard for observability.
+
+        Under a qos config the whole batch passes admission control first
+        (one token per batch) and its deadline is tracked like a query's.
+        """
+        if self._admission is None:
+            return self._ingest_inner(rows)
+        ticket = self._admission.admit()
+        start = self.sim_now()
+        try:
+            return self._ingest_inner(rows)
+        finally:
+            ticket.finish(self.sim_now() - start)
+
+    def _ingest_inner(
+        self, rows: Sequence[Sequence[KeyValue]]
+    ) -> Dict[int, int]:
         per_shard: Dict[int, List[Sequence[KeyValue]]] = {}
         for row in rows:
             per_shard.setdefault(self.shard_of_row(row), []).append(row)
@@ -116,16 +246,89 @@ class ShardedTable:
     ) -> Optional[Record]:
         """Routed when the sharding key is bound (it is, for a primary-key
         lookup: the sharding key is a subset of the primary key)."""
-        shard_id = self._route_query(equality_values, sort_values)
-        if shard_id is not None:
-            return self.shards[shard_id].point_query(
+        if self._admission is None:
+            return self._point_query_inner(
                 equality_values, sort_values, query_ts
             )
-        for shard in self.shards:  # pragma: no cover - defensive fallback
-            record = shard.point_query(equality_values, sort_values, query_ts)
+        ticket = self._admission.admit()
+        start = self.sim_now()
+        try:
+            return self._point_query_inner(
+                equality_values, sort_values, query_ts
+            )
+        finally:
+            ticket.finish(self.sim_now() - start)
+
+    def _point_query_inner(
+        self,
+        equality_values: Sequence[KeyValue],
+        sort_values: Sequence[KeyValue],
+        query_ts: Optional[int],
+    ) -> Optional[Record]:
+        shard_id = self._route_query(equality_values, sort_values)
+        if shard_id is not None:
+            return self._shard_point_query(
+                shard_id, equality_values, sort_values, query_ts
+            )
+        # Defensive scatter fallback: a failing shard yields a typed
+        # partial-result error naming it, never a bare TransientIOError.
+        failed: List[int] = []
+        cause: Optional[BaseException] = None
+        for scatter_id in range(self.num_shards):
+            try:
+                record = self._shard_point_query(
+                    scatter_id, equality_values, sort_values, query_ts
+                )
+            except TransientIOError as exc:
+                failed.append(scatter_id)
+                cause = exc
+                continue
             if record is not None:
                 return record
+        if failed:
+            raise PartialResultError(tuple(failed), (), cause)
         return None
+
+    def _shard_point_query(
+        self,
+        shard_id: int,
+        equality_values: Sequence[KeyValue],
+        sort_values: Sequence[KeyValue],
+        query_ts: Optional[int],
+    ) -> Optional[Record]:
+        """One shard's point query, with breaker-aware degraded serving."""
+        shard = self.shards[shard_id]
+        breaker = self._breakers[shard_id]
+        if breaker is not None:
+            if breaker.state() is BreakerState.OPEN:
+                return self._degraded_point(
+                    shard, equality_values, sort_values, query_ts
+                )
+            if shard.degraded:
+                shard.exit_degraded_mode()
+        try:
+            return shard.point_query(equality_values, sort_values, query_ts)
+        except StorageBrownout:
+            if breaker is None:
+                raise
+            # The breaker tripped mid-query: answer from the snapshot pin
+            # instead of surfacing the brownout to the client.
+            return self._degraded_point(
+                shard, equality_values, sort_values, query_ts
+            )
+
+    def _degraded_point(
+        self,
+        shard: WildfireShard,
+        equality_values: Sequence[KeyValue],
+        sort_values: Sequence[KeyValue],
+        query_ts: Optional[int],
+    ) -> Optional[Record]:
+        shard.enter_degraded_mode()
+        self._qos_io.qos.degraded_reads += 1
+        return shard.degraded_point_query(
+            equality_values, sort_values, query_ts
+        )
 
     def range_query(
         self,
@@ -136,21 +339,97 @@ class ShardedTable:
     ) -> List[IndexEntry]:
         """Routed if the equality columns pin the sharding key; otherwise a
         scatter-gather over every shard with a client-side merge."""
-        shard_id = self._route_query(equality_values, ())
-        if shard_id is not None:
-            return self.shards[shard_id].range_query(
+        if self._admission is None:
+            return self._range_query_inner(
                 equality_values, sort_lower, sort_upper, query_ts
             )
-        gathered: List[IndexEntry] = []
-        for shard in self.shards:
-            gathered.extend(
-                shard.range_query(
-                    equality_values, sort_lower, sort_upper, query_ts
-                )
+        ticket = self._admission.admit()
+        start = self.sim_now()
+        try:
+            return self._range_query_inner(
+                equality_values, sort_lower, sort_upper, query_ts
             )
+        finally:
+            ticket.finish(self.sim_now() - start)
+
+    def _range_query_inner(
+        self,
+        equality_values: Sequence[KeyValue],
+        sort_lower: Optional[Sequence[KeyValue]],
+        sort_upper: Optional[Sequence[KeyValue]],
+        query_ts: Optional[int],
+    ) -> List[IndexEntry]:
+        shard_id = self._route_query(equality_values, ())
+        if shard_id is not None:
+            return self._shard_range_query(
+                shard_id, equality_values, sort_lower, sort_upper, query_ts
+            )
+        gathered: List[IndexEntry] = []
+        failed: List[int] = []
+        cause: Optional[BaseException] = None
+        for scatter_id in range(self.num_shards):
+            try:
+                gathered.extend(
+                    self._shard_range_query(
+                        scatter_id,
+                        equality_values,
+                        sort_lower,
+                        sort_upper,
+                        query_ts,
+                    )
+                )
+            except TransientIOError as exc:
+                # A shard whose retry budget ran out: name it instead of
+                # letting a bare TransientIOError escape the gather.
+                failed.append(scatter_id)
+                cause = exc
         definition = self.shards[0].index.definition
         gathered.sort(key=lambda entry: entry.key_bytes(definition))
+        if failed:
+            raise PartialResultError(tuple(failed), tuple(gathered), cause)
         return gathered
+
+    def _shard_range_query(
+        self,
+        shard_id: int,
+        equality_values: Sequence[KeyValue],
+        sort_lower: Optional[Sequence[KeyValue]],
+        sort_upper: Optional[Sequence[KeyValue]],
+        query_ts: Optional[int],
+    ) -> List[IndexEntry]:
+        shard = self.shards[shard_id]
+        breaker = self._breakers[shard_id]
+        if breaker is not None:
+            if breaker.state() is BreakerState.OPEN:
+                return self._degraded_range(
+                    shard, equality_values, sort_lower, sort_upper, query_ts
+                )
+            if shard.degraded:
+                shard.exit_degraded_mode()
+        try:
+            return shard.range_query(
+                equality_values, sort_lower, sort_upper, query_ts
+            )
+        except StorageBrownout:
+            if breaker is None:
+                raise
+            return self._degraded_range(
+                shard, equality_values, sort_lower, sort_upper, query_ts
+            )
+
+    def _degraded_range(
+        self,
+        shard: WildfireShard,
+        equality_values: Sequence[KeyValue],
+        sort_lower: Optional[Sequence[KeyValue]],
+        sort_upper: Optional[Sequence[KeyValue]],
+        query_ts: Optional[int],
+    ) -> List[IndexEntry]:
+        shard.enter_degraded_mode()
+        self._qos_io.qos.degraded_reads += 1
+        return shard.degraded_range_query(
+            equality_values, sort_lower, sort_upper, query_ts
+        )
 
     # -- observability ----------------------------------------------------------------
 
@@ -162,11 +441,16 @@ class ShardedTable:
                 s["index"].total_entries for s in per_shard  # type: ignore[index]
             ),
             "per_shard": per_shard,
+            "qos": self._qos_io.qos.snapshot(),
         }
 
     def crash_and_recover_shard(self, shard_id: int):
         """Crash one shard's node; the rest keep serving (independence)."""
-        return self.shards[shard_id].crash_and_recover()
+        shard = self.shards[shard_id]
+        # A degraded-mode pin references pre-crash run objects; drop it
+        # before the local tiers are wiped and the run lists rebuilt.
+        shard.exit_degraded_mode()
+        return shard.crash_and_recover()
 
 
-__all__ = ["ShardedTable"]
+__all__ = ["ADMISSION_TIER", "ShardedTable"]

@@ -26,6 +26,7 @@ from repro.core.index import UmziConfig, UmziIndex
 from repro.core.maintenance import MaintenanceService
 from repro.core.query import MAX_QUERY_TS, PointLookup, RangeScanQuery
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.retry import TransientIOError
 from repro.wildfire.blockstore import BlockCatalog
 from repro.wildfire.clock import HybridClock
 from repro.wildfire.groomer import GroomResult, Groomer
@@ -169,6 +170,16 @@ class WildfireShard:
         self._daemon_threads: List[threading.Thread] = []
         self._daemons_stop = threading.Event()
         self._cycle = 0
+        # Maintenance backpressure (ISSUE 7): when a DaemonScheduler is
+        # attached, every maintenance cycle -- deterministic tick or
+        # threaded daemon -- first asks its gate; throttled cycles do no
+        # maintenance work at all.
+        self._scheduler = None
+        # Degraded-read mode (ISSUE 7): a long-lived SnapshotPin over the
+        # primary index, opened while the shared tier's breaker is open so
+        # queries answer from local tiers + a pinned versionset snapshot.
+        self._degraded_pin = None
+        self._degraded_lock = threading.Lock()
 
     # ------------------------------------------------------------------------------
     # ingestion
@@ -188,22 +199,57 @@ class WildfireShard:
     # lifecycle -- deterministic driver
     # ------------------------------------------------------------------------------
 
+    def attach_scheduler(self, scheduler) -> None:
+        """Install a maintenance-backpressure gate (or ``None`` to clear).
+
+        ``scheduler`` is any object with an ``allow_maintenance() -> bool``
+        method (see :class:`repro.qos.scheduler.DaemonScheduler`); it is
+        consulted once per maintenance cycle in both the deterministic
+        :meth:`tick` driver and the threaded :meth:`start_daemons` loops.
+        """
+        self._scheduler = scheduler
+        gate = scheduler.allow_maintenance if scheduler is not None else None
+        self.maintenance.set_gate(gate)
+        for service in self._secondary_maintenance:
+            service.set_gate(gate)
+        self.indexer.set_gate(gate)
+
     def tick(self) -> Dict[str, object]:
-        """One simulation cycle: groom, maybe post-groom, evolve, merge."""
+        """One simulation cycle: groom, maybe post-groom, evolve, merge.
+
+        With a scheduler attached (:meth:`attach_scheduler`), a throttled
+        cycle skips *all* maintenance work -- groom included -- and
+        reports ``{"throttled": True}``; ingestion keeps accumulating in
+        the committed log until the scheduler releases.
+        """
         self._cycle += 1
         report: Dict[str, object] = {"cycle": self._cycle}
-        groom = self.groomer.groom()
-        report["groom"] = groom
-        if self._cycle % self.config.post_groom_every == 0:
-            report["post_groom"] = self.post_groomer.post_groom()
-        evolved = self.indexer.drain()
-        if evolved:
-            report["evolved"] = evolved
-        merges = self.maintenance.step()
-        for service in self._secondary_maintenance:
-            service.step()
-        if merges:
-            report["merges"] = merges
+        if self._scheduler is not None and not self._scheduler.allow_maintenance():
+            report["throttled"] = True
+            return report
+        try:
+            groom = self.groomer.groom()
+            report["groom"] = groom
+            if self._cycle % self.config.post_groom_every == 0:
+                report["post_groom"] = self.post_groomer.post_groom()
+            evolved = self.indexer.drain()
+            if evolved:
+                report["evolved"] = evolved
+            merges = self.maintenance.step()
+            for service in self._secondary_maintenance:
+                service.step()
+            if merges:
+                report["merges"] = merges
+        except TransientIOError as exc:
+            # Under qos supervision an aborted maintenance cycle must not
+            # take the serving loop down: the groomer has requeued its
+            # rows, runs are immutable (a half-written one is simply
+            # never published), and the scheduler will throttle the next
+            # cycles until the storm passes.  Without a scheduler the
+            # legacy contract holds: the error propagates.
+            if self._scheduler is None:
+                raise
+            report["maintenance_error"] = type(exc).__name__
         return report
 
     def run_cycles(self, cycles: int, ingest_fn=None) -> List[Dict[str, object]]:
@@ -254,7 +300,21 @@ class WildfireShard:
         def groom_loop() -> None:
             grooms = 0
             while not self._daemons_stop.is_set():
-                result = self.groomer.groom()
+                if (
+                    self._scheduler is not None
+                    and not self._scheduler.allow_maintenance()
+                ):
+                    time.sleep(groom_interval_s)
+                    continue
+                try:
+                    result = self.groomer.groom()
+                except TransientIOError:
+                    # Rows were requeued; keep the daemon alive and let
+                    # the scheduler throttle until the storm passes.
+                    if self._scheduler is None:
+                        raise
+                    time.sleep(groom_interval_s)
+                    continue
                 if result is not None:
                     grooms += 1
                     if post_groom_enabled and grooms % self.config.post_groom_every == 0:
@@ -440,6 +500,77 @@ class WildfireShard:
         return versions
 
     # ------------------------------------------------------------------------------
+    # degraded-read mode (ISSUE 7)
+    # ------------------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded_pin is not None
+
+    def enter_degraded_mode(self) -> None:
+        """Pin the current run-list version for brownout serving.
+
+        Idempotent.  While degraded, :meth:`degraded_point_query` /
+        :meth:`degraded_range_query` answer from the pinned snapshot:
+        the pin keeps every run of the version alive in the local tiers
+        (cache eviction skips pinned runs), so queries stay off the
+        browning-out shared tier.  The answers are *stale-bounded*: as
+        fresh as the moment the breaker opened, never fresher.
+        """
+        with self._degraded_lock:
+            if self._degraded_pin is None:
+                self._degraded_pin = self.index.pin_snapshot()
+
+    def exit_degraded_mode(self) -> None:
+        """Release the degraded-mode pin (idempotent)."""
+        with self._degraded_lock:
+            pin = self._degraded_pin
+            self._degraded_pin = None
+        if pin is not None:
+            pin.release()
+
+    def degraded_point_query(
+        self,
+        equality_values: Sequence[KeyValue] = (),
+        sort_values: Sequence[KeyValue] = (),
+        query_ts: Optional[int] = None,
+    ) -> Optional[Record]:
+        """Point query against the degraded-mode snapshot pin."""
+        with self._degraded_lock:
+            pin = self._degraded_pin
+        if pin is None:
+            raise RuntimeError("shard is not in degraded mode")
+        ts = query_ts if query_ts is not None else self.current_snapshot_ts()
+        entry = pin.executor.point_lookup(
+            PointLookup(tuple(equality_values), tuple(sort_values), ts)
+        )
+        if entry is None:
+            return None
+        return self.catalog.fetch_record(entry.rid)
+
+    def degraded_range_query(
+        self,
+        equality_values: Sequence[KeyValue] = (),
+        sort_lower: Optional[Sequence[KeyValue]] = None,
+        sort_upper: Optional[Sequence[KeyValue]] = None,
+        query_ts: Optional[int] = None,
+    ) -> List[IndexEntry]:
+        """Range scan against the degraded-mode snapshot pin."""
+        with self._degraded_lock:
+            pin = self._degraded_pin
+        if pin is None:
+            raise RuntimeError("shard is not in degraded mode")
+        ts = query_ts if query_ts is not None else self.current_snapshot_ts()
+        return pin.executor.range_scan(
+            RangeScanQuery(
+                tuple(equality_values),
+                tuple(sort_lower) if sort_lower is not None else None,
+                tuple(sort_upper) if sort_upper is not None else None,
+                ts,
+            )
+        )
+
+    # ------------------------------------------------------------------------------
     # introspection / recovery
     # ------------------------------------------------------------------------------
 
@@ -462,6 +593,7 @@ class WildfireShard:
             "index": self.index.stats(),
             "io": self.hierarchy.stats.snapshot(),
             "epochs": self.hierarchy.stats.epochs.snapshot(),
+            "qos": self.hierarchy.stats.qos.snapshot(),
         }
 
 

@@ -16,12 +16,13 @@ from typing import List, Optional, Tuple
 
 from repro.faults.crash import crash_point
 from repro.storage.metrics import ReadIntent
+from repro.storage.retry import TransientIOError
 from repro.wildfire.blockstore import BlockCatalog
 from repro.wildfire.clock import HybridClock, compose_begin_ts
 from repro.wildfire.indexes import ShardIndexes
 from repro.wildfire.record import Record
 from repro.wildfire.schema import TableSchema
-from repro.wildfire.txlog import CommittedLog
+from repro.wildfire.txlog import CommittedLog, CommittedTransaction
 
 
 @dataclass(frozen=True)
@@ -72,36 +73,51 @@ class Groomer:
             transactions = self.committed_log.drain()
             if not transactions:
                 return None
-            cycle = self.clock.next_groom_cycle()
+            try:
+                return self._groom_drained(transactions)
+            except TransientIOError:
+                # Abort safety (ISSUE 7): the drain already consumed the
+                # rows; hand them back before surfacing the storage error
+                # so nothing is lost without a crash/recover cycle.  The
+                # groomed block that half-landed is superseded by the
+                # retried groom's block (append-only namespaces; recovery
+                # validation ignores headerless partial runs).
+                self.committed_log.requeue(transactions)
+                raise
 
-            # Merge transactions in commit order; beginTS = (cycle | order).
-            # The low-order component preserves the replicas' commit order
-            # while keeping every record version's timestamp unique and
-            # monotonic within the cycle.
-            records: List[Record] = []
-            order = 0
-            for transaction in transactions:  # drain() returns commit order
-                for row in transaction.rows:
-                    records.append(
-                        Record(values=row, begin_ts=compose_begin_ts(cycle, order))
-                    )
-                    order += 1
+    def _groom_drained(
+        self, transactions: List[CommittedTransaction]
+    ) -> GroomResult:
+        cycle = self.clock.next_groom_cycle()
 
-            block = self.catalog.store_groomed(records)
-            crash_point("groom.pre_index")
+        # Merge transactions in commit order; beginTS = (cycle | order).
+        # The low-order component preserves the replicas' commit order
+        # while keeping every record version's timestamp unique and
+        # monotonic within the cycle.
+        records: List[Record] = []
+        order = 0
+        for transaction in transactions:  # drain() returns commit order
+            for row in transaction.rows:
+                records.append(
+                    Record(values=row, begin_ts=compose_begin_ts(cycle, order))
+                )
+                order += 1
 
-            # One index run per attached index (primary + secondaries),
-            # fed through the block's batched (rid, record) hand-off.
-            run_ids = self.indexes.build_groomed_runs(block)
-            self.grooms_done += 1
-            return GroomResult(
-                groom_cycle=cycle,
-                groomed_block_id=block.block_id,
-                record_count=len(records),
-                index_run_id=run_ids["primary"],
-                max_begin_ts=records[-1].begin_ts if records else 0,
-                index_run_ids=tuple(sorted(run_ids.items())),
-            )
+        block = self.catalog.store_groomed(records)
+        crash_point("groom.pre_index")
+
+        # One index run per attached index (primary + secondaries),
+        # fed through the block's batched (rid, record) hand-off.
+        run_ids = self.indexes.build_groomed_runs(block)
+        self.grooms_done += 1
+        return GroomResult(
+            groom_cycle=cycle,
+            groomed_block_id=block.block_id,
+            record_count=len(records),
+            index_run_id=run_ids["primary"],
+            max_begin_ts=records[-1].begin_ts if records else 0,
+            index_run_ids=tuple(sorted(run_ids.items())),
+        )
 
 
 __all__ = ["GroomResult", "Groomer"]

@@ -77,6 +77,13 @@ class IndexerDaemon:
         # legacy entry rebuild because beginTS values were not unique (see
         # step(): a collapsed beginTS -> RID map would mis-point entries).
         self.streaming_fallbacks = 0
+        # Backpressure gate (ISSUE 7): consulted by the threaded loop
+        # before each step; False idles the daemon for one poll interval.
+        self._gate = None
+
+    def set_gate(self, gate) -> None:
+        """Install (or clear, with ``None``) the backpressure gate."""
+        self._gate = gate
 
     # -- polling ------------------------------------------------------------------
 
@@ -204,6 +211,10 @@ class IndexerDaemon:
 
         def loop() -> None:
             while not self._stop.is_set():
+                gate = self._gate
+                if gate is not None and not gate():
+                    time.sleep(poll_interval_s)
+                    continue
                 if self.step() is None:
                     time.sleep(poll_interval_s)
 

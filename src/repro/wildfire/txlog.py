@@ -96,6 +96,26 @@ class CommittedLog:
             self._hierarchy.ssd.delete_namespace(self._namespace)
         return drained
 
+    def requeue(self, transactions: Iterable[CommittedTransaction]) -> None:
+        """Put drained transactions back at the head of the live zone.
+
+        Abort safety for the groomer (ISSUE 7): ``drain()`` consumes the
+        log *before* the groomed block is written, so a groom that aborts
+        mid-flight (storage brownout, breaker fast-fail) must hand the
+        rows back or they would only survive via crash recovery.  The
+        requeued transactions keep their original commit sequence, so a
+        later drain re-sorts them into the identical commit order.
+        """
+        restored = list(transactions)
+        if not restored:
+            return
+        with self._lock:
+            self._transactions = restored + self._transactions
+        if self._hierarchy is not None:
+            # Re-charge the persisted copy the aborted drain deleted.
+            for transaction in restored:
+                self._persist(transaction)
+
     def pending_rows(self) -> int:
         with self._lock:
             return sum(len(tx.rows) for tx in self._transactions)

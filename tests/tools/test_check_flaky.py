@@ -26,8 +26,7 @@ def test_benchmark_tree_is_flake_guarded():
     tool = load_tool()
     errors = []
     for path in tool.bench_files(tool.BENCH_DIRS):
-        file_errors, _waivers = tool.check_repeat_annotations(path)
-        errors += file_errors
+        errors += tool.check_repeat_annotations(path)
     for path in tool.bench_files(tool.ASSERT_RULE_DIRS):
         errors += tool.check_wallclock_asserts(path)
     assert not errors, "\n".join(errors)
@@ -37,18 +36,28 @@ def test_detects_unannotated_repeat_one(tmp_path):
     tool = load_tool()
     bad = tmp_path / "bench_bad.py"
     bad.write_text("result = run_bench(sizes=(1, 2), repeat=1)\n")
-    errors, waivers = tool.check_repeat_annotations(bad)
-    assert len(errors) == 1 and not waivers
+    assert len(tool.check_repeat_annotations(bad)) == 1
 
     annotated = tmp_path / "bench_ok.py"
     annotated.write_text(
         "result = run_bench(repeat=1)  # counter-asserted\n"
         "other = run_bench(repeat=1)  # plot-only\n"
-        "third = run_bench(repeat=1)  # wallclock-shape-ok: 8x slack\n"
         '"""prose mentioning ``repeat=1`` is not a call."""\n'
     )
-    errors, waivers = tool.check_repeat_annotations(annotated)
-    assert errors == [] and len(waivers) == 1
+    assert tool.check_repeat_annotations(annotated) == []
+
+
+def test_retired_waiver_annotation_no_longer_passes(tmp_path):
+    """The wallclock-shape-ok escape hatch was removed with the last two
+    waivers (Figures 9/10 now assert on deterministic counters); a stray
+    waiver must read as un-annotated."""
+    tool = load_tool()
+    waived = tmp_path / "bench_waived.py"
+    waived.write_text(
+        "result = run_bench(repeat=1)  # wallclock-shape-ok: 8x slack\n"
+    )
+    errors = tool.check_repeat_annotations(waived)
+    assert len(errors) == 1
 
 
 def test_detects_direct_wallclock_assert(tmp_path):

@@ -15,11 +15,11 @@ pattern from landing again, with two rules:
      deterministic (simulated/probe) counters; wall time is plotted,
      never asserted;
    * ``# plot-only`` -- the measurement feeds a figure or report with no
-     assertion at all (the CLI figure runner);
-   * ``# wallclock-shape-ok: <reason>`` -- an explicit, visible waiver
-     for a loose shape/sanity bound (e.g. "linear within 1.5x over a
-     20x input sweep").  Waivers are listed in the audit summary so a
-     reviewer sees every one.
+     assertion at all (the CLI figure runner).
+
+   The former third option, ``# wallclock-shape-ok: <reason>``, is gone:
+   the last two waivers (Figures 9 and 10) were ported to deterministic
+   counters, and no new wall-clock shape assertion may land.
 
 2. **direct wall-clock assert rule** (AST).  Inside ``benchmarks/``, an
    ``assert`` statement may not reference a variable bound from a
@@ -43,9 +43,7 @@ BENCH_DIRS = [REPO_ROOT / "benchmarks", REPO_ROOT / "src" / "repro" / "bench"]
 ASSERT_RULE_DIRS = [REPO_ROOT / "benchmarks"]
 
 REPEAT_ONE_RE = re.compile(r"\brepeat\s*=\s*1\b")
-ANNOTATION_RE = re.compile(
-    r"#\s*(counter-asserted|plot-only|wallclock-shape-ok:\s*\S.*)"
-)
+ANNOTATION_RE = re.compile(r"#\s*(counter-asserted|plot-only)\b")
 
 
 def _rel(path: Path) -> str:
@@ -62,10 +60,9 @@ def bench_files(dirs) -> list[Path]:
     return files
 
 
-def check_repeat_annotations(path: Path):
+def check_repeat_annotations(path: Path) -> list[str]:
     """Rule 1: every ``repeat=1`` line carries an audit annotation."""
     errors: list[str] = []
-    waivers: list[str] = []
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         stripped = line.split("#", 1)[0]
         match_code = REPEAT_ONE_RE.search(stripped)
@@ -75,20 +72,14 @@ def check_repeat_annotations(path: Path):
         # bare occurrence is a call argument.
         if stripped[: match_code.start()].rstrip().endswith("`"):
             continue
-        match = ANNOTATION_RE.search(line)
-        if match is None:
+        if ANNOTATION_RE.search(line) is None:
             errors.append(
                 f"{_rel(path)}:{lineno}: repeat=1 without "
-                "an audit annotation (# counter-asserted, # plot-only, or "
-                "# wallclock-shape-ok: <reason>) -- single un-averaged "
-                "wall-clock measurements must not back assertions "
-                "(the A1 flake, see tools/check_flaky.py)"
+                "an audit annotation (# counter-asserted or # plot-only) "
+                "-- single un-averaged wall-clock measurements must not "
+                "back assertions (the A1 flake, see tools/check_flaky.py)"
             )
-        elif match.group(1).startswith("wallclock-shape-ok"):
-            waivers.append(
-                f"{_rel(path)}:{lineno}: {match.group(1)}"
-            )
-    return errors, waivers
+    return errors
 
 
 class _WallClockAssertVisitor(ast.NodeVisitor):
@@ -147,25 +138,15 @@ def check_wallclock_asserts(path: Path) -> list[str]:
 
 def main() -> int:
     errors: list[str] = []
-    waivers: list[str] = []
     for path in bench_files(BENCH_DIRS):
-        file_errors, file_waivers = check_repeat_annotations(path)
-        errors += file_errors
-        waivers += file_waivers
+        errors += check_repeat_annotations(path)
     for path in bench_files(ASSERT_RULE_DIRS):
         errors += check_wallclock_asserts(path)
-    if waivers:
-        print("wall-clock shape waivers (audited, loose-tolerance):")
-        for waiver in waivers:
-            print(f"  {waiver}")
     if errors:
         print("\n".join(errors), file=sys.stderr)
         print(f"\n{len(errors)} flake-guard violation(s)", file=sys.stderr)
         return 1
-    print(
-        f"flaky-benchmark guard OK "
-        f"({len(bench_files(BENCH_DIRS))} files, {len(waivers)} waiver(s))"
-    )
+    print(f"flaky-benchmark guard OK ({len(bench_files(BENCH_DIRS))} files)")
     return 0
 
 
