@@ -56,6 +56,17 @@ CRASH_SITES = (
     "groom.pre_index",
     "postgroom.pre_publish",
     "indexer.pre_evolve",
+    # Online shard split (ISSUE 8).  ``pre_copy`` fires before anything is
+    # published (recovery rolls back to fully-old routing); ``mid_copy``
+    # fires between the two successors' run builds; ``pre_publish`` after
+    # the copy but before the final split map; ``post_publish`` after the
+    # final map but before the source shard is decommissioned.  Everything
+    # from the write cutover on recovers by rolling *forward* to fully-new
+    # routing -- never a torn map.
+    "split.pre_copy",
+    "split.mid_copy",
+    "split.pre_publish",
+    "split.post_publish",
 )
 
 

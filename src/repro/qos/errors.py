@@ -57,6 +57,13 @@ class PartialResultError(QosError):
     the shards whose :class:`~repro.storage.retry.RetryPolicy` budget ran
     out (``failed_shards``), instead of propagating a bare
     ``TransientIOError`` that names no shard at all.
+
+    ``epoch`` (ISSUE 8) tags the routing epoch the query was served
+    under: during an online shard split a partial answer is only
+    interpretable relative to the :class:`~repro.wildfire.shardmap
+    .ShardMap` that decided which shards were consulted, so the serving
+    epoch travels with the error.  ``None`` when no routing epochs are in
+    play (single-table callers).
     """
 
     def __init__(
@@ -64,15 +71,18 @@ class PartialResultError(QosError):
         failed_shards: Tuple[int, ...],
         partial: Tuple[object, ...] = (),
         cause: Optional[BaseException] = None,
+        epoch: Optional[int] = None,
     ) -> None:
         shards = ", ".join(str(s) for s in failed_shards)
+        suffix = f" (routing epoch {epoch})" if epoch is not None else ""
         super().__init__(
             f"shard(s) {shards} unavailable after retry giveup; "
-            f"{len(partial)} partial row(s) gathered"
+            f"{len(partial)} partial row(s) gathered{suffix}"
         )
         self.failed_shards = failed_shards
         self.partial = partial
         self.cause = cause
+        self.epoch = epoch
 
 
 __all__ = [

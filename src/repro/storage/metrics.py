@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -503,6 +503,14 @@ class DecodeStats:
         self.maintenance_entry_decodes = 0
 
 
+def _add_fields(target, source) -> None:
+    """Add every dataclass counter field of ``source`` into ``target``."""
+    for spec in fields(source):
+        setattr(
+            target, spec.name, getattr(target, spec.name) + getattr(source, spec.name)
+        )
+
+
 class IOStats:
     """Thread-safe ledger of per-tier I/O counters.
 
@@ -592,6 +600,29 @@ class IOStats:
         """Total simulated nanoseconds charged across all tiers."""
         with self._lock:
             return sum(stats.sim_ns for stats in self._tiers.values())
+
+    def merge(self, other: "IOStats") -> "IOStats":
+        """Fold another ledger's counters into this one; returns ``self``.
+
+        Cluster-level aggregation (ISSUE 8): per-shard ledgers roll up
+        into one cluster view with *every* sub-ledger preserved -- tier
+        counters, decode, epoch/lifecycle, per-intent cache-path, fault,
+        and qos counters -- not just the top-level tier sums.  Field
+        lists come from the dataclasses themselves, so a counter added to
+        any sub-ledger is aggregated automatically.  ``other`` is
+        snapshotted first, so merging a live ledger is safe.
+        """
+        other_tiers = other.snapshot()
+        with self._lock:
+            for name, tier_stats in other_tiers.items():
+                _add_fields(self._tiers.setdefault(name, TierStats()), tier_stats)
+        _add_fields(self.decode, other.decode.snapshot())
+        _add_fields(self.epochs, other.epochs.snapshot())
+        for intent, intent_stats in other.intents.items():
+            _add_fields(self.intents[intent], intent_stats.snapshot())
+        _add_fields(self.faults, other.faults.snapshot())
+        _add_fields(self.qos, other.qos.snapshot())
+        return self
 
     def reset(self) -> None:
         with self._lock:

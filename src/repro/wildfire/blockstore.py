@@ -62,6 +62,10 @@ class BlockCatalog:
         letter = "g" if zone is Zone.GROOMED else "p"
         return f"{self.table_name}-blk-{letter}-{block_id:08d}"
 
+    def namespace_of(self, zone: Zone, block_id: int) -> str:
+        """Public namespace accessor (shard split block transfer)."""
+        return self._namespace(zone, block_id)
+
     # -- writes ----------------------------------------------------------------------
 
     def store_groomed(self, records: Sequence[Record]) -> DataBlock:
@@ -193,6 +197,61 @@ class BlockCatalog:
     def live_groomed_ids(self) -> List[int]:
         with self._lock:
             return sorted(self._live_groomed)
+
+    def live_post_groomed_ids(self) -> List[int]:
+        with self._lock:
+            return sorted(self._live_post_groomed)
+
+    def export_end_ts_overlay(self) -> Dict[RID, int]:
+        """Copy of the endTS overlay (shard split state transfer)."""
+        with self._lock:
+            return dict(self._end_ts_overlay)
+
+    # -- shard split (ISSUE 8) -------------------------------------------------------
+
+    def adopt_post_groomed(
+        self,
+        source: "BlockCatalog",
+        block_ids: Iterable[int],
+        overlay: Dict[RID, int],
+    ) -> List[int]:
+        """Copy another catalog's post-groomed blocks into this one.
+
+        Block payloads are transferred verbatim -- same block ids, same
+        namespaces, byte-identical bytes -- so every RID baked into the
+        source's index entry blobs stays resolvable here without
+        rewriting a single entry.  Idempotent: already-adopted ids are
+        skipped, so a crashed split's replay re-copies only what is
+        missing.  Returns the ids actually copied this call.
+        """
+        copied: List[int] = []
+        for block_id in sorted(block_ids):
+            with self._lock:
+                if block_id in self._live_post_groomed:
+                    self._next_post_groomed_id = max(
+                        self._next_post_groomed_id, block_id + 1
+                    )
+                    continue
+            raw = source.hierarchy.read(
+                BlockId(source.namespace_of(Zone.POST_GROOMED, block_id), 0),
+                intent=ReadIntent.MAINTENANCE,
+            )
+            self.hierarchy.write_persisted(
+                Block(
+                    BlockId(self._namespace(Zone.POST_GROOMED, block_id), 0),
+                    raw.payload,
+                ),
+                write_through_ssd=True,
+            )
+            with self._lock:
+                self._live_post_groomed.add(block_id)
+                self._next_post_groomed_id = max(
+                    self._next_post_groomed_id, block_id + 1
+                )
+            copied.append(block_id)
+        with self._lock:
+            self._end_ts_overlay.update(overlay)
+        return copied
 
     def deprecate_groomed(self, block_ids: Iterable[int]) -> None:
         """Mark groomed blocks as superseded by post-groomed copies."""

@@ -57,6 +57,26 @@ class HybridClock:
         with self._lock:
             return self._groom_cycle
 
+    def state(self) -> "tuple[int, int]":
+        """Atomic ``(groom_cycle, commit_seq)`` snapshot."""
+        with self._lock:
+            return (self._groom_cycle, self._commit_seq)
+
+    def ensure_at_least(self, groom_cycle: int, commit_seq: int) -> None:
+        """Fast-forward so future timestamps sort after another clock's.
+
+        Online shard split uses this to hand a source shard's clock state
+        to its successors: once a successor's clock is at least as far
+        along as the (quiesced) source's, every ``beginTS`` it will ever
+        assign compares strictly newer than anything the source groomed,
+        which is what makes the migration window's newest-wins double
+        reads correct.  Forward-only, so it composes with concurrent
+        local advancement.
+        """
+        with self._lock:
+            self._groom_cycle = max(self._groom_cycle, groom_cycle)
+            self._commit_seq = max(self._commit_seq, commit_seq)
+
     def now(self) -> int:
         """A timestamp at least as new as anything already groomed.
 

@@ -28,6 +28,28 @@ stack through its serving path:
   for that shard degrade to local tiers + a pinned versionset snapshot
   (counted as ``degraded_reads``) instead of erroring.
 
+**Online shard split (ISSUE 8).**  Routing goes through immutable
+:class:`~repro.wildfire.shardmap.ShardMap` epochs published
+versionset-style: every query pins the current map for its lifetime
+(exactly one Ref and one Unref on the cluster ledger -- two refcount
+operations per query), so a split's two map publishes are atomic swaps
+that no in-flight query can observe torn.  :meth:`split_shard` drains a
+source shard into two successors with a write-first cutover:
+
+1. publish a ``migrating`` route (epoch N+1) -- new writes go to the
+   successors, reads *double-read* successor + source and keep the
+   newest version by raw ``beginTS``;
+2. quiesce the source, hand its hybrid clock forward to the successors
+   (so every post-split ``beginTS`` sorts after every pre-split one),
+   and stream the source's post-groomed runs into one run per successor
+   as raw ``(sort_key, blob)`` pairs -- the zero-decode evolve path;
+3. publish the ``split`` route (epoch N+2) and retire the source.
+
+Crash points ``split.pre_copy`` / ``mid_copy`` / ``pre_publish`` /
+``post_publish`` cover the protocol; recovery rolls back to fully-old
+routing before the cutover and rolls *forward* to fully-new after it --
+never a torn map (see :meth:`recover_split`).
+
 All counters land on the cluster's own qos ledger
 (:meth:`ShardedTable.qos_stats`); admission queueing delays are charged
 to a synthetic ``"admission"`` tier on the same ledger, so the cluster's
@@ -36,10 +58,12 @@ simulated clock includes time spent waiting in queue.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.encoding import KeyValue, encode_composite, fnv1a64
 from repro.core.entry import IndexEntry
+from repro.faults.crash import crash_point
 from repro.qos.admission import AdmissionController, QosConfig
 from repro.qos.breaker import BreakerState, CircuitBreaker
 from repro.qos.errors import PartialResultError
@@ -50,6 +74,21 @@ from repro.storage.retry import StorageBrownout, TransientIOError
 from repro.wildfire.engine import ShardConfig, WildfireShard
 from repro.wildfire.record import Record
 from repro.wildfire.schema import IndexSpec, SchemaError, TableSchema
+from repro.wildfire.shardmap import (
+    MapPin,
+    ShardMap,
+    ShardMapError,
+    ShardMapRegistry,
+    ShardingKeySlicer,
+    SlotRoute,
+)
+from repro.wildfire.split import (
+    SplitAborted,
+    SplitError,
+    SplitState,
+    copy_post_groomed_blocks,
+    partition_runs,
+)
 
 ADMISSION_TIER = "admission"
 
@@ -73,9 +112,11 @@ class ShardedTable:
         self.schema = schema
         self.index_spec = index_spec
         self.num_shards = num_shards
+        self._config = config
         # ``hierarchy_factory(shard_id)`` lets callers supply per-shard
         # storage (e.g. FaultyTier-backed hierarchies for brownout tests);
         # shards still share nothing -- one hierarchy each.
+        self._hierarchy_factory = hierarchy_factory
         self.shards: List[WildfireShard] = [
             WildfireShard(
                 schema,
@@ -99,7 +140,7 @@ class ShardedTable:
         self._qos_io = IOStats()  # cluster ledger: admission tier + QosStats
         self._admission: Optional[AdmissionController] = None
         self._scheduler: Optional[DaemonScheduler] = None
-        self._breakers: List[Optional[CircuitBreaker]] = [None] * num_shards
+        self._breakers: List[Optional[CircuitBreaker]] = []
         if qos is not None:
             self._admission = AdmissionController(
                 qos,
@@ -111,18 +152,46 @@ class ShardedTable:
             self._scheduler = DaemonScheduler(
                 qos, stats=self._qos_io.qos, admission=self._admission
             )
-            for shard_id, shard in enumerate(self.shards):
-                breaker = CircuitBreaker(
-                    f"shared/shard{shard_id}",
-                    qos.breaker,
-                    clock=self.sim_now,
-                    stats=self._qos_io.qos,
-                )
-                shard.hierarchy.attach_shared_breaker(breaker)
-                shard.attach_scheduler(self._scheduler)
-                self._scheduler.watch_breaker(breaker)
-                self._scheduler.watch_faults(shard.hierarchy.stats.faults)
-                self._breakers[shard_id] = breaker
+        for shard_id, shard in enumerate(self.shards):
+            self._attach_qos(shard_id, shard)
+
+        # -- online split / routing epochs (ISSUE 8) ----------------------
+        # The cluster ledger's EpochStats belongs exclusively to the map
+        # registry (shard run-lifecycle pins live on each shard's own
+        # ledger), so "two refcount ops per query" is directly observable.
+        self._maps = ShardMapRegistry(
+            ShardMap.initial(num_shards), stats=self._qos_io.epochs
+        )
+        try:
+            self._slicer: Optional[ShardingKeySlicer] = ShardingKeySlicer(
+                self.shards[0].index.definition, schema.sharding_key
+            )
+        except ShardMapError:
+            # The sharding key is not part of the index key: the table
+            # still works, but online splits are refused at call time.
+            self._slicer = None
+        self._retired: Set[int] = set()
+        self._active_split: Optional[SplitState] = None
+        self._split_lock = threading.Lock()
+        self._daemons_running = False
+        self._daemon_interval = 0.05
+
+    def _attach_qos(self, shard_id: int, shard: WildfireShard) -> None:
+        """Wire one shard into the qos stack (no-op without a config)."""
+        if self.qos_config is None:
+            self._breakers.append(None)
+            return
+        breaker = CircuitBreaker(
+            f"shared/shard{shard_id}",
+            self.qos_config.breaker,
+            clock=self.sim_now,
+            stats=self._qos_io.qos,
+        )
+        shard.hierarchy.attach_shared_breaker(breaker)
+        shard.attach_scheduler(self._scheduler)
+        self._scheduler.watch_breaker(breaker)
+        self._scheduler.watch_faults(shard.hierarchy.stats.faults)
+        self._breakers.append(breaker)
 
     # -- qos surface -----------------------------------------------------------------
 
@@ -140,6 +209,16 @@ class ShardedTable:
     def qos_stats(self) -> QosStats:
         """The live cluster qos ledger (admission + breakers + scheduler)."""
         return self._qos_io.qos
+
+    def epoch_stats(self):
+        """The live routing-epoch ledger (map pins/publishes/reclaims).
+
+        This is the cluster ledger's :class:`EpochStats` and it belongs
+        exclusively to the :class:`ShardMapRegistry`, so "exactly two
+        refcount operations per query" is directly observable on it;
+        shard run-lifecycle pins are counted on each shard's own ledger.
+        """
+        return self._qos_io.epochs
 
     def sim_now(self) -> int:
         """Cluster simulated clock: arrival time + work + queue waits.
@@ -166,29 +245,48 @@ class ShardedTable:
 
     # -- routing --------------------------------------------------------------------
 
+    @property
+    def maps(self) -> ShardMapRegistry:
+        """The routing-epoch registry (tests and the split controller)."""
+        return self._maps
+
+    def routing_epoch(self) -> int:
+        return self._maps.epoch
+
+    def live_shard_ids(self) -> List[int]:
+        """Shards that still serve (everything not retired by a split)."""
+        return [
+            shard_id
+            for shard_id in range(len(self.shards))
+            if shard_id not in self._retired
+        ]
+
+    def key_hash(self, sharding_values: Tuple[KeyValue, ...]) -> int:
+        return fnv1a64(encode_composite(tuple(sharding_values)))
+
     def shard_of_row(self, row: Sequence[KeyValue]) -> int:
         values = tuple(row[i] for i in self._shard_positions)
         return self.shard_of_key(values)
 
     def shard_of_key(self, sharding_values: Tuple[KeyValue, ...]) -> int:
-        return fnv1a64(encode_composite(sharding_values)) % self.num_shards
+        """Where a new row for this sharding key lands *right now*."""
+        return self._maps.current.write_shard(self.key_hash(sharding_values))
 
-    def _route_query(
+    def _bound_sharding_values(
         self,
         equality_values: Sequence[KeyValue],
         sort_values: Sequence[KeyValue],
-    ) -> Optional[int]:
-        """Shard id when the sharding key is fully bound, else ``None``."""
+    ) -> Optional[Tuple[KeyValue, ...]]:
+        """Sharding values when the query binds them all, else ``None``."""
         bound: Dict[str, KeyValue] = {}
         for name, value in zip(self._spec_eq, equality_values):
             bound[name] = value
         for name, value in zip(self._spec_sort, sort_values):
             bound[name] = value
         try:
-            values = tuple(bound[name] for name in self.schema.sharding_key)
+            return tuple(bound[name] for name in self.schema.sharding_key)
         except KeyError:
             return None
-        return self.shard_of_key(values)
 
     # -- ingestion -------------------------------------------------------------------
 
@@ -211,30 +309,265 @@ class ShardedTable:
         self, rows: Sequence[Sequence[KeyValue]]
     ) -> Dict[int, int]:
         per_shard: Dict[int, List[Sequence[KeyValue]]] = {}
-        for row in rows:
-            per_shard.setdefault(self.shard_of_row(row), []).append(row)
-        for shard_id, shard_rows in per_shard.items():
-            self.shards[shard_id].ingest(shard_rows)
+        # One map pin covers the whole batch: every row of the batch is
+        # routed by the same epoch, and a concurrent split's cutover
+        # publish happens entirely before or entirely after it.
+        with self._maps.pin() as pin:
+            for row in rows:
+                values = tuple(row[i] for i in self._shard_positions)
+                shard_id = pin.map.write_shard(self.key_hash(values))
+                per_shard.setdefault(shard_id, []).append(row)
+            for shard_id, shard_rows in per_shard.items():
+                self.shards[shard_id].ingest(shard_rows)
         return {shard_id: len(rs) for shard_id, rs in per_shard.items()}
 
     # -- lifecycle --------------------------------------------------------------------
 
+    def _maintenance_skip(self) -> Set[int]:
+        """Shards whose lifecycle must not run right now.
+
+        Retired sources stay readable for old-epoch pins but never groom
+        again.  A split's successors are frozen until the final publish:
+        grooming there would assign ``beginTS`` from a clock that has not
+        yet been handed forward from the source, which would break the
+        double-read's newest-wins comparison.
+        """
+        skip = set(self._retired)
+        state = self._active_split
+        if state is not None and state.phase in (
+            "pre_copy",
+            "migrating",
+            "copied",
+        ):
+            for successor_id in (state.left_id, state.right_id):
+                if successor_id >= 0:
+                    skip.add(successor_id)
+        return skip
+
     def tick(self) -> None:
-        """One lifecycle cycle on every shard (deterministic driver)."""
-        for shard in self.shards:
-            shard.tick()
+        """One lifecycle cycle on every live shard (deterministic driver)."""
+        skip = self._maintenance_skip()
+        for shard_id, shard in enumerate(self.shards):
+            if shard_id not in skip:
+                shard.tick()
 
     def run_cycles(self, cycles: int) -> None:
         for _ in range(cycles):
             self.tick()
 
     def start_daemons(self, groom_interval_s: float = 0.05) -> None:
-        for shard in self.shards:
-            shard.start_daemons(groom_interval_s=groom_interval_s)
+        self._daemons_running = True
+        self._daemon_interval = groom_interval_s
+        skip = self._maintenance_skip()
+        for shard_id, shard in enumerate(self.shards):
+            if shard_id not in skip and not shard._daemon_threads:
+                shard.start_daemons(groom_interval_s=groom_interval_s)
 
     def stop_daemons(self) -> None:
+        self._daemons_running = False
         for shard in self.shards:
             shard.stop_daemons()
+
+    # -- online shard split (ISSUE 8) ---------------------------------------------
+
+    def split_shard(self, shard_id: int) -> Dict[str, object]:
+        """Split one shard's slot into two successor shards, online.
+
+        Serialized with other splits; queries never take this lock.  A
+        :class:`~repro.faults.crash.SimulatedCrash` at any of the four
+        ``split.*`` crash points leaves the phase machine parked in
+        ``self._active_split`` for :meth:`recover_split`.
+        """
+        with self._split_lock:
+            if self._active_split is not None:
+                raise SplitError(
+                    f"a split of shard {self._active_split.source_id} is "
+                    "already in flight; recover it first"
+                )
+            if self._slicer is None:
+                raise SplitError(
+                    "online split needs the sharding key to be index key "
+                    "columns (zero-decode partitioning reads them from "
+                    "raw sort keys)"
+                )
+            if shard_id in self._retired:
+                raise SplitError(f"shard {shard_id} is retired")
+            if self.shards[shard_id].indexes.secondaries:
+                raise SplitError(
+                    "online split moves the primary index only; drop "
+                    "secondary indexes first"
+                )
+            current = self._maps.current
+            slot = next(
+                (
+                    i
+                    for i, route in enumerate(current.slots)
+                    if route.state == "single" and route.primary == shard_id
+                ),
+                None,
+            )
+            if slot is None:
+                raise SplitError(
+                    f"shard {shard_id} does not solely own a routable slot"
+                )
+            state = SplitState(source_id=shard_id, slot=slot)
+            self._active_split = state
+            return self._run_split(state)
+
+    def recover_split(self) -> Dict[str, object]:
+        """Resume (or roll back) a split interrupted by a crash.
+
+        * crash before the write cutover (``split.pre_copy``): nothing
+          was published -- discard the state, routing is fully-old;
+        * crash anywhere after the cutover: roll *forward* by replaying
+          the remaining phases (every copy step is idempotent) until the
+          final map is published and the source retired.
+
+        Idempotent: calling with no interrupted split is a no-op.
+        """
+        with self._split_lock:
+            state = self._active_split
+            if state is None:
+                return {"resumed": False, "epoch": self._maps.epoch}
+            if state.phase == "pre_copy":
+                self._active_split = None
+                return {
+                    "resumed": True,
+                    "outcome": "rolled_back",
+                    "epoch": self._maps.epoch,
+                }
+            result = self._run_split(state)
+            result["outcome"] = "rolled_forward"
+            return result
+
+    def _split_gate(self, state: SplitState) -> None:
+        """Backpressure gate: refuse to even start a split under duress.
+
+        Only consulted before the write cutover -- past that point the
+        only safe direction is forward, whatever the breakers say.
+        """
+        if self._scheduler is not None and not self._scheduler.allow_maintenance():
+            self._active_split = None
+            raise SplitAborted(
+                "maintenance backpressure: split refused before cutover"
+            )
+        breaker = self._breakers[state.source_id]
+        if breaker is not None and breaker.state() is BreakerState.OPEN:
+            self._active_split = None
+            raise SplitAborted(
+                f"shard {state.source_id} breaker is open; split refused"
+            )
+
+    def _run_split(self, state: SplitState) -> Dict[str, object]:
+        """Advance the split phase machine to completion (resumable)."""
+        if state.phase == "pre_copy":
+            self._split_gate(state)
+            crash_point("split.pre_copy")
+            if state.left_id < 0:
+                state.left_id = self._new_shard()
+                state.right_id = self._new_shard()
+            current = self._maps.current
+            migrating = current.with_slot(
+                state.slot,
+                SlotRoute(
+                    "migrating",
+                    primary=state.source_id,
+                    left=state.left_id,
+                    right=state.right_id,
+                ),
+                epoch=current.epoch + 1,
+            )
+            # Write cutover: from this swap on, new rows for the slot land
+            # on the successors and every read double-reads.
+            old = self._maps.publish(migrating)
+            state.migrating_epoch = migrating.epoch
+            state.phase = "migrating"
+            # No query pinned to the pre-cutover map may still be routing
+            # writes to the source once we start draining it.
+            self._maps.drain(old.epoch)
+
+        source = self.shards[state.source_id]
+        left = self.shards[state.left_id]
+        right = self.shards[state.right_id]
+
+        if state.phase == "migrating":
+            # The source stops receiving writes at the cutover: its daemon
+            # threads (if any) retire now, and one synchronous quiesce
+            # empties its live and groomed zones for good.
+            source.stop_daemons()
+            state.quiesce_grooms += source.quiesce()["grooms"]
+            # Clock handoff: every beginTS the successors will ever assign
+            # must sort after every beginTS the source ever assigned, or
+            # the double-read's newest-wins comparison lies.
+            for successor in (left, right):
+                successor.clock.ensure_at_least(*source.clock.state())
+            state.copied_blocks += copy_post_groomed_blocks(
+                source, (left, right)
+            )
+            state.copied_entries += partition_runs(
+                source, left, right, self._slicer
+            )
+            state.phase = "copied"
+
+        if state.phase == "copied":
+            crash_point("split.pre_publish")
+            current = self._maps.current
+            final = current.with_slot(
+                state.slot,
+                SlotRoute(
+                    "split",
+                    primary=state.source_id,
+                    left=state.left_id,
+                    right=state.right_id,
+                ),
+                epoch=state.migrating_epoch + 1,
+            )
+            self._maps.publish(final)
+            state.final_epoch = final.epoch
+            state.phase = "published"
+            self._maps.drain(state.migrating_epoch)
+
+        if state.phase == "published":
+            crash_point("split.post_publish")
+            # Decommission: the source keeps its data (an old-epoch pin may
+            # still read it) but never grooms again; the successors start
+            # their normal lifecycle, daemons included if the cluster runs
+            # them.
+            source.stop_daemons()
+            source.exit_degraded_mode()
+            self._retired.add(state.source_id)
+            if self._daemons_running:
+                for successor in (left, right):
+                    if not successor._daemon_threads:
+                        successor.start_daemons(
+                            groom_interval_s=self._daemon_interval
+                        )
+            state.phase = "done"
+            self._active_split = None
+
+        return {
+            "resumed": True,
+            "epoch": self._maps.epoch,
+            **state.summary(),
+        }
+
+    def _new_shard(self) -> int:
+        """Append one fresh, empty shard wired into the qos stack."""
+        shard_id = len(self.shards)
+        shard = WildfireShard(
+            self.schema,
+            self.index_spec,
+            hierarchy=(
+                self._hierarchy_factory(shard_id)
+                if self._hierarchy_factory is not None
+                else None
+            ),
+            config=self._config,
+        )
+        self.shards.append(shard)
+        self._attach_qos(shard_id, shard)
+        self.num_shards = len(self.shards)
+        return shard_id
 
     # -- queries ----------------------------------------------------------------------
 
@@ -265,29 +598,116 @@ class ShardedTable:
         sort_values: Sequence[KeyValue],
         query_ts: Optional[int],
     ) -> Optional[Record]:
-        shard_id = self._route_query(equality_values, sort_values)
-        if shard_id is not None:
-            return self._shard_point_query(
-                shard_id, equality_values, sort_values, query_ts
+        with self._maps.pin() as pin:
+            values = self._bound_sharding_values(equality_values, sort_values)
+            if values is not None:
+                return self._routed_point(
+                    pin, self.key_hash(values), equality_values, sort_values,
+                    query_ts,
+                )
+            return self._scatter_point(
+                pin, equality_values, sort_values, query_ts
             )
-        # Defensive scatter fallback: a failing shard yields a typed
-        # partial-result error naming it, never a bare TransientIOError.
+
+    def _routed_point(
+        self,
+        pin: MapPin,
+        key_hash: int,
+        equality_values: Sequence[KeyValue],
+        sort_values: Sequence[KeyValue],
+        query_ts: Optional[int],
+    ) -> Optional[Record]:
+        route = pin.map.route_of(key_hash)
+        if route.state != "migrating":
+            return self._shard_point_query(
+                route.read_shards(key_hash)[0],
+                equality_values,
+                sort_values,
+                query_ts,
+            )
+        # Migration window: double-read successor + source, newest beginTS
+        # wins.  The successor must answer authoritatively or not at all --
+        # a degraded (snapshot-pinned) successor answer could silently miss
+        # freshly cut-over writes, so its brownouts surface as a typed
+        # partial result tagged with the serving epoch instead.
+        best: Optional[Record] = None
         failed: List[int] = []
         cause: Optional[BaseException] = None
-        for scatter_id in range(self.num_shards):
+        for shard_id in route.read_shards(key_hash):
+            allow_degraded = shard_id == route.primary
             try:
                 record = self._shard_point_query(
-                    scatter_id, equality_values, sort_values, query_ts
+                    shard_id,
+                    equality_values,
+                    sort_values,
+                    query_ts,
+                    allow_degraded=allow_degraded,
+                )
+            except TransientIOError as exc:
+                failed.append(shard_id)
+                cause = exc
+                continue
+            if record is not None and (
+                best is None or record.begin_ts > best.begin_ts
+            ):
+                best = record
+        if failed:
+            raise PartialResultError(
+                tuple(failed),
+                (best,) if best is not None else (),
+                cause,
+                epoch=pin.epoch,
+            )
+        return best
+
+    def _scatter_point(
+        self,
+        pin: MapPin,
+        equality_values: Sequence[KeyValue],
+        sort_values: Sequence[KeyValue],
+        query_ts: Optional[int],
+    ) -> Optional[Record]:
+        # Defensive scatter fallback: a failing shard yields a typed
+        # partial-result error naming it, never a bare TransientIOError.
+        shard_map = pin.map
+        migrating = self._migrating_successors(shard_map)
+        best: Optional[Record] = None
+        failed: List[int] = []
+        cause: Optional[BaseException] = None
+        for scatter_id in shard_map.scatter_shards():
+            try:
+                record = self._shard_point_query(
+                    scatter_id,
+                    equality_values,
+                    sort_values,
+                    query_ts,
+                    allow_degraded=scatter_id not in migrating,
                 )
             except TransientIOError as exc:
                 failed.append(scatter_id)
                 cause = exc
                 continue
-            if record is not None:
-                return record
+            if record is not None and (
+                best is None or record.begin_ts > best.begin_ts
+            ):
+                best = record
         if failed:
-            raise PartialResultError(tuple(failed), (), cause)
-        return None
+            raise PartialResultError(
+                tuple(failed),
+                (best,) if best is not None else (),
+                cause,
+                epoch=pin.epoch,
+            )
+        return best
+
+    @staticmethod
+    def _migrating_successors(shard_map: ShardMap) -> Set[int]:
+        successors: Set[int] = set()
+        for route in shard_map.slots:
+            if route.state == "migrating":
+                successors.add(route.left)
+                successors.add(route.right)
+        return successors
 
     def _shard_point_query(
         self,
@@ -295,12 +715,15 @@ class ShardedTable:
         equality_values: Sequence[KeyValue],
         sort_values: Sequence[KeyValue],
         query_ts: Optional[int],
+        allow_degraded: bool = True,
     ) -> Optional[Record]:
         """One shard's point query, with breaker-aware degraded serving."""
         shard = self.shards[shard_id]
         breaker = self._breakers[shard_id]
         if breaker is not None:
             if breaker.state() is BreakerState.OPEN:
+                if not allow_degraded:
+                    raise StorageBrownout(f"shared/shard{shard_id}", 0)
                 return self._degraded_point(
                     shard, equality_values, sort_values, query_ts
                 )
@@ -309,7 +732,7 @@ class ShardedTable:
         try:
             return shard.point_query(equality_values, sort_values, query_ts)
         except StorageBrownout:
-            if breaker is None:
+            if breaker is None or not allow_degraded:
                 raise
             # The breaker tripped mid-query: answer from the snapshot pin
             # instead of surfacing the brownout to the client.
@@ -359,15 +782,79 @@ class ShardedTable:
         sort_upper: Optional[Sequence[KeyValue]],
         query_ts: Optional[int],
     ) -> List[IndexEntry]:
-        shard_id = self._route_query(equality_values, ())
-        if shard_id is not None:
+        with self._maps.pin() as pin:
+            values = self._bound_sharding_values(equality_values, ())
+            if values is not None:
+                return self._routed_range(
+                    pin,
+                    self.key_hash(values),
+                    equality_values,
+                    sort_lower,
+                    sort_upper,
+                    query_ts,
+                )
+            return self._scatter_range(
+                pin, equality_values, sort_lower, sort_upper, query_ts
+            )
+
+    def _routed_range(
+        self,
+        pin: MapPin,
+        key_hash: int,
+        equality_values: Sequence[KeyValue],
+        sort_lower: Optional[Sequence[KeyValue]],
+        sort_upper: Optional[Sequence[KeyValue]],
+        query_ts: Optional[int],
+    ) -> List[IndexEntry]:
+        route = pin.map.route_of(key_hash)
+        if route.state != "migrating":
             return self._shard_range_query(
-                shard_id, equality_values, sort_lower, sort_upper, query_ts
+                route.read_shards(key_hash)[0],
+                equality_values,
+                sort_lower,
+                sort_upper,
+                query_ts,
             )
         gathered: List[IndexEntry] = []
         failed: List[int] = []
         cause: Optional[BaseException] = None
-        for scatter_id in range(self.num_shards):
+        for shard_id in route.read_shards(key_hash):
+            allow_degraded = shard_id == route.primary
+            try:
+                gathered.extend(
+                    self._shard_range_query(
+                        shard_id,
+                        equality_values,
+                        sort_lower,
+                        sort_upper,
+                        query_ts,
+                        allow_degraded=allow_degraded,
+                    )
+                )
+            except TransientIOError as exc:
+                failed.append(shard_id)
+                cause = exc
+        merged = self._merge_versions(gathered)
+        if failed:
+            raise PartialResultError(
+                tuple(failed), tuple(merged), cause, epoch=pin.epoch
+            )
+        return merged
+
+    def _scatter_range(
+        self,
+        pin: MapPin,
+        equality_values: Sequence[KeyValue],
+        sort_lower: Optional[Sequence[KeyValue]],
+        sort_upper: Optional[Sequence[KeyValue]],
+        query_ts: Optional[int],
+    ) -> List[IndexEntry]:
+        shard_map = pin.map
+        migrating = self._migrating_successors(shard_map)
+        gathered: List[IndexEntry] = []
+        failed: List[int] = []
+        cause: Optional[BaseException] = None
+        for scatter_id in shard_map.scatter_shards():
             try:
                 gathered.extend(
                     self._shard_range_query(
@@ -376,6 +863,7 @@ class ShardedTable:
                         sort_lower,
                         sort_upper,
                         query_ts,
+                        allow_degraded=scatter_id not in migrating,
                     )
                 )
             except TransientIOError as exc:
@@ -383,11 +871,39 @@ class ShardedTable:
                 # letting a bare TransientIOError escape the gather.
                 failed.append(scatter_id)
                 cause = exc
-        definition = self.shards[0].index.definition
-        gathered.sort(key=lambda entry: entry.key_bytes(definition))
+        if shard_map.needs_merge():
+            gathered = self._merge_versions(gathered)
+        else:
+            definition = self.shards[0].index.definition
+            gathered.sort(key=lambda entry: entry.key_bytes(definition))
         if failed:
-            raise PartialResultError(tuple(failed), tuple(gathered), cause)
+            raise PartialResultError(
+                tuple(failed), tuple(gathered), cause, epoch=pin.epoch
+            )
         return gathered
+
+    def _merge_versions(self, entries: List[IndexEntry]) -> List[IndexEntry]:
+        """Client-side double-read merge: newest version per key wins.
+
+        Each shard already returns at most one (newest visible) version
+        per key; during a migration window the successor and the source
+        may both answer for the same key.  Sorting by the full sort key
+        (key bytes + descending-encoded beginTS) groups versions of one
+        key newest-first, so keeping the first entry per key drops both
+        exact duplicates (copied entries are byte-identical) and stale
+        source versions in one pass.
+        """
+        definition = self.shards[0].index.definition
+        entries.sort(key=lambda entry: entry.sort_key(definition))
+        merged: List[IndexEntry] = []
+        last_key: Optional[bytes] = None
+        for entry in entries:
+            key = entry.key_bytes(definition)
+            if key == last_key:
+                continue
+            last_key = key
+            merged.append(entry)
+        return merged
 
     def _shard_range_query(
         self,
@@ -396,11 +912,14 @@ class ShardedTable:
         sort_lower: Optional[Sequence[KeyValue]],
         sort_upper: Optional[Sequence[KeyValue]],
         query_ts: Optional[int],
+        allow_degraded: bool = True,
     ) -> List[IndexEntry]:
         shard = self.shards[shard_id]
         breaker = self._breakers[shard_id]
         if breaker is not None:
             if breaker.state() is BreakerState.OPEN:
+                if not allow_degraded:
+                    raise StorageBrownout(f"shared/shard{shard_id}", 0)
                 return self._degraded_range(
                     shard, equality_values, sort_lower, sort_upper, query_ts
                 )
@@ -411,7 +930,7 @@ class ShardedTable:
                 equality_values, sort_lower, sort_upper, query_ts
             )
         except StorageBrownout:
-            if breaker is None:
+            if breaker is None or not allow_degraded:
                 raise
             return self._degraded_range(
                 shard, equality_values, sort_lower, sort_upper, query_ts
@@ -434,14 +953,32 @@ class ShardedTable:
     # -- observability ----------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
+        """Cluster stats with a *complete* ledger rollup (ISSUE 8).
+
+        ``io`` folds the cluster's own ledger plus every shard's hierarchy
+        ledger through :meth:`~repro.storage.metrics.IOStats.merge`, so
+        sub-ledger counters (per-intent cache paths, fault/retry counts,
+        epoch lifecycle, decode work) aggregate instead of being dropped
+        like the old top-level-only summation did.  ``total_entries``
+        counts live shards only: a retired source's copied entries would
+        otherwise be double-counted.
+        """
         per_shard = [shard.stats() for shard in self.shards]
+        merged = IOStats()
+        merged.merge(self._qos_io)
+        for shard in self.shards:
+            merged.merge(shard.hierarchy.stats)
+        live = self.live_shard_ids()
         return {
-            "num_shards": self.num_shards,
+            "num_shards": len(live),
+            "routing_epoch": self._maps.epoch,
+            "retired_shards": sorted(self._retired),
             "total_entries": sum(
-                s["index"].total_entries for s in per_shard  # type: ignore[index]
+                per_shard[i]["index"].total_entries for i in live  # type: ignore[index]
             ),
             "per_shard": per_shard,
-            "qos": self._qos_io.qos.snapshot(),
+            "qos": merged.qos.snapshot(),
+            "io": merged,
         }
 
     def crash_and_recover_shard(self, shard_id: int):

@@ -343,6 +343,41 @@ class WildfireShard:
                 service.stop()
 
     # ------------------------------------------------------------------------------
+    # lifecycle -- quiesce (shard split support, ISSUE 8)
+    # ------------------------------------------------------------------------------
+
+    def quiesce(self, max_rounds: int = 256) -> Dict[str, int]:
+        """Drain every zone down into the post-groomed zone.
+
+        Grooms until the committed log is empty, post-grooms everything
+        groomed so far, and drains the indexer until every published PSN
+        has evolved.  Afterwards the index's visible version consists of
+        post-groomed runs only (the groomed watermark covers every
+        groomed block), which is the state an online split streams out:
+        one zone, zero-decode, fully assigned ``beginTS``.
+        """
+        grooms = 0
+        for _ in range(max_rounds):
+            if self.committed_log.pending_rows() == 0:
+                break
+            if self.groomer.groom() is not None:
+                grooms += 1
+        else:
+            raise RuntimeError("quiesce: committed log did not drain")
+        self.post_groomer.post_groom()
+        for _ in range(max_rounds):
+            if self.index.indexed_psn >= self.post_groomer.max_psn:
+                break
+            self.indexer.drain()
+        else:
+            raise RuntimeError("quiesce: indexer did not catch up")
+        return {
+            "grooms": grooms,
+            "max_psn": self.post_groomer.max_psn,
+            "indexed_psn": self.index.indexed_psn,
+        }
+
+    # ------------------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------------------
 

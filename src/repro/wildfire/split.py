@@ -1,0 +1,179 @@
+"""Online shard split: state machine and zero-decode data movement (ISSUE 8).
+
+The cluster-facing entry point is
+:meth:`repro.wildfire.cluster.ShardedTable.split_shard`; this module owns
+the pieces below it:
+
+* :class:`SplitState` -- the in-memory phase machine a split advances
+  through.  Phases are ordered so that a crash at any of the four named
+  crash points (``split.pre_copy`` / ``mid_copy`` / ``pre_publish`` /
+  ``post_publish``) recovers deterministically: a crash before anything
+  is published rolls back to fully-old routing; a crash any time after
+  the write cutover rolls *forward* to fully-new routing.  Because the
+  routing map itself is an immutable object swapped atomically, no crash
+  can leave a torn map.
+* :func:`copy_post_groomed_blocks` -- verbatim record-block transfer
+  (same ids, same namespaces, same bytes) so the RIDs baked into entry
+  blobs stay valid on the successors.
+* :func:`partition_runs` -- the zero-decode copy: the source's
+  post-groomed runs are streamed as raw ``(sort_key, blob)`` pairs
+  through the same K-way blob merge the evolve path uses, partitioned
+  between the two successors by hashing the sharding-key slices straight
+  out of each sort key, and built into one post-groomed run per
+  successor via ``RunBuilder.build_from_blobs`` -- no
+  :class:`~repro.core.entry.IndexEntry` is ever materialized.
+
+Both helpers are idempotent (already-copied blocks are skipped; a
+successor that already holds its copied run is not rebuilt), which is
+what makes the roll-forward recovery replays safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.entry import Zone
+from repro.core.merge import merge_entry_blob_streams
+from repro.core.run import Synopsis
+from repro.faults.crash import crash_point
+from repro.storage.metrics import ReadIntent
+from repro.wildfire.engine import WildfireShard
+from repro.wildfire.shardmap import ShardingKeySlicer, successor_side
+
+
+class SplitError(RuntimeError):
+    """A split could not be started or resumed."""
+
+
+class SplitAborted(SplitError):
+    """A split backed out cleanly before its write cutover.
+
+    Raised when maintenance backpressure or an open circuit breaker says
+    the cluster cannot afford the copy right now.  Nothing has been
+    published: routing, data, and clocks are exactly as they were.
+    """
+
+
+# Phase order.  Everything from "migrating" on recovers by rolling
+# forward; "pre_copy" is the only phase that rolls back.
+PHASES = ("pre_copy", "migrating", "copied", "published", "done")
+
+
+@dataclass
+class SplitState:
+    """One in-flight (or crashed) split's progress."""
+
+    source_id: int
+    slot: int
+    left_id: int = -1
+    right_id: int = -1
+    phase: str = "pre_copy"
+    migrating_epoch: int = -1
+    final_epoch: int = -1
+    copied_blocks: int = 0
+    copied_entries: int = 0
+    quiesce_grooms: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "source": self.source_id,
+            "successors": (self.left_id, self.right_id),
+            "phase": self.phase,
+            "migrating_epoch": self.migrating_epoch,
+            "final_epoch": self.final_epoch,
+            "copied_blocks": self.copied_blocks,
+            "copied_entries": self.copied_entries,
+            "quiesce_grooms": self.quiesce_grooms,
+        }
+
+
+def copy_post_groomed_blocks(
+    source: WildfireShard, successors: Tuple[WildfireShard, WildfireShard]
+) -> int:
+    """Transfer the source's post-groomed record blocks to both successors.
+
+    Both successors receive *every* block: record blocks are addressed by
+    RID from entry blobs, and each successor's entry subset may reference
+    any block.  Idempotent; returns blocks copied this call.
+    """
+    block_ids = source.catalog.live_post_groomed_ids()
+    overlay = source.catalog.export_end_ts_overlay()
+    copied = 0
+    for successor in successors:
+        copied += len(
+            successor.catalog.adopt_post_groomed(source.catalog, block_ids, overlay)
+        )
+    return copied
+
+
+def _successor_has_copy(successor: WildfireShard) -> bool:
+    return bool(successor.index.run_lists[Zone.POST_GROOMED].snapshot())
+
+
+def partition_runs(
+    source: WildfireShard,
+    left: WildfireShard,
+    right: WildfireShard,
+    slicer: ShardingKeySlicer,
+) -> int:
+    """Stream the source's visible entries into per-successor runs.
+
+    The source must be quiesced (post-groomed zone only).  Streams the
+    newest-first run stack through the zero-decode blob merge (identical
+    sort keys dedup to the newest copy, exactly as evolve/merge do),
+    partitions each raw pair by the sharding-key hash bit, and builds at
+    most one post-groomed run per successor with a union synopsis.  The
+    ``split.mid_copy`` crash point sits between the two builds.
+    Idempotent per successor: a successor that already published its
+    copied run is skipped, so crash replays never duplicate entries.
+    Returns the number of entries copied this call.
+    """
+    pin = source.index.pin_snapshot()
+    try:
+        runs = source.index.run_lists[Zone.POST_GROOMED].snapshot()
+        definition = source.index.definition
+        buckets: Tuple[List[Tuple[bytes, bytes]], ...] = ([], [])
+        if runs:
+            for sort_key, blob in merge_entry_blob_streams(
+                definition, runs, intent=ReadIntent.MAINTENANCE
+            ):
+                side = successor_side(slicer.hash_of_sort_key(sort_key))
+                buckets[side].append((sort_key, blob))
+        synopsis = (
+            Synopsis.union([run.header.synopsis for run in runs]) if runs else None
+        )
+        copied = 0
+        for side, successor in enumerate((left, right)):
+            if side == 1:
+                crash_point("split.mid_copy")
+            pairs = buckets[side]
+            if not pairs or _successor_has_copy(successor):
+                continue
+            run = successor.index.builder.build_from_blobs(
+                run_id=successor.index.allocator.allocate(Zone.POST_GROOMED),
+                blob_pairs=pairs,
+                synopsis=synopsis,
+                zone=Zone.POST_GROOMED,
+                level=successor.index.config.levels.first_post_groomed_level,
+                min_groomed_id=-1,
+                max_groomed_id=-1,
+                persisted=True,
+                write_through_ssd=True,
+            )
+            successor.index.run_lists[Zone.POST_GROOMED].push_front(run)
+            copied += len(pairs)
+        return copied
+    finally:
+        pin.release()
+
+
+__all__ = [
+    "PHASES",
+    "SplitAborted",
+    "SplitError",
+    "SplitState",
+    "copy_post_groomed_blocks",
+    "partition_runs",
+    "successor_side",
+]

@@ -2,7 +2,7 @@
 
 import threading
 
-from repro.storage.metrics import IOStats, TierStats
+from repro.storage.metrics import IOStats, ReadIntent, TierStats
 
 
 class TestTierStats:
@@ -47,6 +47,52 @@ class TestIOStats:
         ledger.record_read("a", 1, 1)
         ledger.reset()
         assert ledger.snapshot() == {}
+
+    def test_merge_folds_every_sub_ledger(self):
+        """ISSUE 8 regression: cluster rollups must not drop sub-ledgers.
+
+        The old cluster ``stats()`` summed only top-level tier numbers;
+        ``merge`` must carry tier counters *and* decode/epoch/intent/
+        fault/qos counters across, and must not alias the source."""
+        a, b = IOStats(), IOStats()
+        a.record_read("ssd", nbytes=10, sim_ns=5)
+        b.record_read("ssd", nbytes=30, sim_ns=7)
+        b.record_write("shared", nbytes=100, sim_ns=50)
+        b.decode.entry_decodes = 3
+        b.epochs.version_refs = 4
+        b.epochs.reclaimed_while_pinned = 1
+        b.for_intent(ReadIntent.QUERY).shared_reads = 6
+        b.faults.transient_read_errors = 2
+        b.qos.degraded_reads = 5
+
+        result = a.merge(b)
+        assert result is a
+        assert a.tier("ssd").reads == 2
+        assert a.tier("ssd").bytes_read == 40
+        assert a.tier("ssd").sim_ns == 12
+        assert a.tier("shared").bytes_written == 100
+        assert a.decode.entry_decodes == 3
+        assert a.epochs.version_refs == 4
+        assert a.epochs.reclaimed_while_pinned == 1
+        assert a.for_intent(ReadIntent.QUERY).shared_reads == 6
+        assert a.faults.transient_read_errors == 2
+        assert a.qos.degraded_reads == 5
+        # The source is snapshotted, never aliased: mutating the merged
+        # ledger leaves the source alone and vice versa.
+        a.qos.degraded_reads += 1
+        assert b.qos.degraded_reads == 5
+        b.decode.entry_decodes += 1
+        assert a.decode.entry_decodes == 3
+
+    def test_merge_accumulates_across_many_ledgers(self):
+        total = IOStats()
+        for _ in range(3):
+            shard = IOStats()
+            shard.record_read("local", 1, 1)
+            shard.epochs.pins_entered = 2
+            total.merge(shard)
+        assert total.tier("local").reads == 3
+        assert total.epochs.pins_entered == 6
 
     def test_thread_safety_under_contention(self):
         ledger = IOStats()

@@ -91,6 +91,42 @@ class TestIngestAndQuery:
         assert stats["total_entries"] == 20
         assert stats["num_shards"] == 4
 
+    def test_stats_rolls_up_every_shard_sub_ledger(self):
+        """ISSUE 8 regression: the cluster ``io`` rollup must equal the
+        field-for-field sum of the shard ledgers (plus the cluster's own),
+        sub-ledgers included -- the old rollup dropped everything below
+        the top-level tier sums."""
+        table = make_table()
+        table.ingest([(d, m, d) for d in range(20) for m in range(3)])
+        table.run_cycles(3)
+        for d in range(20):
+            assert table.point_query((d,), (1,)) is not None
+
+        merged = table.stats()["io"]
+        shard_ledgers = [shard.hierarchy.stats for shard in table.shards]
+        # Tier counters: per-tier sums survive the merge.
+        for tier in ("memory", "ssd", "shared"):
+            expected = sum(s.tier(tier).reads for s in shard_ledgers)
+            assert merged.tier(tier).reads == expected
+            expected_ns = sum(s.tier(tier).sim_ns for s in shard_ledgers)
+            assert merged.tier(tier).sim_ns == expected_ns
+        # Decode / epoch sub-ledgers: someone decoded entries and every
+        # query pinned a run-list version on its shard's own ledger.
+        assert merged.decode.entry_decodes == sum(
+            s.decode.entry_decodes for s in shard_ledgers
+        )
+        assert merged.decode.entry_decodes > 0
+        shard_refs = sum(s.epochs.version_refs for s in shard_ledgers)
+        # The cluster ledger adds the routing-map pins on top.
+        assert merged.epochs.version_refs == (
+            shard_refs + table.epoch_stats().version_refs
+        )
+        assert table.epoch_stats().version_refs > 0
+        # The rollup is a snapshot, not an alias of any live ledger.
+        before = merged.decode.entry_decodes
+        table.point_query((0,), (1,))
+        assert merged.decode.entry_decodes == before
+
 
 class TestLifecycleIndependence:
     def test_full_lifecycle_on_all_shards(self):

@@ -40,7 +40,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 BENCH_DIRS = [REPO_ROOT / "benchmarks", REPO_ROOT / "src" / "repro" / "bench"]
-ASSERT_RULE_DIRS = [REPO_ROOT / "benchmarks"]
+ASSERT_RULE_DIRS = [
+    REPO_ROOT / "benchmarks",
+    REPO_ROOT / "src" / "repro" / "bench",
+]
 
 REPEAT_ONE_RE = re.compile(r"\brepeat\s*=\s*1\b")
 ANNOTATION_RE = re.compile(r"#\s*(counter-asserted|plot-only)\b")
