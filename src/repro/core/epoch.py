@@ -236,6 +236,12 @@ class RunLifecycle:
         self._collector: Optional[Callable[[], RunListVersion]] = None
         self._current: Optional[_VersionNode] = None
         self._versions: List[_VersionNode] = []
+        # Publications not yet folded into a current-node rebuild
+        # (ISSUE 9): note_publish only bumps this dirty count; the next
+        # pin/retire that needs the current node rebuilds once, so a
+        # merge storm's N eager rebuilds collapse to one
+        # (EpochStats.versions_coalesced counts the N-1 saved).
+        self._unbuilt_publishes = 0
         self._retired: List[_RetiredRun] = []
         # Releases parked by a finalizer (cyclic GC, or re-entering this
         # thread's own locked section), together with their deferred
@@ -286,12 +292,17 @@ class RunLifecycle:
     def note_publish(self) -> int:
         """Record one atomic run-list publication; returns the sequence.
 
-        In versionset mode this is where the maintenance side pays the
-        O(runs) cost the query side no longer does: the publication
-        eagerly rebuilds the current version node (candidate tuple +
-        run-id set), hands it the implicit "current" reference, and drops
-        the predecessor's -- which may kill the predecessor and unblock
-        runs only it still covered.
+        In versionset mode a publication only marks the current version
+        node **dirty** (ISSUE 9): the O(runs) rebuild of the candidate
+        tuple + run-id set is deferred to the first pin/retire that
+        actually needs the current node (``_current_node_locked``'s
+        seq-mismatch check).  A merge storm's N back-to-back publications
+        therefore cost one rebuild instead of N; the N-1 folded
+        publications are counted in ``EpochStats.versions_coalesced``.
+        Queries never observe staleness -- every pin refreshes through
+        ``_current_node_locked`` -- and a stale current node between
+        publications only makes ``is_pinned``/``_covered_locked`` err on
+        the safe side (runs look covered slightly longer).
 
         Deliberately **no** reclaim actions, parked releases, or release
         hooks execute here: ``note_publish`` is invoked from
@@ -308,11 +319,19 @@ class RunLifecycle:
             self.stats.versions_published += 1
             seq = self._version_seq
             if self.mode == "versionset" and self._collector is not None:
-                self._rebuild_current_locked()
+                self._unbuilt_publishes += 1
         return seq
 
     def _rebuild_current_locked(self) -> _VersionNode:
-        """Install a fresh current version node from the collector."""
+        """Install a fresh current version node from the collector.
+
+        One rebuild folds every publication since the previous one; the
+        surplus (N dirty publications -> 1 rebuild) is counted in
+        ``EpochStats.versions_coalesced``.
+        """
+        if self._unbuilt_publishes > 1:
+            self.stats.versions_coalesced += self._unbuilt_publishes - 1
+        self._unbuilt_publishes = 0
         version = self._collector()
         runs: Tuple[IndexRun, ...]
         if isinstance(version, RunListVersion):

@@ -436,6 +436,16 @@ class UmziIndex:
         """Candidate runs, newest first (list view of the current version)."""
         return self._collect_version().candidates()
 
+    def visible_runs(self) -> List[IndexRun]:
+        """Public view of the current version's candidate runs (ISSUE 9).
+
+        The access-path planner's statistics layer folds these runs'
+        headers into an :class:`~repro.planner.stats.AccessPathSynopsis`
+        without decoding an entry; freshness is keyed on
+        ``lifecycle.version_seq``, which every publication increments.
+        """
+        return self._collect_candidate_runs()
+
     def pin_snapshot(self) -> "SnapshotPin":
         """Pin the current :class:`RunListVersion` for repeatable reads.
 

@@ -1,0 +1,470 @@
+"""Typed queries and executable access plans (ISSUE 9, layer 2).
+
+A :class:`Query` describes *what* is wanted -- per-column equality and
+range predicates plus a projection -- without naming an index or an
+access mode; the planners (:mod:`repro.planner.baseline`,
+:mod:`repro.planner.smart`) compile it into an :class:`AccessPlan`
+describing *how*: which index, point vs scan, which predicates bind the
+key prefix, which remain as entry-level residuals (checkable on index
+entries without fetching a record) or record-level residuals (forcing a
+record fetch), whether the answer is index-only, and whether secondary
+hits must be resolved against the primary by RID (the fetch-back path).
+
+The legacy wrapper methods (``index_lookup``/``range_query``/
+``secondary_*``) ride the *hinted* path: they construct a Query carrying
+``index_hint`` + ``mode`` + raw lexicographic sort bounds, and
+:func:`plan_hinted` passes everything through verbatim -- same index
+calls, same arity errors, same counters as before the refactor, and no
+statistics work on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.encoding import KeyValue
+
+QUERY_MODES = ("point", "scan", "batch")
+
+
+class PlanError(ValueError):
+    """The query cannot be planned (unbound key columns, bad hint...)."""
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One residual predicate, pre-resolved for the executor.
+
+    ``slot`` locates the column inside an index entry (``("eq", i)`` /
+    ``("sort", i)`` / ``("incl", i)``) for entry-level checks; ``position``
+    is the column's table-schema position for record-level re-checks.
+    """
+
+    column: str
+    kind: str  # "eq" | "range"
+    value: Optional[KeyValue] = None
+    low: Optional[KeyValue] = None
+    high: Optional[KeyValue] = None
+    slot: Optional[Tuple[str, int]] = None
+    position: Optional[int] = None
+
+    def matches(self, value: KeyValue) -> bool:
+        if self.kind == "eq":
+            return value == self.value
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Query:
+    """A typed query over one table: predicates + projection.
+
+    ``equalities`` and ``ranges`` (both inclusive) name columns; a column
+    may appear in at most one of them.  ``projection=None`` means the
+    full row.  The remaining fields exist for the *hinted* wrapper path
+    only: ``mode`` pins the access mode, ``sort_lower``/``sort_upper``
+    carry raw lexicographic sort-key prefix bounds (not expressible as
+    per-column predicates), and ``batch_keys`` carries a batched point
+    lookup's key list.  Hinted fields require ``index_hint``; a bare
+    ``index_hint`` without ``mode`` restricts the smart planner's
+    candidates to that index instead.
+    """
+
+    equalities: Tuple[Tuple[str, KeyValue], ...] = ()
+    ranges: Tuple[Tuple[str, Optional[KeyValue], Optional[KeyValue]], ...] = ()
+    projection: Optional[Tuple[str, ...]] = None
+    query_ts: Optional[int] = None
+    index_hint: Optional[str] = None
+    mode: Optional[str] = None
+    sort_lower: Optional[Tuple[KeyValue, ...]] = None
+    sort_upper: Optional[Tuple[KeyValue, ...]] = None
+    batch_keys: Optional[
+        Tuple[Tuple[Tuple[KeyValue, ...], Tuple[KeyValue, ...]], ...]
+    ] = None
+    fetch_records: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "equalities", tuple(
+            (str(c), v) for c, v in self.equalities
+        ))
+        object.__setattr__(self, "ranges", tuple(
+            (str(c), lo, hi) for c, lo, hi in self.ranges
+        ))
+        if self.projection is not None:
+            object.__setattr__(self, "projection", tuple(self.projection))
+        named = [c for c, _ in self.equalities] + [c for c, _, _ in self.ranges]
+        if len(set(named)) != len(named):
+            raise PlanError(f"column bound more than once: {sorted(named)}")
+        if self.mode is not None:
+            if self.mode not in QUERY_MODES:
+                raise PlanError(
+                    f"mode must be one of {QUERY_MODES}; got {self.mode!r}"
+                )
+            if self.index_hint is None:
+                raise PlanError("mode requires index_hint (wrapper path)")
+        else:
+            for label, value in (
+                ("sort_lower", self.sort_lower),
+                ("sort_upper", self.sort_upper),
+                ("batch_keys", self.batch_keys),
+            ):
+                if value is not None:
+                    raise PlanError(
+                        f"{label} is a hinted-path field and requires mode"
+                    )
+        if self.batch_keys is not None and self.mode != "batch":
+            raise PlanError("batch_keys requires mode='batch'")
+
+    def predicate_columns(self) -> Tuple[str, ...]:
+        return tuple(
+            [c for c, _ in self.equalities] + [c for c, _, _ in self.ranges]
+        )
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """An executable access path, ready for the shard executor.
+
+    ``equality_values``/``sort_values``/``sort_lower``/``sort_upper`` are
+    positional arguments for ``UmziIndex.lookup``/``scan`` on
+    ``index_name``.  ``entry_residuals`` filter entries before any record
+    work; ``record_checks`` are re-applied to every fetched record (for
+    fetch-back plans they are *all* the query's predicates, which is what
+    makes secondary answers byte-identical to the primary path even when
+    a stale secondary entry surfaces a since-changed row).  ``pk_slots``
+    extract the primary-key tuple from an entry; ``projection_slots``
+    (index-only) and ``projection_positions`` (record plans) render the
+    output row.
+    """
+
+    index_name: str
+    mode: str
+    planner: str
+    equality_values: Tuple[KeyValue, ...] = ()
+    sort_values: Tuple[KeyValue, ...] = ()
+    sort_lower: Optional[Tuple[KeyValue, ...]] = None
+    sort_upper: Optional[Tuple[KeyValue, ...]] = None
+    batch_keys: Optional[
+        Tuple[Tuple[Tuple[KeyValue, ...], Tuple[KeyValue, ...]], ...]
+    ] = None
+    index_only: bool = False
+    fetch_back: bool = False
+    fetch_records: bool = True
+    entry_residuals: Tuple[Predicate, ...] = ()
+    record_checks: Tuple[Predicate, ...] = ()
+    pk_slots: Tuple[Tuple[str, int], ...] = ()
+    projection: Tuple[str, ...] = ()
+    projection_slots: Tuple[Tuple[str, int], ...] = ()
+    projection_positions: Tuple[int, ...] = ()
+    cost: float = 0.0
+    rows_est: float = 0.0
+    bound_prefix: int = 0
+    range_column: Optional[str] = None
+    hinted: bool = False
+    considered: Tuple[Mapping[str, object], ...] = ()
+
+    def explain(self) -> Dict[str, object]:
+        """Render the plan for tests, golden files, and the dev helper."""
+        return {
+            "planner": self.planner,
+            "index": self.index_name,
+            "mode": self.mode,
+            "index_only": self.index_only,
+            "fetch_back": self.fetch_back,
+            "bound_prefix": self.bound_prefix,
+            "range_column": self.range_column,
+            "entry_residuals": [p.column for p in self.entry_residuals],
+            "record_checks": [p.column for p in self.record_checks],
+            "rows_est": round(self.rows_est, 4),
+            "cost": round(self.cost, 4),
+            "hinted": self.hinted,
+            "candidates": [dict(c) for c in self.considered],
+        }
+
+
+# ---------------------------------------------------------------------------
+# entry-slot resolution
+# ---------------------------------------------------------------------------
+
+
+def entry_slot(spec, column: str) -> Optional[Tuple[str, int]]:
+    """Locate ``column`` inside entries of an index with ``spec``.
+
+    Secondary specs are stored primary-key-suffixed (see
+    ``ShardIndexes.add_secondary``), so every primary-key column of the
+    table resolves to a slot on every index -- the invariant the
+    fetch-back path and entry tagging rely on.
+    """
+    if column in spec.equality_columns:
+        return ("eq", spec.equality_columns.index(column))
+    if column in spec.sort_columns:
+        return ("sort", spec.sort_columns.index(column))
+    if column in spec.included_columns:
+        return ("incl", spec.included_columns.index(column))
+    return None
+
+
+def entry_value(entry, slot: Tuple[str, int]) -> KeyValue:
+    kind, i = slot
+    if kind == "eq":
+        return entry.equality_values[i]
+    if kind == "sort":
+        return entry.sort_values[i]
+    return entry.include_values[i]
+
+
+# ---------------------------------------------------------------------------
+# candidate construction (shared by baseline and smart)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CandidateShape:
+    """How one index can serve a query, before costing."""
+
+    index_name: str
+    is_primary: bool
+    mode: str  # "point" | "scan"
+    equality_values: Tuple[KeyValue, ...]
+    sort_values: Tuple[KeyValue, ...]
+    sort_lower: Optional[Tuple[KeyValue, ...]]
+    sort_upper: Optional[Tuple[KeyValue, ...]]
+    bound_prefix: int
+    range_column: Optional[str]
+    range_low: Optional[KeyValue]
+    range_high: Optional[KeyValue]
+    entry_residuals: Tuple[Predicate, ...]
+    record_residuals: Tuple[Predicate, ...]
+    covers_projection: bool
+
+
+def _predicate(query: Query, schema, spec, column: str) -> Predicate:
+    for name, value in query.equalities:
+        if name == column:
+            return Predicate(
+                column=column, kind="eq", value=value,
+                slot=entry_slot(spec, column),
+                position=schema.position(column),
+            )
+    for name, low, high in query.ranges:
+        if name == column:
+            return Predicate(
+                column=column, kind="range", low=low, high=high,
+                slot=entry_slot(spec, column),
+                position=schema.position(column),
+            )
+    raise PlanError(f"column {column!r} is not bound by the query")
+
+
+def candidate_shape(
+    query: Query, schema, shard_index, is_primary: bool
+) -> Optional[CandidateShape]:
+    """Shape one index as a candidate path, or None if unusable.
+
+    An index is usable when every equality column is equality-bound;
+    sort columns then consume an equality prefix plus at most one range
+    predicate (``compute_scan_bounds`` makes a bound-prefix upper bound
+    inclusive of all extensions, so prefix bounds need no padding).
+    Unconsumed predicates become entry-level residuals when the column
+    lives in the entry (key or included columns) and record-level
+    residuals otherwise.
+    """
+    spec = shard_index.spec
+    eq_map = dict(query.equalities)
+    range_map = {c: (lo, hi) for c, lo, hi in query.ranges}
+    for column in query.predicate_columns():
+        schema.position(column)  # raises SchemaError on unknown columns
+    used: set = set()
+    equality_values: List[KeyValue] = []
+    for column in spec.equality_columns:
+        if column not in eq_map:
+            return None
+        equality_values.append(eq_map[column])
+        used.add(column)
+    prefix: List[KeyValue] = []
+    range_column: Optional[str] = None
+    range_low: Optional[KeyValue] = None
+    range_high: Optional[KeyValue] = None
+    for column in spec.sort_columns:
+        if column in eq_map:
+            prefix.append(eq_map[column])
+            used.add(column)
+            continue
+        if column in range_map:
+            range_column = column
+            range_low, range_high = range_map[column]
+            used.add(column)
+        break
+    residual_columns = [
+        c for c in query.predicate_columns() if c not in used
+    ]
+    entry_residuals: List[Predicate] = []
+    record_residuals: List[Predicate] = []
+    for column in residual_columns:
+        predicate = _predicate(query, schema, spec, column)
+        if predicate.slot is not None:
+            entry_residuals.append(predicate)
+        else:
+            record_residuals.append(predicate)
+    is_point = (
+        range_column is None and len(prefix) == len(spec.sort_columns)
+    )
+    if is_point:
+        mode = "point"
+        sort_lower = sort_upper = None
+        sort_values = tuple(prefix)
+    else:
+        mode = "scan"
+        sort_values = ()
+        if range_column is not None:
+            sort_lower = (
+                tuple(prefix) + (range_low,) if range_low is not None
+                else (tuple(prefix) or None)
+            )
+            sort_upper = (
+                tuple(prefix) + (range_high,) if range_high is not None
+                else (tuple(prefix) or None)
+            )
+        else:
+            sort_lower = sort_upper = tuple(prefix) or None
+    projection = (
+        query.projection if query.projection is not None
+        else schema.column_names
+    )
+    covers = all(entry_slot(spec, c) is not None for c in projection)
+    return CandidateShape(
+        index_name=shard_index.name,
+        is_primary=is_primary,
+        mode=mode,
+        equality_values=tuple(equality_values),
+        sort_values=sort_values,
+        sort_lower=sort_lower,
+        sort_upper=sort_upper,
+        bound_prefix=len(equality_values) + len(prefix),
+        range_column=range_column,
+        range_low=range_low,
+        range_high=range_high,
+        entry_residuals=tuple(entry_residuals),
+        record_residuals=tuple(record_residuals),
+        covers_projection=covers,
+    )
+
+
+def shape_to_plan(
+    shape: CandidateShape,
+    query: Query,
+    schema,
+    shard_index,
+    *,
+    planner: str,
+    index_only: bool,
+    cost: float = 0.0,
+    rows_est: float = 0.0,
+    considered: Tuple[Mapping[str, object], ...] = (),
+) -> AccessPlan:
+    """Materialize a costed shape into an executable AccessPlan."""
+    spec = shard_index.spec
+    projection = (
+        query.projection if query.projection is not None
+        else schema.column_names
+    )
+    pk_slots = tuple(
+        entry_slot(spec, column) for column in schema.primary_key
+    )
+    if any(slot is None for slot in pk_slots):
+        raise PlanError(
+            f"index {shape.index_name!r} cannot recover the primary key"
+        )
+    fetch_back = (not shape.is_primary) and not index_only
+    if index_only:
+        record_checks: Tuple[Predicate, ...] = ()
+        projection_slots = tuple(
+            entry_slot(spec, column) for column in projection
+        )
+    elif fetch_back:
+        # Re-check EVERY predicate on the fetched record: a secondary
+        # entry has no endTS, so a since-changed row can surface under
+        # its old key; the record re-check drops it, keeping fetch-back
+        # answers byte-identical to the primary path.
+        record_checks = tuple(
+            _predicate(query, schema, spec, column)
+            for column in query.predicate_columns()
+        )
+        projection_slots = ()
+    else:
+        record_checks = shape.record_residuals
+        projection_slots = ()
+    return AccessPlan(
+        index_name=shape.index_name,
+        mode=shape.mode,
+        planner=planner,
+        equality_values=shape.equality_values,
+        sort_values=shape.sort_values,
+        sort_lower=shape.sort_lower,
+        sort_upper=shape.sort_upper,
+        index_only=index_only,
+        fetch_back=fetch_back,
+        entry_residuals=shape.entry_residuals,
+        record_checks=record_checks,
+        pk_slots=pk_slots,
+        projection=projection,
+        projection_slots=projection_slots,
+        projection_positions=schema.positions(projection),
+        cost=cost,
+        rows_est=rows_est,
+        bound_prefix=shape.bound_prefix,
+        range_column=shape.range_column,
+        considered=considered,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the hinted path (legacy wrappers)
+# ---------------------------------------------------------------------------
+
+
+def plan_hinted(query: Query, schema, indexes) -> AccessPlan:
+    """Pass-through plan for the wrapper methods (``mode`` is set).
+
+    Everything is forwarded verbatim -- equality values in the order the
+    caller gave them, raw sort bounds untouched -- so arity mismatches
+    and type errors still surface from ``UmziIndex.lookup``/``scan``
+    exactly as they did before the refactor, and the hot path does no
+    statistics work at all.
+    """
+    if query.index_hint is None or query.mode is None:
+        raise PlanError("plan_hinted requires index_hint and mode")
+    try:
+        indexes.get(query.index_hint)
+    except KeyError as exc:
+        raise PlanError(str(exc)) from exc
+    return AccessPlan(
+        index_name=query.index_hint,
+        mode=query.mode,
+        planner="hinted",
+        equality_values=tuple(v for _, v in query.equalities),
+        sort_values=query.sort_lower or () if query.mode == "point" else (),
+        sort_lower=query.sort_lower if query.mode == "scan" else None,
+        sort_upper=query.sort_upper if query.mode == "scan" else None,
+        batch_keys=query.batch_keys,
+        fetch_records=query.fetch_records,
+        hinted=True,
+    )
+
+
+__all__ = [
+    "AccessPlan",
+    "CandidateShape",
+    "PlanError",
+    "Predicate",
+    "Query",
+    "candidate_shape",
+    "entry_slot",
+    "entry_value",
+    "plan_hinted",
+    "shape_to_plan",
+]

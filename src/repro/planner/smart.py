@@ -1,0 +1,172 @@
+"""The cost-based planner (ISSUE 9, layer 2).
+
+Candidate paths: the primary point/scan, each secondary's prefix scan
+with RID fetch-back against the primary, and **index-only** variants
+when the index's entry columns (key + included) cover the projection
+and every residual predicate is entry-checkable.  Costs come entirely
+from :class:`~repro.planner.stats.AccessPathSynopsis` -- run counts,
+Bloom availability, entry counts, and the distinct-prefix estimate --
+so planning reads no blocks and decodes no entries.
+
+The constants are relative weights, not nanoseconds: a run probe is a
+few block reads of binary search, a Bloom-gated probe mostly skips
+runs, an entry scanned in bulk is cheap, and a record fetch is the
+expensive step the paper's included columns exist to avoid (section
+4.1: included columns "enable index-only plans").  Ties break
+deterministically: primary first, then index name.
+
+**Index-only caveat** (documented in docs/architecture.md): secondary
+entries carry no endTS, so an index-only answer is exact only when the
+row's *secondary key columns* are stable across versions (included
+columns may change freely -- versions of one row share the full entry
+key and reconcile newest-wins).  Fetch-back plans re-check every
+predicate on the fetched record and are always exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.definition import ColumnType
+from repro.planner.plan import (
+    AccessPlan,
+    CandidateShape,
+    PlanError,
+    Query,
+    candidate_shape,
+    shape_to_plan,
+)
+from repro.planner.stats import AccessPathSynopsis, SynopsisCatalog
+
+RUN_PROBE_COST = 2.0  # binary-search a run (header + a couple of blocks)
+BLOOM_PROBE_COST = 0.5  # point probe when every run is Bloom-gated
+ENTRY_SCAN_COST = 0.05  # one entry streamed through a range scan
+RECORD_FETCH_COST = 4.0  # resolve a RID through the block catalog
+FETCH_BACK_PROBE_COST = 2.0  # one primary point lookup per secondary hit
+
+
+def _range_fraction(
+    shape: CandidateShape, synopsis: AccessPathSynopsis
+) -> float:
+    """Estimated selectivity of the consumed range predicate (1.0 if none)."""
+    if shape.range_column is None:
+        return 1.0
+    position = shape.bound_prefix
+    if (
+        position < len(synopsis.key_types)
+        and synopsis.key_types[position] is ColumnType.INT64
+        and synopsis.key_ranges[position] is not None
+    ):
+        column_range = synopsis.key_ranges[position]
+        domain_low = int(column_range.min_value)
+        domain_high = int(column_range.max_value)
+        low = domain_low if shape.range_low is None else int(shape.range_low)
+        high = (
+            domain_high if shape.range_high is None else int(shape.range_high)
+        )
+        low = max(low, domain_low)
+        high = min(high, domain_high)
+        if high < low:
+            return 0.0
+        return min(1.0, (high - low + 1) / (domain_high - domain_low + 1))
+    return 0.5  # non-integer or unknown domain: the classic fallback
+
+
+def _estimate_rows(
+    shape: CandidateShape, synopsis: AccessPathSynopsis
+) -> float:
+    cap = max(1, synopsis.entry_count)
+    prefix = min(shape.bound_prefix, len(synopsis.distinct_prefix) - 1)
+    rows = cap / synopsis.distinct_prefix[prefix]
+    return rows * _range_fraction(shape, synopsis)
+
+
+def _cost(
+    shape: CandidateShape,
+    synopsis: AccessPathSynopsis,
+    rows_est: float,
+    index_only: bool,
+) -> float:
+    if shape.mode == "point" and synopsis.all_runs_bloomed():
+        probe = synopsis.run_count * BLOOM_PROBE_COST
+    else:
+        probe = synopsis.run_count * RUN_PROBE_COST
+    scan = rows_est * ENTRY_SCAN_COST
+    if index_only:
+        fetch = 0.0
+    elif shape.is_primary:
+        fetch = rows_est * RECORD_FETCH_COST
+    else:
+        fetch = rows_est * (FETCH_BACK_PROBE_COST + RECORD_FETCH_COST)
+    return probe + scan + fetch
+
+
+def plan_smart(
+    query: Query, schema, indexes, catalog: SynopsisCatalog
+) -> AccessPlan:
+    """Compile ``query`` to the cheapest candidate access path."""
+    names = list(indexes.names())
+    if query.index_hint is not None:
+        if query.index_hint not in names:
+            raise PlanError(f"index_hint names unknown index "
+                            f"{query.index_hint!r} (have {names})")
+        names = [query.index_hint]
+    scored: List[
+        Tuple[float, int, str, CandidateShape, bool, float]
+    ] = []
+    considered: List[Dict[str, object]] = []
+    for name in names:
+        shard_index = indexes.get(name)
+        is_primary = name == "primary"
+        shape = candidate_shape(
+            query, schema, shard_index, is_primary=is_primary
+        )
+        if shape is None:
+            continue
+        synopsis = catalog.synopsis(name)
+        rows_est = _estimate_rows(shape, synopsis)
+        variants = [False]
+        if shape.covers_projection and not shape.record_residuals:
+            variants.append(True)
+        for index_only in variants:
+            cost = _cost(shape, synopsis, rows_est, index_only)
+            scored.append(
+                (cost, 0 if is_primary else 1, name, shape,
+                 index_only, rows_est)
+            )
+            considered.append({
+                "index": name,
+                "mode": shape.mode,
+                "index_only": index_only,
+                "cost": round(cost, 4),
+                "rows_est": round(rows_est, 4),
+            })
+    if not scored:
+        raise PlanError(
+            "no index can serve the query: every index leaves some "
+            "equality column unbound "
+            f"(predicates: {list(query.predicate_columns())})"
+        )
+    scored.sort(key=lambda item: (item[0], item[1], item[2], not item[4]))
+    cost, _, name, shape, index_only, rows_est = scored[0]
+    return shape_to_plan(
+        shape,
+        query,
+        schema,
+        indexes.get(name),
+        planner="smart",
+        index_only=index_only,
+        cost=cost,
+        rows_est=rows_est,
+        considered=tuple(considered),
+    )
+
+
+__all__ = [
+    "BLOOM_PROBE_COST",
+    "ENTRY_SCAN_COST",
+    "FETCH_BACK_PROBE_COST",
+    "RECORD_FETCH_COST",
+    "RUN_PROBE_COST",
+    "plan_smart",
+]

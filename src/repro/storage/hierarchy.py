@@ -85,6 +85,7 @@ class StorageHierarchy:
         self.shared.stats = self.stats
         self.set_maintenance_read_mode(maintenance_read_mode)
         self._intent_local = threading.local()
+        self._attribution_local = threading.local()
         # Optional per-tier circuit breaker on the shared tier (ISSUE 7):
         # any object with check()/record_success()/record_failure()
         # (see repro.qos.breaker.CircuitBreaker).  Kept duck-typed so the
@@ -133,6 +134,27 @@ class StorageHierarchy:
             intent is ReadIntent.QUERY
             or self._maintenance_read_mode == "legacy"
         )
+
+    # -- read attribution (ISSUE 9) --------------------------------------------
+
+    @contextmanager
+    def attributing(self, component: str) -> Iterator["StorageHierarchy"]:
+        """Scope a read-attribution component over a call tree.
+
+        The access-path executor wraps each plan step in a scope
+        (``attributing("index:by_customer")``, ``attributing("records")``)
+        so the planner ablation can assert exactly which component's
+        blocks an index-only query did *not* read.  Thread-local, like
+        :meth:`reading_as`; reads outside any scope charge nothing, so
+        the attribution ledger stays empty (and byte-identical) for
+        every pre-existing workload.
+        """
+        previous = getattr(self._attribution_local, "component", None)
+        self._attribution_local.component = component
+        try:
+            yield self
+        finally:
+            self._attribution_local.component = previous
 
     # -- transient-fault retry (ISSUE 6) + circuit breaker (ISSUE 7) -----------
 
@@ -268,6 +290,9 @@ class StorageHierarchy:
             intent = self.current_read_intent()
         istats = self.stats.intents[intent]
         istats.reads += 1
+        component = getattr(self._attribution_local, "component", None)
+        if component is not None:
+            self.stats.record_attributed(component)
         block = self.memory.read(block_id)
         if block is not None:
             istats.memory_hits += 1

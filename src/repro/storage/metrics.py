@@ -338,6 +338,11 @@ class EpochStats:
       pay this).
     * ``versions_reclaimed`` -- version nodes whose last reference went
       away (superseded and unpinned), unblocking runs only they covered.
+    * ``versions_coalesced`` -- publications folded into a later rebuild
+      instead of rebuilding the current node eagerly (ISSUE 9):
+      ``note_publish`` only marks the node dirty, so a merge storm's N
+      back-to-back publications cost one O(runs) rebuild at the next
+      pin/retire and count N-1 here.
 
     Counters are plain ints incremented without a lock where noted (same
     rationale as :class:`DecodeStats`); the lifecycle increments the
@@ -356,6 +361,7 @@ class EpochStats:
     version_unrefs: int = 0
     versions_reclaimed: int = 0
     run_ref_ops: int = 0
+    versions_coalesced: int = 0
 
     def snapshot(self) -> "EpochStats":
         return EpochStats(
@@ -371,6 +377,7 @@ class EpochStats:
             version_unrefs=self.version_unrefs,
             versions_reclaimed=self.versions_reclaimed,
             run_ref_ops=self.run_ref_ops,
+            versions_coalesced=self.versions_coalesced,
         )
 
     def diff(self, earlier: "EpochStats") -> "EpochStats":
@@ -389,6 +396,7 @@ class EpochStats:
             version_unrefs=self.version_unrefs - earlier.version_unrefs,
             versions_reclaimed=self.versions_reclaimed - earlier.versions_reclaimed,
             run_ref_ops=self.run_ref_ops - earlier.run_ref_ops,
+            versions_coalesced=self.versions_coalesced - earlier.versions_coalesced,
         )
 
     def reset(self) -> None:
@@ -404,6 +412,7 @@ class EpochStats:
         self.version_unrefs = 0
         self.versions_reclaimed = 0
         self.run_ref_ops = 0
+        self.versions_coalesced = 0
 
 
 @dataclass
@@ -541,6 +550,27 @@ class IOStats:
         # circuit-breaker transitions, degraded reads, and maintenance
         # backpressure.
         self.qos = QosStats()
+        # Per-component read attribution (ISSUE 9): block reads charged to
+        # a named component ("index:primary", "index:by_customer",
+        # "records", ...) while a StorageHierarchy.attributing scope is
+        # active.  Empty -- and cost-free -- outside such scopes, so
+        # existing benchmarks see byte-identical ledgers.
+        self._attribution: Dict[str, int] = {}
+
+    def record_attributed(self, component: str) -> None:
+        """Charge one block read to ``component`` (attribution scopes)."""
+        with self._lock:
+            self._attribution[component] = self._attribution.get(component, 0) + 1
+
+    def attributed_reads(self, component: str) -> int:
+        """Block reads charged to ``component`` (0 if never scoped)."""
+        with self._lock:
+            return self._attribution.get(component, 0)
+
+    def attribution_snapshot(self) -> Dict[str, int]:
+        """Copy of the per-component read-attribution counters."""
+        with self._lock:
+            return dict(self._attribution)
 
     def for_intent(self, intent: ReadIntent) -> IntentStats:
         """The live (mutable) counter object for one read intent."""
@@ -613,9 +643,14 @@ class IOStats:
         snapshotted first, so merging a live ledger is safe.
         """
         other_tiers = other.snapshot()
+        other_attribution = other.attribution_snapshot()
         with self._lock:
             for name, tier_stats in other_tiers.items():
                 _add_fields(self._tiers.setdefault(name, TierStats()), tier_stats)
+            for component, count in other_attribution.items():
+                self._attribution[component] = (
+                    self._attribution.get(component, 0) + count
+                )
         _add_fields(self.decode, other.decode.snapshot())
         _add_fields(self.epochs, other.epochs.snapshot())
         for intent, intent_stats in other.intents.items():
@@ -627,6 +662,7 @@ class IOStats:
     def reset(self) -> None:
         with self._lock:
             self._tiers.clear()
+            self._attribution.clear()
         self.decode.reset()
         self.epochs.reset()
         for stats in self.intents.values():

@@ -175,6 +175,29 @@ class BlockCatalog:
             record = record.with_end_ts(end_ts)
         return record
 
+    def fetch_records(self, rids: Sequence[RID]) -> List[Record]:
+        """Batched :meth:`fetch_record`, RID order preserved (ISSUE 9).
+
+        Each distinct block is resolved once per batch, so a plan
+        fetching many records from few blocks (the access-path
+        executor's fetch-back and primary-scan paths) pays one block
+        read per block instead of one per record.
+        """
+        blocks: Dict[Tuple[Zone, int], DataBlock] = {}
+        records: List[Record] = []
+        for rid in rids:
+            key = (rid.zone, rid.block_id)
+            block = blocks.get(key)
+            if block is None:
+                block = self.get_block(rid.zone, rid.block_id)
+                blocks[key] = block
+            record = block.records[rid.offset]
+            end_ts = self._end_ts_overlay.get(rid)
+            if end_ts is not None:
+                record = record.with_end_ts(end_ts)
+            records.append(record)
+        return records
+
     # -- hidden-column maintenance (post-groomer) -----------------------------------------
 
     def set_end_ts(self, rid: RID, end_ts: int) -> None:

@@ -71,6 +71,7 @@ from repro.qos.scheduler import DaemonScheduler
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.metrics import IOStats, QosStats
 from repro.storage.retry import StorageBrownout, TransientIOError
+from repro.planner import Query
 from repro.wildfire.engine import ShardConfig, WildfireShard
 from repro.wildfire.record import Record
 from repro.wildfire.schema import IndexSpec, SchemaError, TableSchema
@@ -86,6 +87,7 @@ from repro.wildfire.split import (
     SplitAborted,
     SplitError,
     SplitState,
+    SplitUnsupported,
     copy_post_groomed_blocks,
     partition_runs,
 )
@@ -392,11 +394,9 @@ class ShardedTable:
                 )
             if shard_id in self._retired:
                 raise SplitError(f"shard {shard_id} is retired")
-            if self.shards[shard_id].indexes.secondaries:
-                raise SplitError(
-                    "online split moves the primary index only; drop "
-                    "secondary indexes first"
-                )
+            secondaries = self.shards[shard_id].indexes.secondaries
+            if secondaries:
+                raise SplitUnsupported(shard_id, sorted(secondaries))
             current = self._maps.current
             slot = next(
                 (
@@ -948,6 +948,100 @@ class ShardedTable:
         self._qos_io.qos.degraded_reads += 1
         return shard.degraded_range_query(
             equality_values, sort_lower, sort_upper, query_ts
+        )
+
+    # -- typed queries through the access-path planner (ISSUE 9) ----------------------
+
+    def query(self, query: Query) -> List[Tuple[KeyValue, ...]]:
+        """Planner-routed typed query across the cluster.
+
+        Routed to one slot when the query's equality predicates bind
+        every sharding-key column; otherwise a scatter-gather over all
+        live shards.  Each shard plans its own access path (its planner
+        sees its own statistics), returns ``(pk, beginTS, row)`` tagged
+        rows, and the gather merges them newest-beginTS-wins per primary
+        key -- exactly what a split-migration double-read needs -- before
+        dropping the tags.  Rows come back sorted by (row values,
+        primary key), identical to :meth:`WildfireShard.query`.
+
+        Typed queries never serve degraded (snapshot-pinned) answers: a
+        browned-out or breaker-open shard is reported in a
+        :class:`PartialResultError` naming it, tagged with the serving
+        epoch, instead of silently narrowing the result.
+        """
+        if self._admission is None:
+            return self._query_inner(query)
+        ticket = self._admission.admit()
+        start = self.sim_now()
+        try:
+            return self._query_inner(query)
+        finally:
+            ticket.finish(self.sim_now() - start)
+
+    def _query_inner(self, query: Query) -> List[Tuple[KeyValue, ...]]:
+        with self._maps.pin() as pin:
+            values = self._query_sharding_values(query)
+            if values is not None:
+                route = pin.map.route_of(self.key_hash(values))
+                if route.state != "migrating":
+                    shard_id = route.read_shards(self.key_hash(values))[0]
+                    tagged = self.shards[shard_id]._query_tagged(query)
+                    return [row for _, _, row in self._merge_tagged([tagged])]
+                shard_ids = list(route.read_shards(self.key_hash(values)))
+            else:
+                shard_ids = list(pin.map.scatter_shards())
+            parts: List[
+                List[Tuple[Tuple[KeyValue, ...], int, Tuple[KeyValue, ...]]]
+            ] = []
+            failed: List[int] = []
+            cause: Optional[BaseException] = None
+            for shard_id in shard_ids:
+                try:
+                    parts.append(self.shards[shard_id]._query_tagged(query))
+                except TransientIOError as exc:
+                    failed.append(shard_id)
+                    cause = exc
+            rows = [row for _, _, row in self._merge_tagged(parts)]
+            if failed:
+                raise PartialResultError(
+                    tuple(failed), tuple(rows), cause, epoch=pin.epoch
+                )
+            return rows
+
+    def _query_sharding_values(
+        self, query: Query
+    ) -> Optional[Tuple[KeyValue, ...]]:
+        """Sharding values when the query equality-binds them all."""
+        bound = dict(query.equalities)
+        try:
+            return tuple(bound[name] for name in self.schema.sharding_key)
+        except KeyError:
+            return None
+
+    @staticmethod
+    def _merge_tagged(
+        parts: Sequence[
+            Sequence[Tuple[Tuple[KeyValue, ...], int, Tuple[KeyValue, ...]]]
+        ],
+    ) -> List[Tuple[Tuple[KeyValue, ...], int, Tuple[KeyValue, ...]]]:
+        """Newest-beginTS-wins per primary key, then the output sort.
+
+        Each shard already deduplicated its own versions; across shards
+        a migration window's double-read may answer the same key from
+        both the source and a successor (copied rows tie on beginTS and
+        are identical; post-cutover writes win by a larger beginTS).
+        """
+        best: Dict[
+            Tuple[KeyValue, ...], Tuple[int, Tuple[KeyValue, ...]]
+        ] = {}
+        for part in parts:
+            for pk, begin_ts, row in part:
+                held = best.get(pk)
+                if held is None or begin_ts > held[0]:
+                    best[pk] = (begin_ts, row)
+        return sorted(
+            ((pk, ts, row) for pk, (ts, row) in best.items()),
+            key=lambda item: (item[2], item[0]),
         )
 
     # -- observability ----------------------------------------------------------------

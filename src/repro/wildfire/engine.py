@@ -25,6 +25,16 @@ from repro.core.entry import IndexEntry, Zone
 from repro.core.index import UmziConfig, UmziIndex
 from repro.core.maintenance import MaintenanceService
 from repro.core.query import MAX_QUERY_TS, PointLookup, RangeScanQuery
+from repro.planner import (
+    AccessPlan,
+    PlanError,
+    Query,
+    SynopsisCatalog,
+    plan_baseline,
+    plan_hinted,
+    plan_smart,
+)
+from repro.planner.plan import entry_value
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.retry import TransientIOError
 from repro.wildfire.blockstore import BlockCatalog
@@ -83,6 +93,14 @@ class ShardConfig:
     # Secondary indexes (name -> spec), maintained in lockstep with the
     # primary through every groom and evolve (paper section 10 future work).
     secondary_indexes: Optional[Dict[str, "IndexSpec"]] = None
+    # Access-path planner for typed queries (ISSUE 9): "smart" (default)
+    # costs every candidate path -- primary point/scan, secondary prefix
+    # scan + RID fetch-back, index-only covering answers -- from run-header
+    # statistics; "baseline" always runs the primary and always fetches
+    # records (pre-planner behaviour, kept as the ablation arm of
+    # benchmarks/bench_access_path.py).  The legacy wrapper methods are
+    # unaffected: they ride hinted plans under either setting.
+    planner: str = "smart"
 
 
 class WildfireShard:
@@ -167,6 +185,32 @@ class WildfireShard:
             for si in self.indexes.secondaries.values()
         ]
         self._extract = index_spec.extractor(schema)
+        # Access-path planning (ISSUE 9): the per-index statistics cache
+        # (version-seq refreshed, zero-decode) and the primary-key ->
+        # primary-index positional maps the fetch-back path uses to turn
+        # a pk tuple recovered from a secondary entry into a primary
+        # point lookup.
+        if self.config.planner not in ("baseline", "smart"):
+            raise ValueError(
+                f"ShardConfig.planner must be 'baseline' or 'smart'; "
+                f"got {self.config.planner!r}"
+            )
+        self.synopses = SynopsisCatalog(self.indexes)
+        try:
+            primary_spec = self.indexes.primary.spec
+            self._pk_to_primary_eq: Optional[Tuple[int, ...]] = tuple(
+                schema.primary_key.index(c)
+                for c in primary_spec.equality_columns
+            )
+            self._pk_to_primary_sort: Optional[Tuple[int, ...]] = tuple(
+                schema.primary_key.index(c)
+                for c in primary_spec.sort_columns
+            )
+        except ValueError:
+            # Non-primary-key "primary" index (require_primary_index=False
+            # shards): typed fetch-back plans are unavailable.
+            self._pk_to_primary_eq = None
+            self._pk_to_primary_sort = None
         self._daemon_threads: List[threading.Thread] = []
         self._daemons_stop = threading.Event()
         self._cycle = 0
@@ -385,6 +429,66 @@ class WildfireShard:
         """Freshest groomed-visible snapshot timestamp."""
         return self.clock.now()
 
+    # -- legacy wrappers: thin Query constructors over hinted plans (ISSUE 9).
+    # Each builds a typed Query pinning index + mode + raw sort bounds and
+    # executes the resulting pass-through plan, so every call site routes
+    # through the planner without a single behavioural change: same index
+    # calls, same arity/validation errors, same counters.
+
+    def _hinted_query(
+        self,
+        index_name: str,
+        mode: str,
+        equality_values: Sequence[KeyValue] = (),
+        sort_values: Optional[Sequence[KeyValue]] = None,
+        sort_lower: Optional[Sequence[KeyValue]] = None,
+        sort_upper: Optional[Sequence[KeyValue]] = None,
+        query_ts: Optional[int] = None,
+        batch_keys=None,
+        fetch_records: bool = True,
+    ) -> Query:
+        spec = self.indexes.get(index_name).spec
+        values = tuple(equality_values)
+        names = spec.equality_columns
+        if len(names) != len(values):
+            # Preserve the arity mismatch verbatim: the error must surface
+            # from UmziIndex.lookup/scan at execution, exactly as before.
+            names = tuple(f"arg{i}" for i in range(len(values)))
+        if mode == "point":
+            sort_lower = tuple(sort_values) if sort_values is not None else ()
+            sort_upper = None
+        return Query(
+            equalities=tuple(zip(names, values)),
+            query_ts=query_ts,
+            index_hint=index_name,
+            mode=mode,
+            sort_lower=tuple(sort_lower) if sort_lower is not None else None,
+            sort_upper=tuple(sort_upper) if sort_upper is not None else None,
+            batch_keys=batch_keys,
+            fetch_records=fetch_records,
+        )
+
+    def _execute_hinted(self, plan: AccessPlan, query: Query):
+        """Run a wrapper plan with the legacy return conventions."""
+        ts = (
+            query.query_ts if query.query_ts is not None
+            else self.current_snapshot_ts()
+        )
+        index = self.indexes.get(plan.index_name).index
+        if plan.mode == "point":
+            return index.lookup(plan.equality_values, plan.sort_values, ts)
+        if plan.mode == "batch":
+            lookups = [
+                PointLookup(eq, sort, ts) for eq, sort in plan.batch_keys
+            ]
+            return index.batch_lookup(lookups)
+        entries = index.scan(
+            plan.equality_values, plan.sort_lower, plan.sort_upper, ts
+        )
+        if not plan.fetch_records:
+            return entries
+        return [self.catalog.fetch_record(entry.rid) for entry in entries]
+
     def index_lookup(
         self,
         equality_values: Sequence[KeyValue] = (),
@@ -392,17 +496,33 @@ class WildfireShard:
         query_ts: Optional[int] = None,
     ) -> Optional[IndexEntry]:
         """Pure index point lookup (what the paper's experiments time)."""
-        ts = query_ts if query_ts is not None else self.current_snapshot_ts()
-        return self.index.lookup(equality_values, sort_values, ts)
+        query = self._hinted_query(
+            PRIMARY_INDEX_NAME,
+            "point",
+            equality_values=equality_values,
+            sort_values=sort_values,
+            query_ts=query_ts,
+        )
+        return self._execute_hinted(
+            plan_hinted(query, self.schema, self.indexes), query
+        )
 
     def index_batch_lookup(
         self,
         keys: Sequence[Tuple[Tuple[KeyValue, ...], Tuple[KeyValue, ...]]],
         query_ts: Optional[int] = None,
     ) -> List[Optional[IndexEntry]]:
-        ts = query_ts if query_ts is not None else self.current_snapshot_ts()
-        lookups = [PointLookup(eq, sort, ts) for eq, sort in keys]
-        return self.index.batch_lookup(lookups)
+        query = self._hinted_query(
+            PRIMARY_INDEX_NAME,
+            "batch",
+            query_ts=query_ts,
+            batch_keys=tuple(
+                (tuple(eq), tuple(sort)) for eq, sort in keys
+            ),
+        )
+        return self._execute_hinted(
+            plan_hinted(query, self.schema, self.indexes), query
+        )
 
     def point_query(
         self,
@@ -470,11 +590,18 @@ class WildfireShard:
         query_ts: Optional[int] = None,
         fetch_records: bool = False,
     ) -> List:
-        ts = query_ts if query_ts is not None else self.current_snapshot_ts()
-        entries = self.index.scan(equality_values, sort_lower, sort_upper, ts)
-        if not fetch_records:
-            return entries
-        return [self.catalog.fetch_record(entry.rid) for entry in entries]
+        query = self._hinted_query(
+            PRIMARY_INDEX_NAME,
+            "scan",
+            equality_values=equality_values,
+            sort_lower=sort_lower,
+            sort_upper=sort_upper,
+            query_ts=query_ts,
+            fetch_records=fetch_records,
+        )
+        return self._execute_hinted(
+            plan_hinted(query, self.schema, self.indexes), query
+        )
 
     # -- secondary index queries -------------------------------------------------
 
@@ -489,14 +616,18 @@ class WildfireShard:
     ) -> List:
         """Scan a secondary index; secondary keys are not unique, so this
         returns every matching row's newest visible version."""
-        shard_index = self.indexes.get(index_name)
-        ts = query_ts if query_ts is not None else self.current_snapshot_ts()
-        entries = shard_index.index.scan(
-            equality_values, sort_lower, sort_upper, ts
+        query = self._hinted_query(
+            index_name,
+            "scan",
+            equality_values=equality_values,
+            sort_lower=sort_lower,
+            sort_upper=sort_upper,
+            query_ts=query_ts,
+            fetch_records=fetch_records,
         )
-        if not fetch_records:
-            return entries
-        return [self.catalog.fetch_record(entry.rid) for entry in entries]
+        return self._execute_hinted(
+            plan_hinted(query, self.schema, self.indexes), query
+        )
 
     def secondary_lookup(
         self,
@@ -514,6 +645,161 @@ class WildfireShard:
             sort_upper=tuple(sort_prefix) or None,
             query_ts=query_ts,
         )
+
+    # -- typed queries through the access-path planner (ISSUE 9) -----------------
+
+    def plan_query(self, query: Query) -> AccessPlan:
+        """Compile a typed query without executing it (``explain`` tests).
+
+        Wrapper-style queries (``mode`` set) pass through verbatim;
+        otherwise ``ShardConfig.planner`` selects the cost-based planner
+        (default) or the always-primary baseline.  A bare ``index_hint``
+        restricts the smart planner's candidates to that index.
+        """
+        if query.mode is not None:
+            return plan_hinted(query, self.schema, self.indexes)
+        if self.config.planner == "baseline":
+            return plan_baseline(query, self.schema, self.indexes)
+        return plan_smart(query, self.schema, self.indexes, self.synopses)
+
+    def explain(self, query: Query) -> Dict[str, object]:
+        """The chosen plan's ``explain()`` dict (no execution)."""
+        return self.plan_query(query).explain()
+
+    def query(self, query: Query) -> List[Tuple[KeyValue, ...]]:
+        """Execute a typed query; returns projected rows, deterministically
+        sorted by (row values, primary key).
+
+        The planner picks the access path: primary point/scan, a
+        secondary prefix scan whose hits are resolved against the
+        primary by RID (batched point lookups, every predicate
+        re-checked on the fetched record), or an index-only answer read
+        entirely from a covering index's entries.  Identical rows for
+        identical queries under either planner -- the ablation the A15
+        bench byte-compares.
+        """
+        return [row for _, _, row in self._query_tagged(query)]
+
+    def _query_tagged(
+        self, query: Query
+    ) -> List[Tuple[Tuple[KeyValue, ...], int, Tuple[KeyValue, ...]]]:
+        """Execute, returning ``(pk, begin_ts, row)`` triples.
+
+        The pk/begin_ts tags let the cluster layer merge scatter-gather
+        and split-migration double-reads newest-wins per primary key
+        before dropping the tags.
+        """
+        plan = self.plan_query(query)
+        if plan.hinted:
+            raise PlanError(
+                "typed query() does not execute wrapper-hinted plans; "
+                "drop the mode field or call the wrapper method"
+            )
+        ts = (
+            query.query_ts if query.query_ts is not None
+            else self.current_snapshot_ts()
+        )
+        return self._execute_plan(plan, ts)
+
+    def _execute_plan(
+        self, plan: AccessPlan, ts: int
+    ) -> List[Tuple[Tuple[KeyValue, ...], int, Tuple[KeyValue, ...]]]:
+        index = self.indexes.get(plan.index_name).index
+        with self.hierarchy.attributing(f"index:{plan.index_name}"):
+            if plan.mode == "point":
+                hit = index.lookup(plan.equality_values, plan.sort_values, ts)
+                entries = [] if hit is None else [hit]
+            else:
+                entries = index.scan(
+                    plan.equality_values, plan.sort_lower, plan.sort_upper, ts
+                )
+        if plan.entry_residuals:
+            entries = [
+                entry for entry in entries
+                if all(
+                    p.matches(entry_value(entry, p.slot))
+                    for p in plan.entry_residuals
+                )
+            ]
+        if plan.index_only:
+            produced = [
+                (
+                    tuple(entry_value(entry, slot) for slot in plan.pk_slots),
+                    entry.begin_ts,
+                    tuple(
+                        entry_value(entry, slot)
+                        for slot in plan.projection_slots
+                    ),
+                )
+                for entry in entries
+            ]
+        elif plan.fetch_back:
+            produced = self._fetch_back(plan, entries, ts)
+        else:
+            with self.hierarchy.attributing("records"):
+                records = self.catalog.fetch_records(
+                    [entry.rid for entry in entries]
+                )
+            produced = self._check_and_project(plan, records)
+        # Newest-wins dedup per primary key: index-only secondary scans can
+        # surface several versions of one row (distinct full entry keys);
+        # the newest beginTS is the visible one.
+        best: Dict[Tuple[KeyValue, ...], Tuple[int, Tuple[KeyValue, ...]]] = {}
+        for pk, begin_ts, row in produced:
+            current = best.get(pk)
+            if current is None or begin_ts > current[0]:
+                best[pk] = (begin_ts, row)
+        return sorted(
+            ((pk, begin_ts, row) for pk, (begin_ts, row) in best.items()),
+            key=lambda item: (item[2], item[0]),
+        )
+
+    def _check_and_project(self, plan: AccessPlan, records) -> List:
+        produced = []
+        for record in records:
+            values = record.values
+            if all(p.matches(values[p.position]) for p in plan.record_checks):
+                produced.append((
+                    self.schema.primary_key_of(values),
+                    record.begin_ts,
+                    tuple(values[i] for i in plan.projection_positions),
+                ))
+        return produced
+
+    def _fetch_back(self, plan: AccessPlan, entries, ts: int) -> List:
+        """Resolve secondary hits against the primary by RID (ISSUE 9).
+
+        Secondary entries recover the primary key (suffixed specs
+        guarantee every pk column has an entry slot); deduplicated keys
+        become one batched primary point lookup, hits become one batched
+        record fetch, and every query predicate is re-checked on the
+        record -- which makes the answer byte-identical to the baseline
+        primary path even when a stale secondary entry surfaces a row
+        whose key columns have since changed.
+        """
+        if self._pk_to_primary_eq is None:
+            raise PlanError(
+                "fetch-back requires a primary-key primary index"
+            )
+        pk_tuples = sorted({
+            tuple(entry_value(entry, slot) for slot in plan.pk_slots)
+            for entry in entries
+        })
+        lookups = [
+            PointLookup(
+                tuple(pk[i] for i in self._pk_to_primary_eq),
+                tuple(pk[i] for i in self._pk_to_primary_sort),
+                ts,
+            )
+            for pk in pk_tuples
+        ]
+        with self.hierarchy.attributing(f"index:{PRIMARY_INDEX_NAME}"):
+            hits = self.index.batch_lookup(lookups)
+        with self.hierarchy.attributing("records"):
+            records = self.catalog.fetch_records(
+                [hit.rid for hit in hits if hit is not None]
+            )
+        return self._check_and_project(plan, records)
 
     def time_travel(
         self,

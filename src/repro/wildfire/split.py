@@ -31,7 +31,7 @@ what makes the roll-forward recovery replays safe.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.entry import Zone
 from repro.core.merge import merge_entry_blob_streams
@@ -53,6 +53,26 @@ class SplitAborted(SplitError):
     the cluster cannot afford the copy right now.  Nothing has been
     published: routing, data, and clocks are exactly as they were.
     """
+
+
+class SplitUnsupported(SplitAborted):
+    """The shard's shape rules out an online split (ISSUE 9).
+
+    Today that means secondary indexes: the zero-decode partitioner
+    moves the primary index only, so a shard carrying secondaries must
+    drop them first.  Carries ``source_id`` and the offending
+    ``index_names`` so callers (and tests) can react without parsing
+    the message.  Nothing has been published when this raises.
+    """
+
+    def __init__(self, source_id: int, index_names: Sequence[str]) -> None:
+        self.source_id = source_id
+        self.index_names = tuple(index_names)
+        super().__init__(
+            f"online split of shard {source_id} moves the primary index "
+            "only; drop secondary indexes first: "
+            f"{', '.join(self.index_names)}"
+        )
 
 
 # Phase order.  Everything from "migrating" on recovers by rolling
@@ -173,6 +193,7 @@ __all__ = [
     "SplitAborted",
     "SplitError",
     "SplitState",
+    "SplitUnsupported",
     "copy_post_groomed_blocks",
     "partition_runs",
     "successor_side",

@@ -664,3 +664,65 @@ class TestVersionSetLifecycle:
         # The next unlocked lifecycle operation drains everything.
         assert lifecycle.retired_backlog() == 0
         assert freed == ["r1"] and hooked == [1]
+
+
+class TestVersionCoalescing:
+    """Deferred current-node rebuilds (ISSUE 9 satellite).
+
+    ``note_publish`` only marks the current version node dirty; the
+    rebuild happens at the first pin/retire that needs it, so a burst of
+    N publications costs one rebuild and N-1 land in
+    ``EpochStats.versions_coalesced``.
+    """
+
+    def test_publication_burst_rebuilds_once(self):
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats, mode="versionset")
+        lists = FakeVersionedList(lifecycle)
+        for i in range(5):
+            lists.add(FakeRun(f"r{i}"))
+        assert stats.versions_published == 5
+        assert stats.versions_coalesced == 0  # nothing rebuilt yet
+        pin = lifecycle.pin(lists.collect)  # first consumer: one rebuild
+        assert stats.versions_coalesced == 4
+        assert {run.run_id for run in pin.runs} == {f"r{i}" for i in range(5)}
+        pin.release()
+
+    def test_single_publication_coalesces_nothing(self):
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats, mode="versionset")
+        lists = FakeVersionedList(lifecycle)
+        lists.add(FakeRun("r0"))
+        pin = lifecycle.pin(lists.collect)
+        assert stats.versions_coalesced == 0
+        pin.release()
+        lists.add(FakeRun("r1"))
+        pin = lifecycle.pin(lists.collect)
+        assert stats.versions_coalesced == 0  # 1 publish -> 1 rebuild
+        pin.release()
+
+    def test_retire_also_folds_dirty_publications(self):
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats, mode="versionset")
+        lists = FakeVersionedList(lifecycle)
+        for i in range(3):
+            lists.add(FakeRun(f"r{i}"))
+        lists.remove("r0")  # 4 publications total, none built
+        freed = []
+        lifecycle.retire("r0", lambda: freed.append("r0"))
+        # The maintenance-side refresh folded all 4 into one rebuild --
+        # and the fresh node no longer covers r0, so it freed inline.
+        assert stats.versions_coalesced == 3
+        assert freed == ["r0"]
+
+    def test_queries_never_observe_stale_versions(self):
+        stats = EpochStats()
+        lifecycle = RunLifecycle(stats, mode="versionset")
+        lists = FakeVersionedList(lifecycle)
+        lists.add(FakeRun("a"))
+        pin = lifecycle.pin(lists.collect)
+        pin.release()
+        lists.add(FakeRun("b"))  # dirty: current node still lacks b
+        pin = lifecycle.pin(lists.collect)
+        assert {run.run_id for run in pin.runs} == {"a", "b"}
+        pin.release()

@@ -1,0 +1,241 @@
+"""Unit tests for the plan layer (repro.planner.plan): typed queries,
+candidate shaping, residual classification, and the hinted wrapper path.
+"""
+
+import pytest
+
+from repro.core.definition import ColumnSpec, ColumnType
+from repro.planner.plan import (
+    PlanError,
+    Predicate,
+    Query,
+    candidate_shape,
+    entry_slot,
+    plan_hinted,
+    shape_to_plan,
+)
+from repro.wildfire.engine import ShardConfig, WildfireShard
+from repro.wildfire.schema import IndexSpec, TableSchema
+
+
+def make_shard():
+    schema = TableSchema(
+        name="orders",
+        columns=(
+            ColumnSpec("order_id"),
+            ColumnSpec("customer", ColumnType.STRING),
+            ColumnSpec("region", ColumnType.STRING),
+            ColumnSpec("amount"),
+        ),
+        primary_key=("order_id",),
+        sharding_key=("order_id",),
+    )
+    primary = IndexSpec(sort_columns=("order_id",))
+    config = ShardConfig(
+        secondary_indexes={
+            "by_customer": IndexSpec(
+                equality_columns=("customer",), included_columns=("amount",)
+            ),
+            "by_region": IndexSpec(
+                sort_columns=("region",), included_columns=("amount",)
+            ),
+        },
+    )
+    return WildfireShard(schema, primary, config=config)
+
+
+class TestQueryValidation:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(PlanError):
+            Query(equalities=(("a", 1),), ranges=(("a", 0, 2),))
+
+    def test_mode_requires_index_hint(self):
+        with pytest.raises(PlanError):
+            Query(mode="point")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PlanError):
+            Query(mode="mystery", index_hint="primary")
+
+    def test_hinted_fields_require_mode(self):
+        with pytest.raises(PlanError):
+            Query(index_hint="primary", sort_lower=(1,))
+        with pytest.raises(PlanError):
+            Query(index_hint="primary", batch_keys=(((), (1,)),))
+
+    def test_batch_keys_require_batch_mode(self):
+        with pytest.raises(PlanError):
+            Query(index_hint="primary", mode="point", batch_keys=(((), (1,)),))
+
+    def test_predicate_matching(self):
+        eq = Predicate(column="c", kind="eq", value=5)
+        assert eq.matches(5) and not eq.matches(6)
+        rng = Predicate(column="c", kind="range", low=2, high=4)
+        assert rng.matches(2) and rng.matches(4)
+        assert not rng.matches(1) and not rng.matches(5)
+        open_low = Predicate(column="c", kind="range", low=None, high=4)
+        assert open_low.matches(-100) and not open_low.matches(5)
+
+
+class TestEntrySlots:
+    def test_slots_cover_suffixed_secondary_spec(self):
+        shard = make_shard()
+        spec = shard.indexes.get("by_customer").spec
+        assert entry_slot(spec, "customer") == ("eq", 0)
+        # The primary key was suffixed into the sort columns.
+        assert entry_slot(spec, "order_id") == ("sort", 0)
+        assert entry_slot(spec, "amount") == ("incl", 0)
+        assert entry_slot(spec, "region") is None
+
+
+class TestCandidateShapes:
+    def test_primary_point(self):
+        shard = make_shard()
+        shape = candidate_shape(
+            Query(equalities=(("order_id", 7),)),
+            shard.schema, shard.indexes.get("primary"), is_primary=True,
+        )
+        assert shape.mode == "point"
+        assert shape.sort_values == (7,)
+        assert shape.bound_prefix == 1
+        assert shape.entry_residuals == shape.record_residuals == ()
+
+    def test_unbound_equality_column_disqualifies(self):
+        shard = make_shard()
+        shape = candidate_shape(
+            Query(ranges=(("amount", 0, 10),)),
+            shard.schema, shard.indexes.get("by_customer"), is_primary=False,
+        )
+        assert shape is None
+
+    def test_range_consumed_on_first_unbound_sort_column(self):
+        shard = make_shard()
+        shape = candidate_shape(
+            Query(ranges=(("region", "a", "m"),)),
+            shard.schema, shard.indexes.get("by_region"), is_primary=False,
+        )
+        assert shape.mode == "scan"
+        assert shape.range_column == "region"
+        assert shape.sort_lower == ("a",) and shape.sort_upper == ("m",)
+
+    def test_residual_split_entry_vs_record(self):
+        shard = make_shard()
+        # amount is an included column of by_customer (entry residual);
+        # region is not in the entry at all (record residual).
+        shape = candidate_shape(
+            Query(equalities=(("customer", "c1"), ("region", "r1")),
+                  ranges=(("amount", 0, 10),)),
+            shard.schema, shard.indexes.get("by_customer"), is_primary=False,
+        )
+        assert [p.column for p in shape.entry_residuals] == ["amount"]
+        assert [p.column for p in shape.record_residuals] == ["region"]
+
+    def test_covering_projection_detected(self):
+        shard = make_shard()
+        covered = candidate_shape(
+            Query(equalities=(("customer", "c1"),),
+                  projection=("order_id", "amount")),
+            shard.schema, shard.indexes.get("by_customer"), is_primary=False,
+        )
+        assert covered.covers_projection
+        full = candidate_shape(
+            Query(equalities=(("customer", "c1"),)),
+            shard.schema, shard.indexes.get("by_customer"), is_primary=False,
+        )
+        assert not full.covers_projection  # region is not in the entry
+
+    def test_unknown_predicate_column_raises_schema_error(self):
+        from repro.wildfire.schema import SchemaError
+
+        shard = make_shard()
+        with pytest.raises(SchemaError):
+            candidate_shape(
+                Query(equalities=(("nope", 1),)),
+                shard.schema, shard.indexes.get("primary"), is_primary=True,
+            )
+
+
+class TestShapeToPlan:
+    def test_fetch_back_rechecks_every_predicate(self):
+        shard = make_shard()
+        query = Query(equalities=(("customer", "c1"),),
+                      ranges=(("amount", 0, 10),))
+        shape = candidate_shape(
+            query, shard.schema, shard.indexes.get("by_customer"),
+            is_primary=False,
+        )
+        plan = shape_to_plan(
+            shape, query, shard.schema, shard.indexes.get("by_customer"),
+            planner="smart", index_only=False,
+        )
+        assert plan.fetch_back
+        assert sorted(p.column for p in plan.record_checks) == [
+            "amount", "customer",
+        ]
+
+    def test_index_only_has_no_record_checks(self):
+        shard = make_shard()
+        query = Query(equalities=(("customer", "c1"),),
+                      projection=("order_id", "amount"))
+        shape = candidate_shape(
+            query, shard.schema, shard.indexes.get("by_customer"),
+            is_primary=False,
+        )
+        plan = shape_to_plan(
+            shape, query, shard.schema, shard.indexes.get("by_customer"),
+            planner="smart", index_only=True,
+        )
+        assert plan.index_only and not plan.fetch_back
+        assert plan.record_checks == ()
+        assert plan.projection_slots == (("sort", 0), ("incl", 0))
+
+    def test_pk_slots_always_resolvable(self):
+        shard = make_shard()
+        for name in shard.indexes.names():
+            query = (
+                Query(equalities=(("order_id", 1),)) if name == "primary"
+                else Query(equalities=(("customer", "c"),))
+                if name == "by_customer"
+                else Query(equalities=(("region", "r"),))
+            )
+            shape = candidate_shape(
+                query, shard.schema, shard.indexes.get(name),
+                is_primary=name == "primary",
+            )
+            plan = shape_to_plan(
+                shape, query, shard.schema, shard.indexes.get(name),
+                planner="smart", index_only=False,
+            )
+            assert len(plan.pk_slots) == 1 and plan.pk_slots[0] is not None
+
+
+class TestHintedPath:
+    def test_verbatim_pass_through(self):
+        shard = make_shard()
+        query = Query(
+            equalities=(("arg0", "c1"),),
+            index_hint="by_customer",
+            mode="scan",
+            sort_lower=(1,),
+            sort_upper=(9,),
+        )
+        plan = plan_hinted(query, shard.schema, shard.indexes)
+        assert plan.hinted and plan.planner == "hinted"
+        assert plan.equality_values == ("c1",)
+        assert plan.sort_lower == (1,) and plan.sort_upper == (9,)
+
+    def test_point_mode_maps_bounds_to_sort_values(self):
+        shard = make_shard()
+        plan = plan_hinted(
+            Query(index_hint="primary", mode="point", sort_lower=(7,)),
+            shard.schema, shard.indexes,
+        )
+        assert plan.sort_values == (7,) and plan.sort_lower is None
+
+    def test_unknown_hint_is_a_plan_error(self):
+        shard = make_shard()
+        with pytest.raises(PlanError):
+            plan_hinted(
+                Query(index_hint="nope", mode="point"),
+                shard.schema, shard.indexes,
+            )

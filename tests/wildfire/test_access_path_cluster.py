@@ -1,0 +1,202 @@
+"""Cluster-level typed queries and the typed split refusal (ISSUE 9).
+
+``ShardedTable.query`` routes on the sharding key when the query binds
+it, scatters otherwise, merges newest-beginTS-wins per primary key
+(the split double-read window), and reports failing shards through
+``PartialResultError`` -- typed queries never serve degraded answers.
+"""
+
+import pytest
+
+from repro.core.definition import ColumnSpec, ColumnType
+from repro.faults.crash import CrashSchedule, install_crash_schedule
+from repro.faults.errors import SimulatedCrash
+from repro.planner import Query
+from repro.qos.errors import PartialResultError
+from repro.storage.retry import TransientIOError
+from repro.wildfire.cluster import ShardedTable
+from repro.wildfire.engine import ShardConfig
+from repro.wildfire.schema import IndexSpec, TableSchema
+from repro.wildfire.split import SplitAborted, SplitUnsupported
+
+
+def make_orders_table(num_shards=3, planner="smart"):
+    schema = TableSchema(
+        name="orders",
+        columns=(
+            ColumnSpec("order_id"),
+            ColumnSpec("customer", ColumnType.STRING),
+            ColumnSpec("region", ColumnType.STRING),
+            ColumnSpec("amount"),
+        ),
+        primary_key=("order_id",),
+        sharding_key=("order_id",),
+    )
+    spec = IndexSpec(sort_columns=("order_id",))
+    config = ShardConfig(
+        planner=planner,
+        secondary_indexes={
+            "by_customer": IndexSpec(
+                equality_columns=("customer",), included_columns=("amount",)
+            ),
+        },
+    )
+    return ShardedTable(schema, spec, num_shards=num_shards, config=config)
+
+
+def make_iot_table(num_shards=2):
+    """Secondary-free, sharding key inside the index key: splittable."""
+    schema = TableSchema(
+        name="iot",
+        columns=(
+            ColumnSpec("device"), ColumnSpec("msg"), ColumnSpec("reading"),
+        ),
+        primary_key=("device", "msg"),
+        sharding_key=("device",),
+    )
+    spec = IndexSpec(("device",), ("msg",), ("reading",))
+    return ShardedTable(
+        schema, spec, num_shards=num_shards,
+        config=ShardConfig(post_groom_every=2),
+    )
+
+
+def seed_orders(table, n=60):
+    table.ingest([(i, f"c{i % 5}", f"r{i % 3}", i * 10) for i in range(n)])
+    table.run_cycles(4)
+
+
+class TestClusterTypedQueries:
+    def test_routed_when_sharding_key_bound(self):
+        table = make_orders_table()
+        seed_orders(table)
+        assert table.query(Query(equalities=(("order_id", 7),))) == [
+            (7, "c2", "r1", 70)
+        ]
+
+    def test_scatter_gather_merges_sorted(self):
+        table = make_orders_table()
+        seed_orders(table)
+        rows = table.query(Query(
+            equalities=(("customer", "c2"),),
+            projection=("order_id", "amount"),
+        ))
+        assert rows == [(i, i * 10) for i in range(60) if i % 5 == 2]
+
+    def test_matches_single_shard_semantics(self):
+        table = make_orders_table()
+        seed_orders(table)
+        query = Query(ranges=(("amount", 100, 200),),
+                      projection=("order_id",))
+        gathered = sorted(
+            row
+            for shard in table.shards
+            for row in shard.query(query)
+        )
+        assert table.query(query) == gathered
+
+    def test_failed_shard_surfaces_as_partial_result(self, monkeypatch):
+        table = make_orders_table()
+        seed_orders(table)
+
+        def boom(query):
+            raise TransientIOError("shard 1 storage down")
+
+        monkeypatch.setattr(table.shards[1], "_query_tagged", boom)
+        query = Query(equalities=(("customer", "c2"),),
+                      projection=("order_id",))
+        with pytest.raises(PartialResultError) as excinfo:
+            table.query(query)
+        err = excinfo.value
+        assert err.failed_shards == (1,)
+        assert err.epoch == table.routing_epoch()
+        # The partial rows are exactly the surviving shards' answer.
+        survivors = sorted(
+            row
+            for shard_id, shard in enumerate(table.shards)
+            if shard_id != 1
+            for row in shard.query(query)
+        )
+        assert list(err.partial) == survivors
+
+
+class TestSplitUnsupported:
+    def test_typed_refusal_names_the_secondaries(self):
+        table = make_orders_table()
+        seed_orders(table, n=20)
+        epoch_before = table.routing_epoch()
+        with pytest.raises(SplitUnsupported) as excinfo:
+            table.split_shard(0)
+        err = excinfo.value
+        assert err.source_id == 0
+        assert err.index_names == ("by_customer",)
+        assert isinstance(err, SplitAborted)  # nothing was published
+        assert table.routing_epoch() == epoch_before
+
+
+class TestTypedQueriesAcrossSplit:
+    def test_query_and_synopses_survive_a_split(self):
+        table = make_iot_table()
+        rows = [(d, m, d * 100 + m) for d in range(8) for m in range(3)]
+        table.ingest(rows)
+        table.run_cycles(4)
+        # The iot primary partitions on device, so every typed query
+        # must equality-bind it (just like the legacy wrappers had to).
+        queries = [
+            Query(equalities=(("device", d),), projection=("msg", "reading"))
+            for d in range(8)
+        ]
+        before = [table.query(q) for q in queries]
+        table.split_shard(0)
+        table.run_cycles(4)
+        assert [table.query(q) for q in queries] == before
+        # Every live shard's statistics are fresh at its current
+        # publication sequence and sized to what it actually serves.
+        total = 0
+        for shard_id in table.live_shard_ids():
+            shard = table.shards[shard_id]
+            synopsis = shard.synopses.synopsis("primary")
+            assert synopsis.version_seq == shard.index.lifecycle.version_seq
+            total += synopsis.entry_count
+        assert total == len(rows)
+
+    def test_double_read_window_dedups_copied_entries(self):
+        table = make_iot_table()
+        table.ingest([(d, 0, d) for d in range(8)])
+        table.run_cycles(4)
+        # Crash the split after the write cutover (migrating published)
+        # but before the final map: queries now double-read the slot --
+        # the source and a successor both hold byte-identical copies of
+        # every migrated key, and the merge must collapse them to one
+        # row (typed queries, like the wrappers, serve the groomed
+        # snapshot; post-cutover live-zone writes surface after the
+        # recovery's drain below).
+        with install_crash_schedule(
+            CrashSchedule({"split.pre_publish": {1}})
+        ):
+            with pytest.raises(SimulatedCrash):
+                table.split_shard(0)
+        queries = [Query(equalities=(("device", d),)) for d in range(8)]
+        assert [table.query(q) for q in queries] == [
+            [(d, 0, d)] for d in range(8)
+        ]
+        # Roll forward, then update every key: the successors groom the
+        # new versions and newest-beginTS wins over the retired copies.
+        table.recover_split()
+        table.ingest([(d, 0, 1000 + d) for d in range(8)])
+        table.run_cycles(4)
+        assert [table.query(q) for q in queries] == [
+            [(d, 0, 1000 + d)] for d in range(8)
+        ]
+
+    def test_merge_tagged_newest_begin_ts_wins(self):
+        parts = [
+            [((1,), 10, ("old",)), ((2,), 5, ("b",))],
+            [((1,), 20, ("new",)), ((3,), 7, ("c",))],
+            [((1,), 20, ("new",))],  # byte-identical double-read copy
+        ]
+        merged = ShardedTable._merge_tagged(parts)
+        assert merged == sorted(
+            [((2,), 5, ("b",)), ((3,), 7, ("c",)), ((1,), 20, ("new",))],
+            key=lambda item: (item[2], item[0]),
+        )

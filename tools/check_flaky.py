@@ -43,6 +43,9 @@ BENCH_DIRS = [REPO_ROOT / "benchmarks", REPO_ROOT / "src" / "repro" / "bench"]
 ASSERT_RULE_DIRS = [
     REPO_ROOT / "benchmarks",
     REPO_ROOT / "src" / "repro" / "bench",
+    # The planner's cost model feeds counter-asserted benchmarks (A15);
+    # keep wall-clock measurements out of it too.
+    REPO_ROOT / "src" / "repro" / "planner",
 ]
 
 REPEAT_ONE_RE = re.compile(r"\brepeat\s*=\s*1\b")

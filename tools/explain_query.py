@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Pretty-print access plans for a typed query (ISSUE 9 dev helper).
+
+Builds the canonical two-secondary demo shard (the orders table used by
+the planner tests and ablation A15), plans a query described on the
+command line, and prints the chosen plan plus every candidate the cost
+model considered -- for both the smart and the baseline planner.
+
+Examples (run from the repo root):
+
+    PYTHONPATH=src python tools/explain_query.py --eq customer=c2
+    PYTHONPATH=src python tools/explain_query.py \
+        --eq customer=c2 --project order_id,amount
+    PYTHONPATH=src python tools/explain_query.py \
+        --range amount:100:400 --eq customer=c1
+    PYTHONPATH=src python tools/explain_query.py --range order_id:10:20
+
+Values are parsed as integers when possible, strings otherwise (the
+demo schema's INT64 columns are order_id and amount).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.definition import ColumnSpec, ColumnType  # noqa: E402
+from repro.planner import Query  # noqa: E402
+from repro.wildfire.engine import ShardConfig, WildfireShard  # noqa: E402
+from repro.wildfire.schema import IndexSpec, TableSchema  # noqa: E402
+
+
+def make_demo_shard(planner: str) -> WildfireShard:
+    schema = TableSchema(
+        name="orders",
+        columns=(
+            ColumnSpec("order_id"),
+            ColumnSpec("customer", ColumnType.STRING),
+            ColumnSpec("region", ColumnType.STRING),
+            ColumnSpec("amount"),
+        ),
+        primary_key=("order_id",),
+        sharding_key=("order_id",),
+    )
+    config = ShardConfig(
+        planner=planner,
+        secondary_indexes={
+            "by_customer": IndexSpec(
+                equality_columns=("customer",), included_columns=("amount",)
+            ),
+            "by_region": IndexSpec(
+                sort_columns=("region",), included_columns=("amount",)
+            ),
+        },
+    )
+    shard = WildfireShard(
+        schema, IndexSpec(sort_columns=("order_id",)), config=config
+    )
+    shard.ingest([
+        (i, f"c{i % 5}", f"r{i % 3}", i * 10) for i in range(60)
+    ])
+    shard.run_cycles(4)
+    return shard
+
+
+def _value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def parse_query(args: argparse.Namespace) -> Query:
+    equalities = []
+    for item in args.eq or ():
+        column, _, raw = item.partition("=")
+        if not _:
+            raise SystemExit(f"--eq expects column=value, got {item!r}")
+        equalities.append((column, _value(raw)))
+    ranges = []
+    for item in args.range or ():
+        parts = item.split(":")
+        if len(parts) != 3:
+            raise SystemExit(f"--range expects column:low:high, got {item!r}")
+        column, low, high = parts
+        ranges.append((
+            column,
+            _value(low) if low else None,
+            _value(high) if high else None,
+        ))
+    projection = (
+        tuple(args.project.split(",")) if args.project else None
+    )
+    return Query(
+        equalities=tuple(equalities),
+        ranges=tuple(ranges),
+        projection=projection,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--eq", action="append", metavar="COLUMN=VALUE",
+        help="equality predicate (repeatable)",
+    )
+    parser.add_argument(
+        "--range", action="append", metavar="COLUMN:LOW:HIGH",
+        help="range predicate, empty bound = open (repeatable)",
+    )
+    parser.add_argument(
+        "--project", metavar="COL1,COL2",
+        help="projection columns (default: all)",
+    )
+    args = parser.parse_args(argv)
+    query = parse_query(args)
+    if not query.equalities and not query.ranges:
+        parser.error("give at least one --eq or --range predicate")
+
+    for planner in ("smart", "baseline"):
+        shard = make_demo_shard(planner)
+        explain = shard.explain(query)
+        print(f"== {planner} planner ==")
+        print(json.dumps(explain, indent=2, sort_keys=True))
+        rows = shard.query(query)
+        print(f"-- {len(rows)} row(s); first 5: {rows[:5]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
