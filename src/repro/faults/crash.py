@@ -67,6 +67,14 @@ CRASH_SITES = (
     "split.mid_copy",
     "split.pre_publish",
     "split.post_publish",
+    # Online shard merge (ISSUE 10) -- the split run backwards, with the
+    # same semantics: ``pre_copy`` fires before anything is published
+    # (recovery rolls back, the slot keeps its split route); everything
+    # after the "merging" cutover rolls forward to the fused route.
+    "merge.pre_copy",
+    "merge.mid_copy",
+    "merge.pre_publish",
+    "merge.post_publish",
 )
 
 

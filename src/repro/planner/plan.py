@@ -86,6 +86,12 @@ class Query:
         Tuple[Tuple[Tuple[KeyValue, ...], Tuple[KeyValue, ...]], ...]
     ] = None
     fetch_records: bool = True
+    # Ablation escape hatch (ISSUE 10): a secondary that has accumulated
+    # ghost entries (a key-column update left the old entry visible under
+    # its old key) is disqualified from index-only plans, because only a
+    # record re-check can filter the ghosts.  Setting this True restores
+    # the old fast-but-stale behavior for measurement.
+    allow_stale_included: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "equalities", tuple(

@@ -15,12 +15,17 @@ expensive step the paper's included columns exist to avoid (section
 4.1: included columns "enable index-only plans").  Ties break
 deterministically: primary first, then index name.
 
-**Index-only caveat** (documented in docs/architecture.md): secondary
-entries carry no endTS, so an index-only answer is exact only when the
-row's *secondary key columns* are stable across versions (included
-columns may change freely -- versions of one row share the full entry
-key and reconcile newest-wins).  Fetch-back plans re-check every
-predicate on the fetched record and are always exact.
+**Index-only staleness** (fixed in ISSUE 10): secondary entries carry
+no endTS, so an index-only answer is exact only when the row's
+*secondary key columns* are stable across versions (included columns
+may change freely -- versions of one row share the full entry key and
+reconcile newest-wins).  Shards track ghosted entries at groom time
+(:meth:`ShardIndexes._track_ghosts`) and surface the count through the
+synopsis; any nonzero ``pending_ghosts`` disqualifies that secondary
+from index-only plans unless the query sets ``allow_stale_included``
+(the ablation flag preserving the old fast-but-stale behavior).
+Fetch-back plans re-check every predicate on the fetched record and
+are always exact.
 """
 
 from __future__ import annotations
@@ -127,7 +132,17 @@ def plan_smart(
         rows_est = _estimate_rows(shape, synopsis)
         variants = [False]
         if shape.covers_projection and not shape.record_residuals:
-            variants.append(True)
+            # ISSUE 10 bugfix: a secondary holding ghost entries (a key
+            # column changed across versions, leaving the old entry
+            # visible under its old key) cannot serve index-only answers
+            # -- only the fetch-back's record re-check filters ghosts.
+            ghosted = (
+                not is_primary
+                and synopsis.pending_ghosts > 0
+                and not query.allow_stale_included
+            )
+            if not ghosted:
+                variants.append(True)
         for index_only in variants:
             cost = _cost(shape, synopsis, rows_est, index_only)
             scored.append(

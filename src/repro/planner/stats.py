@@ -28,8 +28,10 @@ class AccessPathSynopsis:
     synopsis ranges over the index's key columns (equality then sort
     order); ``distinct_prefix[i]`` estimates the distinct count of the
     first ``i`` key columns (``[0] == 1``), derived from INT64 range
-    spans where available and capped at the entry count -- a deliberately
-    cheap estimate whose only job is ranking candidate paths.
+    spans and the bounded string-prefix sketch of
+    :func:`_string_prefix_span`, capped at the entry count -- a
+    deliberately cheap estimate whose only job is ranking candidate
+    paths.
     """
 
     index_name: str
@@ -41,10 +43,46 @@ class AccessPathSynopsis:
     key_ranges: Tuple[Optional[ColumnRange], ...]
     key_types: Tuple[ColumnType, ...]
     distinct_prefix: Tuple[int, ...]
+    # Secondary entries ghosted by key-column updates (ISSUE 10): any
+    # nonzero count disqualifies this index from index-only plans unless
+    # the query opts into stale included columns.
+    pending_ghosts: int = 0
 
     def all_runs_bloomed(self) -> bool:
         """Every visible run carries a Bloom filter (point-probe discount)."""
         return self.run_count > 0 and self.bloom_runs == self.run_count
+
+
+def _string_prefix_span(
+    low: str, high: str, observed: int, cap: int
+) -> int:
+    """Distinct-count sketch for a STRING key column, zero decodes.
+
+    The old fallback pinned string columns at the entry-count cap, which
+    made every string-keyed secondary look maximally selective per
+    column and priced realistic scans absurdly low (ISSUE 10).  This
+    sketch reads only the merged min/max bounds the run headers already
+    carry: strip the common prefix, interpret the next (at most) two
+    characters of each bound as a big-endian integer, and use the span
+    between them.  ``c0``/``c4`` gives exactly 5; ``c00``/``c15`` gives
+    262 -- an overestimate, but orders of magnitude closer than the cap.
+    ``observed`` (distinct boundary values actually seen across run
+    headers) supplies a floor, and the entry count a ceiling.
+    """
+    prefix = 0
+    limit = min(len(low), len(high))
+    while prefix < limit and low[prefix] == high[prefix]:
+        prefix += 1
+    tail = min(2, limit - prefix)
+    if tail <= 0:
+        span = 1 if low == high else 2
+    else:
+        low_num = high_num = 0
+        for pos in range(prefix, prefix + tail):
+            low_num = (low_num << 8) + ord(low[pos])
+            high_num = (high_num << 8) + ord(high[pos])
+        span = high_num - low_num + 1
+    return max(1, min(cap, max(span, observed)))
 
 
 def build_synopsis(shard_index, version_seq: int) -> AccessPathSynopsis:
@@ -57,6 +95,7 @@ def build_synopsis(shard_index, version_seq: int) -> AccessPathSynopsis:
     bloom_runs = 0
     levels: Dict[int, int] = {}
     merged: List[Optional[ColumnRange]] = [None] * width
+    bounds_seen: List[set] = [set() for _ in range(width)]
     for run in runs:
         header = run.header
         entry_count += header.entry_count
@@ -68,6 +107,8 @@ def build_synopsis(shard_index, version_seq: int) -> AccessPathSynopsis:
             found = ranges[pos]
             if found is None:
                 continue
+            bounds_seen[pos].add(found.min_value)
+            bounds_seen[pos].add(found.max_value)
             current = merged[pos]
             merged[pos] = found if current is None else ColumnRange(
                 min(current.min_value, found.min_value),
@@ -81,6 +122,13 @@ def build_synopsis(shard_index, version_seq: int) -> AccessPathSynopsis:
         if spec.ctype is ColumnType.INT64 and column_range is not None:
             span = int(column_range.max_value) - int(column_range.min_value) + 1
             per_column = max(1, min(cap, span))
+        elif spec.ctype is ColumnType.STRING and column_range is not None:
+            per_column = _string_prefix_span(
+                str(column_range.min_value),
+                str(column_range.max_value),
+                len(bounds_seen[pos]),
+                cap,
+            )
         else:
             per_column = cap
         running = min(cap, running * per_column)
@@ -95,6 +143,7 @@ def build_synopsis(shard_index, version_seq: int) -> AccessPathSynopsis:
         key_ranges=tuple(merged),
         key_types=tuple(spec.ctype for spec in key_specs),
         distinct_prefix=tuple(distinct),
+        pending_ghosts=getattr(shard_index, "ghost_entries", 0),
     )
 
 

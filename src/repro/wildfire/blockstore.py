@@ -276,6 +276,21 @@ class BlockCatalog:
             self._end_ts_overlay.update(overlay)
         return copied
 
+    def ensure_post_groomed_floor(self, floor: int) -> None:
+        """Raise the post-groomed id allocator to at least ``floor``.
+
+        Shard split uses this to stride the two successors' allocators
+        apart (the left successor stays dense at the source's watermark;
+        the right one jumps a fixed stride above it), so that blocks the
+        successors write *after* the split can never collide by id --
+        which is what lets a later merge adopt both successors' blocks
+        verbatim.  Idempotent and forward-only: replaying it after a
+        crash, or after blocks were already written above the floor,
+        changes nothing.
+        """
+        with self._lock:
+            self._next_post_groomed_id = max(self._next_post_groomed_id, floor)
+
     def deprecate_groomed(self, block_ids: Iterable[int]) -> None:
         """Mark groomed blocks as superseded by post-groomed copies."""
         with self._lock:

@@ -50,6 +50,30 @@ Crash points ``split.pre_copy`` / ``mid_copy`` / ``pre_publish`` /
 routing before the cutover and rolls *forward* to fully-new after it --
 never a torn map (see :meth:`recover_split`).
 
+**Online shard merge + the rebalance pump (ISSUE 10).**
+:meth:`merge_shards` is the inverse: a slot whose route is ``split``
+fuses its two successors into one fresh target shard through a
+``merging`` route (target owns fresh writes; reads double-read target +
+old successor, newest ``beginTS`` wins), clock handoff taking the max of
+both successors' hybrid clocks, verbatim block adoption (the split-time
+block-id stride keeps the two sides' post-split blocks collision-free)
+and a zero-decode run interleave -- with ``merge.*`` crash points and
+:meth:`recover_merge` mirroring the split's roll-back/roll-forward
+split.  Both migrations can also run *pumped*: :meth:`begin_split` /
+:meth:`split_step` (and the merge twins) advance the copy in budgeted
+slices interleaved with live traffic, producing byte-identical results
+to the synchronous calls.  Shards carrying secondary indexes split and
+merge too: the copy runs one partition pass per index, recovering each
+entry's sharding key zero-decode from the primary-key suffix every
+secondary sort key carries.
+
+**Scatter pruning (ISSUE 10).**  Typed scatter-gather queries consult
+each live shard's per-index :class:`AccessPathSynopsis` first and skip
+shards whose observed key ranges provably cannot match the query's
+bounds (every row version is present in every index, so a disjoint
+range on *any* index rules the shard out); ``scatter_stats()`` counts
+considered/contacted/pruned shards.
+
 All counters land on the cluster's own qos ledger
 (:meth:`ShardedTable.qos_stats`); admission queueing delays are charged
 to a synthetic ``"admission"`` tier on the same ledger, so the cluster's
@@ -73,23 +97,31 @@ from repro.storage.metrics import IOStats, QosStats
 from repro.storage.retry import StorageBrownout, TransientIOError
 from repro.planner import Query
 from repro.wildfire.engine import ShardConfig, WildfireShard
+from repro.wildfire.indexes import PRIMARY_INDEX_NAME
 from repro.wildfire.record import Record
 from repro.wildfire.schema import IndexSpec, SchemaError, TableSchema
 from repro.wildfire.shardmap import (
     MapPin,
     ShardMap,
-    ShardMapError,
     ShardMapRegistry,
-    ShardingKeySlicer,
     SlotRoute,
 )
+from repro.wildfire.merge import (
+    MergeAborted,
+    MergeError,
+    MergeState,
+    adopt_all_blocks,
+    merge_copy_stream,
+)
 from repro.wildfire.split import (
+    ShardCopyStream,
     SplitAborted,
     SplitError,
     SplitState,
     SplitUnsupported,
     copy_post_groomed_blocks,
-    partition_runs,
+    index_slicers,
+    split_copy_stream,
 )
 
 ADMISSION_TIER = "admission"
@@ -164,19 +196,23 @@ class ShardedTable:
         self._maps = ShardMapRegistry(
             ShardMap.initial(num_shards), stats=self._qos_io.epochs
         )
-        try:
-            self._slicer: Optional[ShardingKeySlicer] = ShardingKeySlicer(
-                self.shards[0].index.definition, schema.sharding_key
-            )
-        except ShardMapError:
-            # The sharding key is not part of the index key: the table
-            # still works, but online splits are refused at call time.
-            self._slicer = None
         self._retired: Set[int] = set()
+        # One lock serializes split *and* merge control flow (queries
+        # never take it); at most one migration is in flight at a time.
         self._active_split: Optional[SplitState] = None
+        self._active_merge: Optional[MergeState] = None
+        self._split_stream: Optional[ShardCopyStream] = None
+        self._merge_stream: Optional[ShardCopyStream] = None
         self._split_lock = threading.Lock()
         self._daemons_running = False
         self._daemon_interval = 0.05
+        # -- typed scatter-gather pruning counters (ISSUE 10) --------------
+        self._scatter_stats: Dict[str, int] = {
+            "scatter_queries": 0,
+            "shards_considered": 0,
+            "shards_contacted": 0,
+            "shards_pruned": 0,
+        }
 
     def _attach_qos(self, shard_id: int, shard: WildfireShard) -> None:
         """Wire one shard into the qos stack (no-op without a config)."""
@@ -329,10 +365,11 @@ class ShardedTable:
         """Shards whose lifecycle must not run right now.
 
         Retired sources stay readable for old-epoch pins but never groom
-        again.  A split's successors are frozen until the final publish:
-        grooming there would assign ``beginTS`` from a clock that has not
-        yet been handed forward from the source, which would break the
-        double-read's newest-wins comparison.
+        again.  A split's successors -- and a merge's target -- are
+        frozen until their final publish: grooming there would assign
+        ``beginTS`` from a clock that has not yet been handed forward
+        from the source(s), which would break the double-read's
+        newest-wins comparison.
         """
         skip = set(self._retired)
         state = self._active_split
@@ -344,6 +381,14 @@ class ShardedTable:
             for successor_id in (state.left_id, state.right_id):
                 if successor_id >= 0:
                     skip.add(successor_id)
+        merge_state = self._active_merge
+        if merge_state is not None and merge_state.phase in (
+            "pre_copy",
+            "merging",
+            "copied",
+        ):
+            if merge_state.target_id >= 0:
+                skip.add(merge_state.target_id)
         return skip
 
     def tick(self) -> None:
@@ -372,47 +417,102 @@ class ShardedTable:
 
     # -- online shard split (ISSUE 8) ---------------------------------------------
 
+    def _check_no_migration(self) -> None:
+        if self._active_split is not None:
+            raise SplitError(
+                f"a split of shard {self._active_split.source_id} is "
+                "already in flight; recover it first"
+            )
+        if self._active_merge is not None:
+            raise MergeError(
+                f"a merge of shards {self._active_merge.left_id} and "
+                f"{self._active_merge.right_id} is already in flight; "
+                "recover it first"
+            )
+
+    def _begin_split_state(self, shard_id: int) -> SplitState:
+        """Validate a split request and park its phase machine."""
+        self._check_no_migration()
+        if shard_id in self._retired:
+            raise SplitError(f"shard {shard_id} is retired")
+        # Raises SplitUnsupported (naming the offending indexes) when any
+        # index's key columns do not contain the sharding key; shards
+        # carrying secondary indexes pass -- every secondary's sort key
+        # ends with the primary key, which contains the sharding key.
+        index_slicers(self.shards[shard_id], shard_id)
+        current = self._maps.current
+        slot = next(
+            (
+                i
+                for i, route in enumerate(current.slots)
+                if route.state == "single" and route.primary == shard_id
+            ),
+            None,
+        )
+        if slot is None:
+            raise SplitError(
+                f"shard {shard_id} does not solely own a routable slot"
+            )
+        state = SplitState(source_id=shard_id, slot=slot)
+        self._active_split = state
+        return state
+
     def split_shard(self, shard_id: int) -> Dict[str, object]:
         """Split one shard's slot into two successor shards, online.
 
-        Serialized with other splits; queries never take this lock.  A
-        :class:`~repro.faults.crash.SimulatedCrash` at any of the four
+        Serialized with other migrations; queries never take this lock.
+        A :class:`~repro.faults.crash.SimulatedCrash` at any of the four
         ``split.*`` crash points leaves the phase machine parked in
         ``self._active_split`` for :meth:`recover_split`.
         """
         with self._split_lock:
-            if self._active_split is not None:
-                raise SplitError(
-                    f"a split of shard {self._active_split.source_id} is "
-                    "already in flight; recover it first"
-                )
-            if self._slicer is None:
-                raise SplitError(
-                    "online split needs the sharding key to be index key "
-                    "columns (zero-decode partitioning reads them from "
-                    "raw sort keys)"
-                )
-            if shard_id in self._retired:
-                raise SplitError(f"shard {shard_id} is retired")
-            secondaries = self.shards[shard_id].indexes.secondaries
-            if secondaries:
-                raise SplitUnsupported(shard_id, sorted(secondaries))
-            current = self._maps.current
-            slot = next(
-                (
-                    i
-                    for i, route in enumerate(current.slots)
-                    if route.state == "single" and route.primary == shard_id
-                ),
-                None,
-            )
-            if slot is None:
-                raise SplitError(
-                    f"shard {shard_id} does not solely own a routable slot"
-                )
-            state = SplitState(source_id=shard_id, slot=slot)
-            self._active_split = state
+            state = self._begin_split_state(shard_id)
             return self._run_split(state)
+
+    def begin_split(self, shard_id: int) -> Dict[str, object]:
+        """Start a *pumped* split: run the write cutover, then return.
+
+        The copy advances in budgeted slices via :meth:`split_step`
+        interleaved with live traffic; the double-read window stays open
+        (and correct) however long the pump takes.  The end state is
+        byte-identical to a synchronous :meth:`split_shard`.
+        """
+        with self._split_lock:
+            state = self._begin_split_state(shard_id)
+            self._split_cutover(state)
+            return {"epoch": self._maps.epoch, **state.summary()}
+
+    def split_step(self, budget: int = 2048) -> Dict[str, object]:
+        """Advance an in-flight split by up to ``budget`` copied pairs.
+
+        Runs the remaining phases (publish + retire) as soon as the copy
+        stream drains.  Returns the state summary plus ``pulled`` (pairs
+        copied this call); ``phase == "done"`` means the split finished.
+        """
+        with self._split_lock:
+            state = self._active_split
+            if state is None:
+                raise SplitError("no split is in flight")
+            pulled = 0
+            if state.phase == "pre_copy":
+                self._split_cutover(state)
+            elif state.phase == "migrating":
+                self._split_prepare(state)
+                pulled = self._split_stream.step(budget)
+                if self._split_stream.done:
+                    self._finish_split_copy(state)
+                    result = self._run_split(state)
+                    result["pulled"] = pulled
+                    return result
+            else:
+                result = self._run_split(state)
+                result["pulled"] = pulled
+                return result
+            return {
+                "epoch": self._maps.epoch,
+                "pulled": pulled,
+                **state.summary(),
+            }
 
     def recover_split(self) -> Dict[str, object]:
         """Resume (or roll back) a split interrupted by a crash.
@@ -429,6 +529,12 @@ class ShardedTable:
             state = self._active_split
             if state is None:
                 return {"resumed": False, "epoch": self._maps.epoch}
+            if self._split_stream is not None:
+                # A partial pump (or a crash mid-stream) left pinned
+                # snapshots behind; drop them and replay the idempotent
+                # copy from the top.
+                self._split_stream.abort()
+                self._split_stream = None
             if state.phase == "pre_copy":
                 self._active_split = None
                 return {
@@ -458,56 +564,84 @@ class ShardedTable:
                 f"shard {state.source_id} breaker is open; split refused"
             )
 
+    def _split_cutover(self, state: SplitState) -> None:
+        """Phase ``pre_copy`` -> ``migrating``: the write cutover."""
+        self._split_gate(state)
+        crash_point("split.pre_copy")
+        if state.left_id < 0:
+            state.left_id = self._new_shard()
+            state.right_id = self._new_shard()
+        current = self._maps.current
+        migrating = current.with_slot(
+            state.slot,
+            SlotRoute(
+                "migrating",
+                primary=state.source_id,
+                left=state.left_id,
+                right=state.right_id,
+            ),
+            epoch=current.epoch + 1,
+        )
+        # Write cutover: from this swap on, new rows for the slot land
+        # on the successors and every read double-reads.
+        old = self._maps.publish(migrating)
+        state.migrating_epoch = migrating.epoch
+        state.phase = "migrating"
+        # No query pinned to the pre-cutover map may still be routing
+        # writes to the source once we start draining it.
+        self._maps.drain(old.epoch)
+
+    def _split_prepare(self, state: SplitState) -> None:
+        """Quiesce, hand the clock forward, adopt blocks, open the stream.
+
+        Idempotent: every sub-step tolerates replay, and the stream is
+        only (re)built when none is open -- a pump calls this once per
+        step, a crash recovery rebuilds from scratch.
+        """
+        if self._split_stream is not None:
+            return
+        source = self.shards[state.source_id]
+        left = self.shards[state.left_id]
+        right = self.shards[state.right_id]
+        # The source stops receiving writes at the cutover: its daemon
+        # threads (if any) retire now, and one synchronous quiesce
+        # empties its live and groomed zones for good.
+        source.stop_daemons()
+        state.quiesce_grooms += source.quiesce()["grooms"]
+        # Clock handoff: every beginTS the successors will ever assign
+        # must sort after every beginTS the source ever assigned, or
+        # the double-read's newest-wins comparison lies.
+        for successor in (left, right):
+            successor.clock.ensure_at_least(*source.clock.state())
+            # Ghosted secondary entries travel with the copy: each side
+            # inherits the source's tracker so index-only stays
+            # disqualified where the source had ghosts (ISSUE 10).
+            successor.indexes.adopt_ghost_state((source.indexes,))
+        state.copied_blocks += copy_post_groomed_blocks(
+            source, (left, right)
+        )
+        self._split_stream = split_copy_stream(
+            source, left, right, index_slicers(source, state.source_id)
+        )
+
+    def _finish_split_copy(self, state: SplitState) -> None:
+        state.copied_entries += self._split_stream.copied_entries
+        self._split_stream = None
+        state.phase = "copied"
+
     def _run_split(self, state: SplitState) -> Dict[str, object]:
         """Advance the split phase machine to completion (resumable)."""
         if state.phase == "pre_copy":
-            self._split_gate(state)
-            crash_point("split.pre_copy")
-            if state.left_id < 0:
-                state.left_id = self._new_shard()
-                state.right_id = self._new_shard()
-            current = self._maps.current
-            migrating = current.with_slot(
-                state.slot,
-                SlotRoute(
-                    "migrating",
-                    primary=state.source_id,
-                    left=state.left_id,
-                    right=state.right_id,
-                ),
-                epoch=current.epoch + 1,
-            )
-            # Write cutover: from this swap on, new rows for the slot land
-            # on the successors and every read double-reads.
-            old = self._maps.publish(migrating)
-            state.migrating_epoch = migrating.epoch
-            state.phase = "migrating"
-            # No query pinned to the pre-cutover map may still be routing
-            # writes to the source once we start draining it.
-            self._maps.drain(old.epoch)
+            self._split_cutover(state)
 
         source = self.shards[state.source_id]
         left = self.shards[state.left_id]
         right = self.shards[state.right_id]
 
         if state.phase == "migrating":
-            # The source stops receiving writes at the cutover: its daemon
-            # threads (if any) retire now, and one synchronous quiesce
-            # empties its live and groomed zones for good.
-            source.stop_daemons()
-            state.quiesce_grooms += source.quiesce()["grooms"]
-            # Clock handoff: every beginTS the successors will ever assign
-            # must sort after every beginTS the source ever assigned, or
-            # the double-read's newest-wins comparison lies.
-            for successor in (left, right):
-                successor.clock.ensure_at_least(*source.clock.state())
-            state.copied_blocks += copy_post_groomed_blocks(
-                source, (left, right)
-            )
-            state.copied_entries += partition_runs(
-                source, left, right, self._slicer
-            )
-            state.phase = "copied"
+            self._split_prepare(state)
+            self._split_stream.run_all()
+            self._finish_split_copy(state)
 
         if state.phase == "copied":
             crash_point("split.pre_publish")
@@ -544,6 +678,230 @@ class ShardedTable:
                         )
             state.phase = "done"
             self._active_split = None
+
+        return {
+            "resumed": True,
+            "epoch": self._maps.epoch,
+            **state.summary(),
+        }
+
+    # -- online shard merge (ISSUE 10) ---------------------------------------------
+
+    def _begin_merge_state(self, left_id: int, right_id: int) -> MergeState:
+        """Validate a merge request and park its phase machine."""
+        self._check_no_migration()
+        for shard_id in (left_id, right_id):
+            if shard_id in self._retired:
+                raise MergeError(f"shard {shard_id} is retired")
+        current = self._maps.current
+        slot = next(
+            (
+                i
+                for i, route in enumerate(current.slots)
+                if route.state == "split"
+                and {route.left, route.right} == {left_id, right_id}
+            ),
+            None,
+        )
+        if slot is None:
+            raise MergeError(
+                f"shards {left_id} and {right_id} are not the two "
+                "successors of one split slot"
+            )
+        route = current.slots[slot]
+        state = MergeState(left_id=route.left, right_id=route.right, slot=slot)
+        self._active_merge = state
+        return state
+
+    def merge_shards(self, left_id: int, right_id: int) -> Dict[str, object]:
+        """Fuse a split slot's two successors back into one shard, online.
+
+        The reversed migration: publish a ``merging`` route (fresh
+        writes land on the fused target, reads double-read target + old
+        successor and keep the newest ``beginTS``), quiesce both
+        sources, hand the clock forward to the max of their two HLCs,
+        adopt both sides' record blocks verbatim and interleave their
+        runs zero-decode, then publish the ``single`` route and retire
+        both sources.  A :class:`~repro.faults.crash.SimulatedCrash` at
+        any of the four ``merge.*`` crash points leaves the phase
+        machine parked in ``self._active_merge`` for
+        :meth:`recover_merge`.
+        """
+        with self._split_lock:
+            state = self._begin_merge_state(left_id, right_id)
+            return self._run_merge(state)
+
+    def begin_merge(self, left_id: int, right_id: int) -> Dict[str, object]:
+        """Start a *pumped* merge: run the write cutover, then return.
+
+        The copy advances in budgeted slices via :meth:`merge_step`; the
+        end state is byte-identical to a synchronous
+        :meth:`merge_shards`.
+        """
+        with self._split_lock:
+            state = self._begin_merge_state(left_id, right_id)
+            self._merge_cutover(state)
+            return {"epoch": self._maps.epoch, **state.summary()}
+
+    def merge_step(self, budget: int = 2048) -> Dict[str, object]:
+        """Advance an in-flight merge by up to ``budget`` copied pairs."""
+        with self._split_lock:
+            state = self._active_merge
+            if state is None:
+                raise MergeError("no merge is in flight")
+            pulled = 0
+            if state.phase == "pre_copy":
+                self._merge_cutover(state)
+            elif state.phase == "merging":
+                self._merge_prepare(state)
+                pulled = self._merge_stream.step(budget)
+                if self._merge_stream.done:
+                    self._finish_merge_copy(state)
+                    result = self._run_merge(state)
+                    result["pulled"] = pulled
+                    return result
+            else:
+                result = self._run_merge(state)
+                result["pulled"] = pulled
+                return result
+            return {
+                "epoch": self._maps.epoch,
+                "pulled": pulled,
+                **state.summary(),
+            }
+
+    def recover_merge(self) -> Dict[str, object]:
+        """Resume (or roll back) a merge interrupted by a crash.
+
+        * crash before the write cutover (``merge.pre_copy``): nothing
+          was published -- discard the state, the slot keeps its
+          ``split`` route;
+        * crash anywhere after the cutover: roll *forward* by replaying
+          the remaining phases (block adoption and the run interleave
+          are idempotent) until the ``single`` route is published and
+          both sources retired.
+
+        Idempotent: calling with no interrupted merge is a no-op.
+        """
+        with self._split_lock:
+            state = self._active_merge
+            if state is None:
+                return {"resumed": False, "epoch": self._maps.epoch}
+            if self._merge_stream is not None:
+                self._merge_stream.abort()
+                self._merge_stream = None
+            if state.phase == "pre_copy":
+                self._active_merge = None
+                return {
+                    "resumed": True,
+                    "outcome": "rolled_back",
+                    "epoch": self._maps.epoch,
+                }
+            result = self._run_merge(state)
+            result["outcome"] = "rolled_forward"
+            return result
+
+    def _merge_gate(self, state: MergeState) -> None:
+        """Backpressure gate, mirroring :meth:`_split_gate`."""
+        if self._scheduler is not None and not self._scheduler.allow_maintenance():
+            self._active_merge = None
+            raise MergeAborted(
+                "maintenance backpressure: merge refused before cutover"
+            )
+        for shard_id in (state.left_id, state.right_id):
+            breaker = self._breakers[shard_id]
+            if breaker is not None and breaker.state() is BreakerState.OPEN:
+                self._active_merge = None
+                raise MergeAborted(
+                    f"shard {shard_id} breaker is open; merge refused"
+                )
+
+    def _merge_cutover(self, state: MergeState) -> None:
+        """Phase ``pre_copy`` -> ``merging``: the write cutover."""
+        self._merge_gate(state)
+        crash_point("merge.pre_copy")
+        if state.target_id < 0:
+            state.target_id = self._new_shard()
+        current = self._maps.current
+        merging = current.with_slot(
+            state.slot,
+            SlotRoute(
+                "merging",
+                primary=state.target_id,
+                left=state.left_id,
+                right=state.right_id,
+            ),
+            epoch=current.epoch + 1,
+        )
+        # Write cutover: from this swap on, new rows for the slot land on
+        # the fused target and every read double-reads target + the old
+        # successor that owned the key.
+        old = self._maps.publish(merging)
+        state.merging_epoch = merging.epoch
+        state.phase = "merging"
+        self._maps.drain(old.epoch)
+
+    def _merge_prepare(self, state: MergeState) -> None:
+        """Quiesce both sources, raise the clock, adopt blocks, open the
+        stream.  Idempotent, mirroring :meth:`_split_prepare`."""
+        if self._merge_stream is not None:
+            return
+        left = self.shards[state.left_id]
+        right = self.shards[state.right_id]
+        target = self.shards[state.target_id]
+        for source in (left, right):
+            source.stop_daemons()
+            state.quiesce_grooms += source.quiesce()["grooms"]
+            # Clock handoff: component-wise max over both sources, so no
+            # beginTS the target ever mints collides with either history.
+            target.clock.ensure_at_least(*source.clock.state())
+        # Ghost trackers union (disagreements collapse to "unknown",
+        # which counts the row's next update as a ghost -- conservative).
+        target.indexes.adopt_ghost_state((left.indexes, right.indexes))
+        state.copied_blocks += adopt_all_blocks((left, right), target)
+        self._merge_stream = merge_copy_stream((left, right), target)
+
+    def _finish_merge_copy(self, state: MergeState) -> None:
+        state.copied_entries += self._merge_stream.copied_entries
+        self._merge_stream = None
+        state.phase = "copied"
+
+    def _run_merge(self, state: MergeState) -> Dict[str, object]:
+        """Advance the merge phase machine to completion (resumable)."""
+        if state.phase == "pre_copy":
+            self._merge_cutover(state)
+
+        target = self.shards[state.target_id]
+
+        if state.phase == "merging":
+            self._merge_prepare(state)
+            self._merge_stream.run_all()
+            self._finish_merge_copy(state)
+
+        if state.phase == "copied":
+            crash_point("merge.pre_publish")
+            current = self._maps.current
+            final = current.with_slot(
+                state.slot,
+                SlotRoute("single", primary=state.target_id),
+                epoch=state.merging_epoch + 1,
+            )
+            self._maps.publish(final)
+            state.final_epoch = final.epoch
+            state.phase = "published"
+            self._maps.drain(state.merging_epoch)
+
+        if state.phase == "published":
+            crash_point("merge.post_publish")
+            for source_id in (state.left_id, state.right_id):
+                source = self.shards[source_id]
+                source.stop_daemons()
+                source.exit_degraded_mode()
+                self._retired.add(source_id)
+            if self._daemons_running and not target._daemon_threads:
+                target.start_daemons(groom_interval_s=self._daemon_interval)
+            state.phase = "done"
+            self._active_merge = None
 
         return {
             "resumed": True,
@@ -618,23 +976,26 @@ class ShardedTable:
         query_ts: Optional[int],
     ) -> Optional[Record]:
         route = pin.map.route_of(key_hash)
-        if route.state != "migrating":
+        reads = route.read_shards(key_hash)
+        if len(reads) == 1:
             return self._shard_point_query(
-                route.read_shards(key_hash)[0],
+                reads[0],
                 equality_values,
                 sort_values,
                 query_ts,
             )
-        # Migration window: double-read successor + source, newest beginTS
-        # wins.  The successor must answer authoritatively or not at all --
-        # a degraded (snapshot-pinned) successor answer could silently miss
-        # freshly cut-over writes, so its brownouts surface as a typed
-        # partial result tagged with the serving epoch instead.
+        # Migration window (split *or* merge): double-read both holders,
+        # newest beginTS wins.  The fresh-write holder (a split's
+        # successor; a merge's fused target) must answer authoritatively
+        # or not at all -- a degraded (snapshot-pinned) answer could
+        # silently miss freshly cut-over writes, so its brownouts surface
+        # as a typed partial result tagged with the serving epoch instead.
+        write_holder = route.write_shard(key_hash)
         best: Optional[Record] = None
         failed: List[int] = []
         cause: Optional[BaseException] = None
-        for shard_id in route.read_shards(key_hash):
-            allow_degraded = shard_id == route.primary
+        for shard_id in reads:
+            allow_degraded = shard_id != write_holder
             try:
                 record = self._shard_point_query(
                     shard_id,
@@ -670,7 +1031,7 @@ class ShardedTable:
         # Defensive scatter fallback: a failing shard yields a typed
         # partial-result error naming it, never a bare TransientIOError.
         shard_map = pin.map
-        migrating = self._migrating_successors(shard_map)
+        fresh = self._fresh_write_holders(shard_map)
         best: Optional[Record] = None
         failed: List[int] = []
         cause: Optional[BaseException] = None
@@ -681,7 +1042,7 @@ class ShardedTable:
                     equality_values,
                     sort_values,
                     query_ts,
-                    allow_degraded=scatter_id not in migrating,
+                    allow_degraded=scatter_id not in fresh,
                 )
             except TransientIOError as exc:
                 failed.append(scatter_id)
@@ -701,13 +1062,21 @@ class ShardedTable:
         return best
 
     @staticmethod
-    def _migrating_successors(shard_map: ShardMap) -> Set[int]:
-        successors: Set[int] = set()
+    def _fresh_write_holders(shard_map: ShardMap) -> Set[int]:
+        """Shards holding freshly cut-over writes of an open migration.
+
+        These must answer authoritatively (never degraded): a split's
+        two successors during its ``migrating`` window, and a merge's
+        fused target during its ``merging`` window.
+        """
+        holders: Set[int] = set()
         for route in shard_map.slots:
             if route.state == "migrating":
-                successors.add(route.left)
-                successors.add(route.right)
-        return successors
+                holders.add(route.left)
+                holders.add(route.right)
+            elif route.state == "merging":
+                holders.add(route.primary)
+        return holders
 
     def _shard_point_query(
         self,
@@ -807,19 +1176,21 @@ class ShardedTable:
         query_ts: Optional[int],
     ) -> List[IndexEntry]:
         route = pin.map.route_of(key_hash)
-        if route.state != "migrating":
+        reads = route.read_shards(key_hash)
+        if len(reads) == 1:
             return self._shard_range_query(
-                route.read_shards(key_hash)[0],
+                reads[0],
                 equality_values,
                 sort_lower,
                 sort_upper,
                 query_ts,
             )
+        write_holder = route.write_shard(key_hash)
         gathered: List[IndexEntry] = []
         failed: List[int] = []
         cause: Optional[BaseException] = None
-        for shard_id in route.read_shards(key_hash):
-            allow_degraded = shard_id == route.primary
+        for shard_id in reads:
+            allow_degraded = shard_id != write_holder
             try:
                 gathered.extend(
                     self._shard_range_query(
@@ -850,7 +1221,7 @@ class ShardedTable:
         query_ts: Optional[int],
     ) -> List[IndexEntry]:
         shard_map = pin.map
-        migrating = self._migrating_successors(shard_map)
+        fresh = self._fresh_write_holders(shard_map)
         gathered: List[IndexEntry] = []
         failed: List[int] = []
         cause: Optional[BaseException] = None
@@ -863,7 +1234,7 @@ class ShardedTable:
                         sort_lower,
                         sort_upper,
                         query_ts,
-                        allow_degraded=scatter_id not in migrating,
+                        allow_degraded=scatter_id not in fresh,
                     )
                 )
             except TransientIOError as exc:
@@ -983,13 +1354,15 @@ class ShardedTable:
             values = self._query_sharding_values(query)
             if values is not None:
                 route = pin.map.route_of(self.key_hash(values))
-                if route.state != "migrating":
-                    shard_id = route.read_shards(self.key_hash(values))[0]
-                    tagged = self.shards[shard_id]._query_tagged(query)
+                reads = route.read_shards(self.key_hash(values))
+                if len(reads) == 1:
+                    tagged = self.shards[reads[0]]._query_tagged(query)
                     return [row for _, _, row in self._merge_tagged([tagged])]
-                shard_ids = list(route.read_shards(self.key_hash(values)))
+                shard_ids = list(reads)
             else:
-                shard_ids = list(pin.map.scatter_shards())
+                shard_ids = self._prune_scatter(
+                    list(pin.map.scatter_shards()), query
+                )
             parts: List[
                 List[Tuple[Tuple[KeyValue, ...], int, Tuple[KeyValue, ...]]]
             ] = []
@@ -1017,6 +1390,72 @@ class ShardedTable:
             return tuple(bound[name] for name in self.schema.sharding_key)
         except KeyError:
             return None
+
+    def scatter_stats(self) -> Dict[str, int]:
+        """Typed scatter-gather pruning counters (ISSUE 10)."""
+        return dict(self._scatter_stats)
+
+    def _prune_scatter(
+        self, shard_ids: List[int], query: Query
+    ) -> List[int]:
+        """Drop shards whose synopses prove the query cannot match there.
+
+        Every row version a typed query can return has an entry in every
+        index of its shard (they are built from the same records in the
+        same publication), so if the query's bound on a column is
+        disjoint from the shard's observed key range for that column in
+        *any* index, the shard provably returns no rows and contacting
+        it is pure fan-out cost.  Decisions read the same
+        version-seq-cached synopses the shard's own planner uses, so a
+        pruned shard is exactly one whose current version would have
+        answered with zero rows.
+        """
+        self._scatter_stats["scatter_queries"] += 1
+        self._scatter_stats["shards_considered"] += len(shard_ids)
+        kept: List[int] = []
+        for shard_id in shard_ids:
+            if self._shard_prunable(shard_id, query):
+                self._scatter_stats["shards_pruned"] += 1
+            else:
+                kept.append(shard_id)
+        self._scatter_stats["shards_contacted"] += len(kept)
+        return kept
+
+    def _shard_prunable(self, shard_id: int, query: Query) -> bool:
+        shard = self.shards[shard_id]
+        bounds: Dict[str, Tuple[Optional[KeyValue], Optional[KeyValue]]] = {
+            column: (value, value) for column, value in query.equalities
+        }
+        for column, low, high in query.ranges:
+            bounds[column] = (low, high)
+        for shard_index in shard.indexes.all():
+            synopsis = shard.synopses.synopsis(shard_index.name)
+            if (
+                shard_index.name == PRIMARY_INDEX_NAME
+                and synopsis.entry_count == 0
+            ):
+                # No groomed records at all: typed plans (which execute
+                # over index runs) cannot produce a row from this shard.
+                return True
+            if synopsis.entry_count == 0:
+                continue
+            key_specs = shard_index.index.definition.key_columns
+            for position, spec in enumerate(key_specs):
+                bound = bounds.get(spec.name)
+                if bound is None or position >= len(synopsis.key_ranges):
+                    continue
+                column_range = synopsis.key_ranges[position]
+                if column_range is None:
+                    continue
+                low, high = bound
+                try:
+                    if low is not None and low > column_range.max_value:
+                        return True
+                    if high is not None and high < column_range.min_value:
+                        return True
+                except TypeError:
+                    continue
+        return False
 
     @staticmethod
     def _merge_tagged(
@@ -1072,6 +1511,7 @@ class ShardedTable:
             ),
             "per_shard": per_shard,
             "qos": merged.qos.snapshot(),
+            "scatter": self.scatter_stats(),
             "io": merged,
         }
 

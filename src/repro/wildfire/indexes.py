@@ -36,6 +36,14 @@ class ShardIndex:
     spec: IndexSpec
     index: UmziIndex
     extract: Callable
+    # Entries whose secondary *key* columns were superseded by a newer
+    # version of the same row (ISSUE 10).  Such an entry stays visible
+    # forever under its old key -- secondary entries carry no endTS and
+    # reconciliation only collapses versions sharing the full entry key --
+    # so only a record re-check can filter it.  Any nonzero count
+    # disqualifies this index from index-only plans.  Always 0 for the
+    # primary (a primary-key change is a different row, not a version).
+    ghost_entries: int = 0
 
 
 class ShardIndexes:
@@ -57,6 +65,17 @@ class ShardIndexes:
             PRIMARY_INDEX_NAME, primary_spec, hierarchy, umzi_config
         )
         self.secondaries: Dict[str, ShardIndex] = {}
+        column_names = [spec.name for spec in schema.columns]
+        self._pk_positions = tuple(
+            column_names.index(name) for name in schema.primary_key
+        )
+        # Ghost tracking (ISSUE 10): per secondary, the last groomed
+        # secondary-key tuple of every primary key.  ``None`` marks a key
+        # whose last value is unknown (merge of diverged successors) and
+        # compares unequal to everything, so the next update of that row
+        # is conservatively counted as a ghost.
+        self._key_positions: Dict[str, Tuple[int, ...]] = {}
+        self._key_memo: Dict[str, Dict[Tuple, Optional[Tuple]]] = {}
         for name, spec in (secondary_specs or {}).items():
             self.add_secondary(name, spec, hierarchy, umzi_config)
 
@@ -97,6 +116,12 @@ class ShardIndexes:
         spec = spec.with_primary_key_suffix(self.schema)
         attached = self._attach(name, spec, hierarchy, umzi_config)
         self.secondaries[name] = attached
+        column_names = [cspec.name for cspec in self.schema.columns]
+        self._key_positions[name] = tuple(
+            column_names.index(column)
+            for column in spec.equality_columns + spec.sort_columns
+        )
+        self._key_memo[name] = {}
         return attached
 
     # -- iteration ---------------------------------------------------------------
@@ -123,6 +148,12 @@ class ShardIndexes:
         then serialized exactly once by the run builder's encode-once path.
         """
         run_ids: Dict[str, str] = {}
+        # Count ghosts *before* publishing the runs that contain them: a
+        # planner racing this groom may cache a synopsis at the new
+        # version sequence, and it must already see the ghost count that
+        # disqualifies index-only for the new entries.
+        if self.secondaries:
+            self._track_ghosts(block)
         for shard_index in self.all():
             make_entry = shard_index.index.make_entry
             extract = shard_index.extract
@@ -137,6 +168,57 @@ class ShardIndexes:
             )
             run_ids[shard_index.name] = run.run_id
         return run_ids
+
+    def _track_ghosts(self, block) -> None:
+        """Count secondary entries ghosted by this block's versions.
+
+        A new version whose secondary-key columns differ from the row's
+        previous version leaves the previous entry visible forever under
+        its old key; the comparison is a pure tuple equality over the
+        already-decoded record values (zero extra decodes, nothing when a
+        shard has no secondaries).
+        """
+        pk_positions = self._pk_positions
+        for _, record in block.iter_indexable():
+            values = record.values
+            pk = tuple(values[pos] for pos in pk_positions)
+            for name, shard_index in self.secondaries.items():
+                memo = self._key_memo[name]
+                key = tuple(
+                    values[pos] for pos in self._key_positions[name]
+                )
+                previous = memo.get(pk, key)
+                if previous != key:
+                    shard_index.ghost_entries += 1
+                memo[pk] = key
+
+    def pending_ghosts(self) -> Dict[str, int]:
+        """Per-index ghost counts (tools, tests)."""
+        return {si.name: si.ghost_entries for si in self.all()}
+
+    def adopt_ghost_state(self, sources: Sequence["ShardIndexes"]) -> None:
+        """Inherit ghost tracking from shards whose entries were copied in.
+
+        Called at split (one source per successor) and merge (both
+        successors into the fused target).  Counts add up -- an
+        over-count on a split successor that physically received only
+        half the ghosts merely keeps index-only disabled, never serves a
+        stale answer.  Memo entries that disagree across sources (the
+        row was rewritten on one side during the split window) collapse
+        to ``None``, which compares unequal to any future key and so
+        counts the next update as a ghost -- conservative, never wrong.
+        """
+        for name, shard_index in self.secondaries.items():
+            memo = self._key_memo[name]
+            for source in sources:
+                shard_index.ghost_entries += source.secondaries[
+                    name
+                ].ghost_entries
+                for pk, key in source._key_memo.get(name, {}).items():
+                    if pk in memo and memo[pk] != key:
+                        memo[pk] = None
+                    else:
+                        memo[pk] = key
 
     def min_indexed_psn(self) -> int:
         """The slowest index's progress gates groomed-block deletion."""

@@ -1,0 +1,157 @@
+"""Online shard merge: the inverse of split (ISSUE 10).
+
+The cluster-facing entry point is
+:meth:`repro.wildfire.cluster.ShardedTable.merge_shards`; this module
+owns the pieces below it.  A merge is a split run backwards over the
+same :class:`~repro.wildfire.shardmap.SlotRoute` machinery:
+
+* the slot's route flips ``"split" -> "merging"`` at the write cutover
+  (the fused target owns all fresh writes; the two old successors stay
+  authoritative for everything written before the cutover, so reads
+  double-read and take the newest beginTS), then ``"merging" ->
+  "single"`` once the copy lands;
+* the target's hybrid clock is raised to the component-wise max of both
+  successors' clocks (:meth:`HybridClock.ensure_at_least` once per
+  source), so no beginTS it will ever mint can collide with history;
+* both successors' post-groomed record blocks are adopted verbatim --
+  the split-time :data:`~repro.wildfire.split.BLOCK_ID_STRIDE` keeps
+  the two sides' post-split block ids disjoint, so the union of ids is
+  collision-free and every RID baked into entry blobs stays valid;
+* every index's runs from both sides are interleaved through the same
+  zero-decode ``(sort_key, blob)`` stream the split copy uses
+  (:class:`~repro.wildfire.split.ShardCopyStream` with a single
+  destination bucket) into one post-groomed run per index.
+
+Crash points mirror the split's: ``merge.pre_copy`` (before anything is
+published -- recovery rolls *back*, the slot keeps its split route) and
+``merge.mid_copy`` / ``merge.pre_publish`` / ``merge.post_publish``
+(after the write cutover -- recovery rolls *forward* by replaying the
+idempotent copy and republishing).  The routing map is an immutable
+object swapped atomically, so no crash can leave a torn map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.wildfire.engine import WildfireShard
+from repro.wildfire.split import ShardCopyStream
+
+
+class MergeError(RuntimeError):
+    """A merge could not be started or resumed."""
+
+
+class MergeAborted(MergeError):
+    """A merge backed out cleanly before its write cutover.
+
+    Raised when maintenance backpressure or an open circuit breaker says
+    the cluster cannot afford the copy right now.  Nothing has been
+    published: routing, data, and clocks are exactly as they were.
+    """
+
+
+# Phase order, mirroring the split's.  Everything from "merging" on
+# recovers by rolling forward; "pre_copy" is the only phase that rolls
+# back (to the still-split route).
+MERGE_PHASES = ("pre_copy", "merging", "copied", "published", "done")
+
+
+@dataclass
+class MergeState:
+    """One in-flight (or crashed) merge's progress."""
+
+    left_id: int
+    right_id: int
+    slot: int
+    target_id: int = -1
+    phase: str = "pre_copy"
+    merging_epoch: int = -1
+    final_epoch: int = -1
+    copied_blocks: int = 0
+    copied_entries: int = 0
+    quiesce_grooms: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "sources": (self.left_id, self.right_id),
+            "target": self.target_id,
+            "phase": self.phase,
+            "merging_epoch": self.merging_epoch,
+            "final_epoch": self.final_epoch,
+            "copied_blocks": self.copied_blocks,
+            "copied_entries": self.copied_entries,
+            "quiesce_grooms": self.quiesce_grooms,
+        }
+
+
+def adopt_all_blocks(
+    sources: Tuple[WildfireShard, WildfireShard], target: WildfireShard
+) -> int:
+    """Adopt both sources' post-groomed record blocks into the target.
+
+    Ids are disjoint across the two sides by construction (shared
+    pre-split ids carry byte-identical payloads and dedup on adoption;
+    post-split ids are separated by the split-time stride), so the union
+    is collision-free.  The endTS overlays union too --
+    ``adopt_post_groomed`` merges the passed overlay unconditionally,
+    and an RID's endTS is written at most once in its lifetime (a row
+    version is superseded once), so the two sides can never disagree on
+    a shared RID.  Idempotent; returns blocks copied this call.
+    """
+    copied = 0
+    for source in sources:
+        copied += len(
+            target.catalog.adopt_post_groomed(
+                source.catalog,
+                source.catalog.live_post_groomed_ids(),
+                source.catalog.export_end_ts_overlay(),
+            )
+        )
+    return copied
+
+
+def merge_copy_stream(
+    sources: Sequence[WildfireShard], target: WildfireShard
+) -> ShardCopyStream:
+    """A :class:`ShardCopyStream` interleaving two quiesced sources'
+    runs into the single target (per-index passes, one bucket).
+
+    The two sides hold disjoint key sets (that is what the split
+    partitioned on), so the K-way blob merge over the concatenated run
+    stacks is a pure interleave: every pair survives verbatim, in full
+    sort-key order.  The ``merge.mid_copy`` crash point sits immediately
+    before the primary pass's single build.
+    """
+    return ShardCopyStream(
+        sources=sources,
+        destinations=(target,),
+        bucket_of=lambda _name, _sort_key: 0,
+        crash_site="merge.mid_copy",
+        crash_ordinal=0,
+    )
+
+
+def interleave_runs(
+    sources: Tuple[WildfireShard, WildfireShard], target: WildfireShard
+) -> int:
+    """Run a full merge copy synchronously (the non-pumped path).
+
+    Sources must be quiesced (post-groomed zones only).  Idempotent per
+    index (a target that already holds its copied run is skipped), so
+    crash replays never duplicate entries.  Returns entries copied this
+    call.
+    """
+    return merge_copy_stream(sources, target).run_all()
+
+
+__all__ = [
+    "MERGE_PHASES",
+    "MergeAborted",
+    "MergeError",
+    "MergeState",
+    "adopt_all_blocks",
+    "interleave_runs",
+    "merge_copy_stream",
+]

@@ -12,7 +12,13 @@ re-hashes); what a split changes is the *route* of one slot:
   the responsible successor plus the old primary and keep the newest
   version per key (raw ``beginTS`` comparison);
 * ``split``     -- the copy is published: successors serve alone, the
-  old primary is retired.
+  old primary is retired;
+* ``merging``   -- the *reverse* migration (ISSUE 10): a merge's write
+  cutover has happened.  ``primary`` is the new fused target shard that
+  owns all fresh writes; ``left``/``right`` are the two old successors
+  that still hold the authoritative pre-merge data, so reads
+  double-read the target plus the responsible old successor until the
+  interleaved copy is published back to ``single``.
 
 Maps are published versionset-style through a :class:`ShardMapRegistry`:
 every query pins the current map for its whole lifetime (exactly one
@@ -76,17 +82,18 @@ class ShardMapError(RuntimeError):
 class SlotRoute:
     """Where one hash slot's keys live.
 
-    ``primary`` is the (old) owning shard; ``left``/``right`` are the
-    successors once a split is underway (``-1`` while single).
+    ``primary`` is the owning shard (the old primary during a split, the
+    new fused target during a merge); ``left``/``right`` are the split
+    successors (``-1`` while single).
     """
 
-    state: str  # "single" | "migrating" | "split"
+    state: str  # "single" | "migrating" | "split" | "merging"
     primary: int
     left: int = -1
     right: int = -1
 
     def __post_init__(self) -> None:
-        if self.state not in ("single", "migrating", "split"):
+        if self.state not in ("single", "migrating", "split", "merging"):
             raise ShardMapError(f"unknown slot state {self.state!r}")
         if self.state != "single" and (self.left < 0 or self.right < 0):
             raise ShardMapError(f"{self.state} route needs both successors")
@@ -96,24 +103,29 @@ class SlotRoute:
 
     def write_shard(self, key_hash: int) -> int:
         """Where a new row for ``key_hash`` must be ingested."""
-        if self.state == "single":
+        if self.state in ("single", "merging"):
+            # A merge's cutover points all fresh writes at the fused
+            # target (the route's primary) from the merging epoch on.
             return self.primary
         # Write cutover happens at the migrating publish: successors own
         # all new writes from the first post-cutover epoch on.
         return self.successor_of(key_hash)
 
     def read_shards(self, key_hash: int) -> Tuple[int, ...]:
-        """Shards a point query must consult, successor first.
+        """Shards a point query must consult, fresh-writes holder first.
 
-        During the migration window the responsible successor (fresh
-        writes, possibly already-copied data) *and* the old primary (the
-        authoritative pre-split data) are both read; the caller keeps the
-        newest version by raw ``beginTS``.
+        During a migration window (split *or* merge) the shard owning
+        fresh writes (successor while splitting, fused target while
+        merging) *and* the shard holding the authoritative pre-cutover
+        data are both read; the caller keeps the newest version per key
+        by raw ``beginTS``.
         """
         if self.state == "single":
             return (self.primary,)
         if self.state == "migrating":
             return (self.successor_of(key_hash), self.primary)
+        if self.state == "merging":
+            return (self.primary, self.successor_of(key_hash))
         return (self.successor_of(key_hash),)
 
     def scatter_shards(self) -> Tuple[int, ...]:
@@ -122,6 +134,8 @@ class SlotRoute:
             return (self.primary,)
         if self.state == "migrating":
             return (self.left, self.right, self.primary)
+        if self.state == "merging":
+            return (self.primary, self.left, self.right)
         return (self.left, self.right)
 
 
@@ -159,7 +173,9 @@ class ShardMap:
     def needs_merge(self) -> bool:
         """True while any slot double-reads (scatter results may contain
         the same key from two shards and must dedup by beginTS)."""
-        return any(route.state == "migrating" for route in self.slots)
+        return any(
+            route.state in ("migrating", "merging") for route in self.slots
+        )
 
     def with_slot(self, slot: int, route: SlotRoute, epoch: int) -> "ShardMap":
         slots = list(self.slots)

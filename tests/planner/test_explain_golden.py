@@ -138,25 +138,66 @@ class TestPlannerEquivalence:
         ):
             assert smart.query(query) == baseline.query(query)
 
-    def test_key_column_updates_need_fetch_back(self):
-        # The documented index-only caveat (docs/architecture.md): when a
-        # *secondary key* column changes across versions, the old entry is
-        # a ghost only a record re-check can filter -- an index-only scan
-        # cannot see the newer entry living under a different key.  Plans
-        # that fetch records (full projection -> fetch-back) stay exact.
+    def test_key_column_updates_disqualify_index_only(self):
+        # The ISSUE 10 bugfix: when a *secondary key* column changes
+        # across versions, the old entry is a ghost only a record
+        # re-check can filter -- an index-only scan cannot see the newer
+        # entry living under a different key.  The shard counts the
+        # ghost at groom time, and the planner refuses index-only on the
+        # ghosted secondaries, so every answer is exact.
         smart = make_shard()
         baseline = make_shard(planner="baseline")
         for shard in (smart, baseline):
             seed(shard)
-            shard.ingest([(0, "c9", "r9", 7)])  # region r0 -> r9
+            shard.ingest([(0, "c9", "r9", 7)])  # customer c0 -> c9, region r0 -> r9
             shard.run_cycles(4)
+        assert smart.indexes.pending_ghosts() == {
+            "primary": 0, "by_customer": 1, "by_region": 1,
+        }
         full = Query(ranges=(("region", "r0", "r0"),))
         assert smart.explain(full)["fetch_back"]
         assert smart.query(full) == baseline.query(full)
         ghost = Query(ranges=(("region", "r0", "r0"),),
                       projection=("region", "amount"))
-        assert smart.explain(ghost)["index_only"]
-        truth = baseline.query(ghost)
-        observed = smart.query(ghost)
-        assert ("r0", 0) in observed  # row 0's ghost, documented caveat
+        plan = smart.explain(ghost)
+        assert not plan["index_only"]
+        assert plan["fetch_back"]
+        assert smart.query(ghost) == baseline.query(ghost)
+
+    def test_allow_stale_included_restores_index_only(self):
+        # The ablation flag: opting into stale included columns brings
+        # back the index-only plan -- and with it, row 0's ghost.
+        smart = make_shard()
+        baseline = make_shard(planner="baseline")
+        for shard in (smart, baseline):
+            seed(shard)
+            shard.ingest([(0, "c9", "r9", 7)])
+            shard.run_cycles(4)
+        stale = Query(ranges=(("region", "r0", "r0"),),
+                      projection=("region", "amount"),
+                      allow_stale_included=True)
+        assert smart.explain(stale)["index_only"]
+        observed = smart.query(stale)
+        truth = baseline.query(
+            Query(ranges=(("region", "r0", "r0"),),
+                  projection=("region", "amount"))
+        )
+        assert ("r0", 0) in observed  # row 0's ghost, the documented cost
         assert [r for r in observed if r != ("r0", 0)] == truth
+
+    def test_included_column_updates_keep_index_only(self):
+        # Precision of the tracker: updates touching only *included*
+        # columns keep the entry key stable, leave no ghosts, and keep
+        # the index-only plan available.
+        smart = make_shard()
+        seed(smart)
+        smart.ingest([
+            (i, f"c{i % 5}", f"r{i % 3}", 7) for i in range(0, 20, 5)
+        ])
+        smart.run_cycles(4)
+        assert smart.indexes.pending_ghosts() == {
+            "primary": 0, "by_customer": 0, "by_region": 0,
+        }
+        covered = Query(equalities=(("customer", "c2"),),
+                        projection=("order_id", "amount"))
+        assert smart.explain(covered)["index_only"]

@@ -70,14 +70,27 @@ class TestSynopsis:
         # order_id spans 0..49 -> 50 distinct keys; [0] is always 1.
         assert syn.distinct_prefix == (1, 50)
 
-    def test_string_columns_fall_back_to_entry_count(self):
+    def test_string_columns_use_the_prefix_sketch(self):
         shard = make_shard()
         seed(shard)
         syn = shard.synopses.synopsis("by_customer")
-        # customer is a string: per-column distinct falls back to the
-        # entry-count cap; the suffixed order_id then keeps it capped.
-        assert syn.distinct_prefix[0] == 1
-        assert syn.distinct_prefix[-1] == syn.entry_count
+        # customer spans "c0".."c4": the bounded prefix sketch (ISSUE 10)
+        # reads exactly 5 distinct values off the run-header bounds --
+        # the old fallback pinned this at the 50-entry cap, making every
+        # string secondary look maximally selective.  The suffixed
+        # order_id then saturates at the entry count.
+        assert syn.distinct_prefix == (1, 5, 50)
+
+    def test_string_sketch_widens_with_the_domain(self):
+        shard = make_shard()
+        shard.ingest([
+            (i, f"c{i % 16:02d}", f"r{i % 3}", i * 10) for i in range(50)
+        ])
+        shard.run_cycles(4)
+        syn = shard.synopses.synopsis("by_customer")
+        # "c00".."c15": two divergent characters, interpreted as a
+        # big-endian span -> 262, clamped to the 50-entry cap.
+        assert syn.distinct_prefix[1] == 50
 
     def test_key_range_union_covers_domain(self):
         shard = make_shard()

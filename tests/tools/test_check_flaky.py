@@ -32,6 +32,15 @@ def test_benchmark_tree_is_flake_guarded():
     assert not errors, "\n".join(errors)
 
 
+def test_rebalance_policy_is_covered():
+    """ISSUE 10: the policy module's signals feed A16's byte-stable
+    artifact, so the wall-clock assert rule must sweep it."""
+    tool = load_tool()
+    covered = {p.name for p in tool.bench_files(tool.ASSERT_RULE_DIRS)}
+    assert "rebalance.py" in covered
+    assert "bench_rebalance.py" in covered
+
+
 def test_detects_unannotated_repeat_one(tmp_path):
     tool = load_tool()
     bad = tmp_path / "bench_bad.py"

@@ -1,9 +1,13 @@
-"""Cluster-level typed queries and the typed split refusal (ISSUE 9).
+"""Cluster-level typed queries, secondary-index splits, scatter pruning.
 
 ``ShardedTable.query`` routes on the sharding key when the query binds
-it, scatters otherwise, merges newest-beginTS-wins per primary key
-(the split double-read window), and reports failing shards through
+it, scatters otherwise (pruning shards whose synopses cannot match --
+ISSUE 10), merges newest-beginTS-wins per primary key (the migration
+double-read window), and reports failing shards through
 ``PartialResultError`` -- typed queries never serve degraded answers.
+Shards carrying secondary indexes split via per-index partition passes
+(ISSUE 10 flipped the old ``SplitUnsupported`` refusal); what remains
+refused is an index with no sharding-key bytes in its sort keys.
 """
 
 import pytest
@@ -120,18 +124,152 @@ class TestClusterTypedQueries:
         assert list(err.partial) == survivors
 
 
-class TestSplitUnsupported:
-    def test_typed_refusal_names_the_secondaries(self):
+class TestSecondaryIndexSplit:
+    def test_split_with_secondaries_preserves_typed_answers(self):
+        """ISSUE 10 flips the old refusal: shards carrying secondary
+        indexes split via per-index partition passes."""
         table = make_orders_table()
-        seed_orders(table, n=20)
+        seed_orders(table)
+        routed = [Query(equalities=(("order_id", i),)) for i in range(60)]
+        secondary = Query(
+            equalities=(("customer", "c2"),),
+            projection=("order_id", "amount"),
+        )
+        before_routed = [table.query(q) for q in routed]
+        before_secondary = table.query(secondary)
+        epoch_before = table.routing_epoch()
+        result = table.split_shard(0)
+        assert result["phase"] == "done"
+        table.run_cycles(4)
+        assert [table.query(q) for q in routed] == before_routed
+        assert table.query(secondary) == before_secondary
+        assert table.routing_epoch() == epoch_before + 2
+        assert 0 not in table.live_shard_ids()
+        # Both successors rebuilt the secondary too, at their own
+        # publication sequences, covering every copied entry.
+        total = 0
+        for shard_id in table.live_shard_ids():
+            shard = table.shards[shard_id]
+            synopsis = shard.synopses.synopsis("by_customer")
+            seq = shard.indexes.get("by_customer").index.lifecycle.version_seq
+            assert synopsis.version_seq == seq
+            total += synopsis.entry_count
+        assert total == 60
+
+    def test_ghost_state_survives_split_and_merge(self):
+        """The index-only staleness fix (ISSUE 10) must survive
+        reorganization: ghost counts travel with the copied entries, so
+        a successor -- and later the fused target -- keeps refusing
+        index-only plans over the ghosted secondary."""
+        table = make_orders_table()
+        seed_orders(table)
+        victim = table.shard_of_key((0,))
+        key = next(
+            i for i in range(60) if table.shard_of_key((i,)) == victim
+        )
+        table.ingest([(key, "c9", "r9", 7)])  # customer changes: a ghost
+        table.run_cycles(4)
+        assert (
+            table.shards[victim].indexes.pending_ghosts()["by_customer"] == 1
+        )
+        split = table.split_shard(victim)
+        for successor in split["successors"]:
+            ghosts = table.shards[successor].indexes.pending_ghosts()
+            assert ghosts["by_customer"] >= 1
+        merged = table.merge_shards(*split["successors"])
+        target = merged["target"]
+        assert (
+            table.shards[target].indexes.pending_ghosts()["by_customer"] >= 1
+        )
+        # And the typed answer over the ghosted secondary stays exact.
+        assert table.query(
+            Query(equalities=(("customer", "c9"),),
+                  projection=("order_id", "amount"))
+        ) == [(key, 7)]
+        assert (key, key * 10) not in table.query(
+            Query(equalities=(("customer", f"c{key % 5}"),),
+                  projection=("order_id", "amount"))
+        )
+
+    def test_refusal_when_no_index_carries_the_sharding_key(self):
+        """What remains unsupported: an index whose key columns exclude
+        the sharding key (possible only with require_primary_index=False
+        shapes) -- there is no byte range to recover the routing hash
+        from."""
+        schema = TableSchema(
+            name="iot",
+            columns=(
+                ColumnSpec("device"), ColumnSpec("msg"),
+                ColumnSpec("reading"),
+            ),
+            primary_key=("device", "msg"),
+            sharding_key=("device",),
+        )
+        spec = IndexSpec(sort_columns=("msg", "reading"))
+        table = ShardedTable(
+            schema, spec, num_shards=2,
+            config=ShardConfig(require_primary_index=False),
+        )
+        table.ingest([(d, m, d + m) for d in range(4) for m in range(2)])
+        table.run_cycles(2)
         epoch_before = table.routing_epoch()
         with pytest.raises(SplitUnsupported) as excinfo:
             table.split_shard(0)
         err = excinfo.value
         assert err.source_id == 0
-        assert err.index_names == ("by_customer",)
+        assert err.index_names == ("primary",)
         assert isinstance(err, SplitAborted)  # nothing was published
         assert table.routing_epoch() == epoch_before
+
+
+class TestScatterPruning:
+    def test_disjoint_bounds_prune_every_shard(self):
+        table = make_orders_table()
+        seed_orders(table)  # order_id 0..59, customers c0..c4
+        base = table.scatter_stats()
+        # A primary-key range above every shard's observed order_ids.
+        assert table.query(Query(ranges=(("order_id", 1000, 2000),))) == []
+        # A secondary string key above every by_customer range.
+        assert table.query(Query(equalities=(("customer", "z"),))) == []
+        stats = table.scatter_stats()
+        assert stats["scatter_queries"] == base["scatter_queries"] + 2
+        assert stats["shards_considered"] == base["shards_considered"] + 6
+        assert stats["shards_pruned"] == base["shards_pruned"] + 6
+        assert stats["shards_contacted"] == base["shards_contacted"]
+
+    def test_overlapping_bounds_contact_every_shard(self):
+        table = make_orders_table()
+        seed_orders(table)
+        base = table.scatter_stats()
+        query = Query(ranges=(("amount", 100, 200),),
+                      projection=("order_id",))
+        rows = table.query(query)
+        assert rows == sorted(
+            row for shard in table.shards for row in shard.query(query)
+        )
+        stats = table.scatter_stats()
+        assert stats["scatter_queries"] == base["scatter_queries"] + 1
+        assert stats["shards_contacted"] == base["shards_contacted"] + 3
+        assert stats["shards_pruned"] == base["shards_pruned"]
+
+    def test_pruning_survives_a_split(self):
+        """Successor synopses route the pruning decision after a split:
+        the disjoint query still contacts zero shards and the matching
+        query still answers identically."""
+        table = make_orders_table()
+        seed_orders(table)
+        matching = Query(equalities=(("customer", "c2"),),
+                         projection=("order_id", "amount"))
+        before = table.query(matching)
+        table.split_shard(0)
+        table.run_cycles(4)
+        base = table.scatter_stats()
+        assert table.query(Query(equalities=(("customer", "z"),))) == []
+        stats = table.scatter_stats()
+        assert stats["shards_pruned"] == base["shards_pruned"] + len(
+            table.live_shard_ids()
+        )
+        assert table.query(matching) == before
 
 
 class TestTypedQueriesAcrossSplit:

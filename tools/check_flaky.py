@@ -46,6 +46,9 @@ ASSERT_RULE_DIRS = [
     # The planner's cost model feeds counter-asserted benchmarks (A15);
     # keep wall-clock measurements out of it too.
     REPO_ROOT / "src" / "repro" / "planner",
+    # The rebalance policy's signals feed A16's byte-stable artifact; its
+    # thresholds must stay on simulated/ledger counters, never wall time.
+    REPO_ROOT / "src" / "repro" / "wildfire" / "rebalance.py",
 ]
 
 REPEAT_ONE_RE = re.compile(r"\brepeat\s*=\s*1\b")
@@ -60,9 +63,14 @@ def _rel(path: Path) -> str:
 
 
 def bench_files(dirs) -> list[Path]:
+    """Expand a mix of directories (globbed ``*.py``) and single files."""
     files: list[Path] = []
-    for directory in dirs:
-        files.extend(sorted(directory.glob("*.py")))
+    for entry in dirs:
+        if entry.suffix == ".py":
+            if entry.exists():
+                files.append(entry)
+        else:
+            files.extend(sorted(entry.glob("*.py")))
     return files
 
 

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Inspect a cluster's rebalance state (ISSUE 10 dev helper).
+
+``status(table, policy)`` folds the routing map, per-shard zero-decode
+statistics, and the policy's audit trail into one dict;
+``format_status`` renders it.  Run standalone, the tool replays a small
+demo scenario -- a hot single-shard cluster whose
+:class:`~repro.wildfire.rebalance.RebalancePolicy` splits it and then
+fuses it back -- printing the status after each stage:
+
+    PYTHONPATH=src python tools/rebalance_status.py
+
+Everything printed comes from run headers, the shard map, and policy
+counters: no blocks are read and no entries are decoded.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.definition import ColumnSpec  # noqa: E402
+from repro.wildfire.cluster import ShardedTable  # noqa: E402
+from repro.wildfire.engine import ShardConfig  # noqa: E402
+from repro.wildfire.rebalance import (  # noqa: E402
+    RebalanceConfig,
+    RebalancePolicy,
+)
+from repro.wildfire.schema import IndexSpec, TableSchema  # noqa: E402
+
+
+def status(table, policy=None) -> dict:
+    """The cluster's rebalance-facing state as one JSON-able dict."""
+    shard_map = table.maps.current
+    slots = []
+    for slot, route in enumerate(shard_map.slots):
+        entry = {"slot": slot, "state": route.state, "primary": route.primary}
+        if route.state != "single":
+            entry["left"] = route.left
+            entry["right"] = route.right
+        slots.append(entry)
+    shards = []
+    for shard_id in table.live_shard_ids():
+        shard = table.shards[shard_id]
+        shards.append({
+            "shard": shard_id,
+            "entries": {
+                name: synopsis.entry_count
+                for name, synopsis in shard.synopses.snapshot().items()
+            },
+            "pending_ghosts": shard.indexes.pending_ghosts(),
+        })
+    out = {
+        "routing_epoch": table.routing_epoch(),
+        "slots": slots,
+        "retired_shards": sorted(table.stats()["retired_shards"]),
+        "live_shards": shards,
+        "scatter": table.scatter_stats(),
+    }
+    if policy is not None:
+        out["policy"] = policy.summary()
+    return out
+
+
+def format_status(state: dict) -> str:
+    lines = [f"routing epoch {state['routing_epoch']}"]
+    for slot in state["slots"]:
+        route = f"slot {slot['slot']}: {slot['state']} -> shard {slot['primary']}"
+        if "left" in slot:
+            route += f" (left {slot['left']}, right {slot['right']})"
+        lines.append(route)
+    lines.append(f"retired: {state['retired_shards']}")
+    for shard in state["live_shards"]:
+        entries = ", ".join(
+            f"{name}={count}" for name, count in shard["entries"].items()
+        )
+        lines.append(f"shard {shard['shard']}: {entries}")
+    policy = state.get("policy")
+    if policy:
+        stats = policy["stats"]
+        lines.append(
+            f"policy: {stats['evaluations']} evaluations, "
+            f"{stats['splits']} splits, {stats['merges']} merges, "
+            f"cooldown {policy['cooldown']}"
+        )
+        for decision in policy["decisions"]:
+            lines.append(
+                f"  #{decision['evaluation']}: {decision['action']} "
+                f"{decision['shards']} ({decision['reason']}) "
+                f"-> epoch {decision['epoch_after']}"
+            )
+    return "\n".join(lines)
+
+
+def _demo_table() -> ShardedTable:
+    schema = TableSchema(
+        name="iot",
+        columns=(ColumnSpec("device"), ColumnSpec("msg"), ColumnSpec("reading")),
+        primary_key=("device", "msg"),
+        sharding_key=("device",),
+        partition_key=("msg",),
+    )
+    return ShardedTable(
+        schema,
+        IndexSpec(("device",), ("msg",), ("reading",)),
+        num_shards=1,
+        config=ShardConfig(post_groom_every=1),
+    )
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    as_json = "--json" in args
+
+    table = _demo_table()
+    table.ingest([(d, m, d * 10 + m) for d in range(32) for m in range(4)])
+    table.run_cycles(4)
+    policy = RebalancePolicy(
+        table,
+        RebalanceConfig(
+            split_entry_high_water=64,
+            merge_entry_low_water=0,
+            split_after=2,
+            cooldown_evaluations=1,
+        ),
+    )
+
+    def show(title: str) -> None:
+        state = status(table, policy)
+        if as_json:
+            print(json.dumps({title: state}, indent=2, default=str))
+        else:
+            print(f"== {title} ==")
+            print(format_status(state))
+            print()
+
+    show("seeded (hot single shard)")
+    while policy.stats.splits == 0:
+        policy.step()
+    show("after the policy split")
+    policy.config = RebalanceConfig(
+        split_entry_high_water=10_000_000,
+        merge_entry_low_water=10_000_000,
+        merge_after=2,
+        cooldown_evaluations=1,
+    )
+    while policy.stats.merges == 0:
+        policy.step()
+    show("after the policy merge")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
